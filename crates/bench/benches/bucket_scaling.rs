@@ -1,0 +1,53 @@
+//! Ablation: dynamic-bucket cost and quality versus sample size, and
+//! dynamic vs. static splitting (the design choice of §3.3.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uu_core::bucket::{DynamicBucketEstimator, StaticBucketEstimator, StaticStrategy};
+use uu_core::estimate::SumEstimator;
+use uu_core::sample::SampleView;
+use uu_stats::rng::Rng;
+
+/// A synthetic sample with `unique` distinct values and light duplication.
+fn sample_with_uniques(unique: usize, seed: u64) -> SampleView {
+    let mut rng = Rng::new(seed);
+    SampleView::from_value_multiplicities((0..unique).map(|i| {
+        let mult = 1 + rng.next_below(4) as u64;
+        ((i as f64 + 1.0) * 7.5, mult)
+    }))
+}
+
+fn bench_bucket(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_scaling/dynamic_by_uniques");
+    group.sample_size(10);
+    for unique in [50usize, 100, 200, 400, 800] {
+        let view = sample_with_uniques(unique, 7);
+        let est = DynamicBucketEstimator::default();
+        group.bench_function(format!("c{unique}"), |b| {
+            b.iter(|| black_box(est.estimate_delta(black_box(&view))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bucket_scaling/dynamic_vs_static_c200");
+    group.sample_size(20);
+    let view = sample_with_uniques(200, 11);
+    group.bench_function("dynamic", |b| {
+        let est = DynamicBucketEstimator::default();
+        b.iter(|| black_box(est.estimate_delta(black_box(&view))))
+    });
+    for nb in [2usize, 10] {
+        group.bench_function(format!("eqwidth_{nb}"), |b| {
+            let est = StaticBucketEstimator::new(StaticStrategy::EquiWidth, nb);
+            b.iter(|| black_box(est.estimate_delta(black_box(&view))))
+        });
+        group.bench_function(format!("eqheight_{nb}"), |b| {
+            let est = StaticBucketEstimator::new(StaticStrategy::EquiHeight, nb);
+            b.iter(|| black_box(est.estimate_delta(black_box(&view))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Open-world query engine throughput: ingest, view construction, SQL
+//! parsing and end-to-end corrected execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uu_query::exec::{execute_sql, CorrectionMethod};
+use uu_query::predicate::Predicate;
+use uu_query::schema::{ColumnType, Schema};
+use uu_query::sql::parse;
+use uu_query::table::IntegratedTable;
+use uu_query::value::Value;
+use uu_stats::rng::Rng;
+
+fn build_table(entities: usize, observations: usize, seed: u64) -> IntegratedTable {
+    let schema = Schema::new([("key", ColumnType::Str), ("v", ColumnType::Float)]);
+    let mut t = IntegratedTable::new("t", schema, "key").unwrap();
+    let mut rng = Rng::new(seed);
+    for _ in 0..observations {
+        let id = rng.next_below(entities);
+        let src = rng.next_below(50) as u32;
+        t.insert_observation(
+            src,
+            vec![Value::from(format!("e{id}")), Value::from(id as f64 * 3.0)],
+        )
+        .unwrap();
+    }
+    t
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine");
+    group.sample_size(20);
+
+    group.bench_function("ingest_10k_obs", |b| {
+        b.iter(|| black_box(build_table(2_000, 10_000, 1)))
+    });
+
+    let table = build_table(2_000, 10_000, 2);
+    group.bench_function("sample_view_10k", |b| {
+        b.iter(|| black_box(table.sample_view(Some("v"), &Predicate::True).unwrap()))
+    });
+
+    group.bench_function("sql_parse", |b| {
+        b.iter(|| {
+            black_box(
+                parse("SELECT SUM(v) FROM t WHERE (a > 10 AND b != 'x') OR NOT c <= 5").unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("execute_sum_naive", |b| {
+        b.iter(|| {
+            black_box(execute_sql(&table, "SELECT SUM(v) FROM t", CorrectionMethod::Naive).unwrap())
+        })
+    });
+
+    group.bench_function("execute_sum_bucket", |b| {
+        b.iter(|| {
+            black_box(
+                execute_sql(&table, "SELECT SUM(v) FROM t", CorrectionMethod::Bucket).unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("execute_sum_filtered", |b| {
+        b.iter(|| {
+            black_box(
+                execute_sql(
+                    &table,
+                    "SELECT SUM(v) FROM t WHERE v > 1500",
+                    CorrectionMethod::Naive,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Throughput of the species-richness estimators (the naïve estimator's
+//! count stage) and of frequency-statistics construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uu_stats::freq::{FrequencyStatistics, StreamingFrequency};
+use uu_stats::rng::Rng;
+use uu_stats::species::SpeciesEstimator;
+
+fn multiplicities(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| 1 + rng.next_below(8) as u64).collect()
+}
+
+fn bench_species(c: &mut Criterion) {
+    let f = FrequencyStatistics::from_multiplicities(multiplicities(1000, 3));
+
+    let mut group = c.benchmark_group("species/estimate_c1000");
+    for est in SpeciesEstimator::ALL {
+        group.bench_function(est.name(), |b| {
+            b.iter(|| black_box(est.estimate(black_box(&f))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("species/freq_construction");
+    for n in [1_000usize, 10_000, 100_000] {
+        let ms = multiplicities(n, 5);
+        group.bench_function(format!("batch_c{n}"), |b| {
+            b.iter(|| black_box(FrequencyStatistics::from_multiplicities(ms.iter().copied())))
+        });
+    }
+    // Streaming ingest of 100k observations over 10k identities.
+    group.bench_function("streaming_100k_obs", |b| {
+        let mut rng = Rng::new(9);
+        let obs: Vec<u32> = (0..100_000)
+            .map(|_| rng.next_below(10_000) as u32)
+            .collect();
+        b.iter(|| {
+            let mut s = StreamingFrequency::new();
+            for &o in &obs {
+                s.observe(o);
+            }
+            black_box(s.snapshot())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_species);
+criterion_main!(benches);

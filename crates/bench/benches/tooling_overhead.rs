@@ -1,0 +1,69 @@
+//! Overhead of the trust/tooling layer: bootstrap intervals, the
+//! leave-one-source-out sensitivity sweep, the self-selecting policy
+//! estimator, and CSV ingestion throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uu_core::bootstrap::{bootstrap_interval, BootstrapConfig};
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::estimate::SumEstimator;
+use uu_core::naive::NaiveEstimator;
+use uu_core::policy::PolicyEstimator;
+use uu_core::sample::replay_checkpoints;
+use uu_core::sensitivity::leave_one_source_out;
+use uu_datagen::realworld::tech_employment;
+use uu_query::csv::{load_observations, parse_csv};
+use uu_query::schema::{ColumnType, Schema};
+use uu_query::table::IntegratedTable;
+
+fn bench_tooling(c: &mut Criterion) {
+    let d = tech_employment(42);
+    let (_, view) = replay_checkpoints(d.stream(), &[500]).remove(0);
+
+    let mut group = c.benchmark_group("tooling");
+    group.sample_size(10);
+
+    group.bench_function("bootstrap_100_replicates_naive", |b| {
+        let cfg = BootstrapConfig {
+            replicates: 100,
+            ..Default::default()
+        };
+        let est = NaiveEstimator::default();
+        b.iter(|| black_box(bootstrap_interval(black_box(&view), &est, cfg)))
+    });
+
+    group.bench_function("sensitivity_100_sources_naive", |b| {
+        let est = NaiveEstimator::default();
+        b.iter(|| black_box(leave_one_source_out(black_box(&view), &est)))
+    });
+
+    group.bench_function("policy_estimator_healthy", |b| {
+        let est = PolicyEstimator::default();
+        b.iter(|| black_box(est.estimate_delta(black_box(&view))))
+    });
+
+    group.bench_function("policy_vs_raw_bucket_overhead", |b| {
+        let est = DynamicBucketEstimator::default();
+        b.iter(|| black_box(est.estimate_delta(black_box(&view))))
+    });
+
+    // CSV throughput: 10k observation rows.
+    let mut doc = String::from("worker,k,v\n");
+    for i in 0..10_000 {
+        doc.push_str(&format!("{},e{},{}\n", i % 50, i % 2_000, (i % 97) * 3));
+    }
+    group.bench_function("csv_parse_10k_rows", |b| {
+        b.iter(|| black_box(parse_csv(black_box(&doc)).unwrap()))
+    });
+    group.bench_function("csv_load_10k_rows", |b| {
+        b.iter(|| {
+            let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Float)]);
+            let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+            black_box(load_observations(&mut t, &doc, "worker").unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tooling);
+criterion_main!(benches);

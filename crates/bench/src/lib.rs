@@ -1,0 +1,272 @@
+//! Harness utilities shared by the `repro` binary and the criterion benches.
+//!
+//! Every figure in the paper is a *series*: estimates as a function of the
+//! number of integrated answers, usually averaged over seeded repetitions.
+//! [`mean_series`] runs that protocol for any workload generator and any set
+//! of estimators and [`print_series`] renders it as the aligned text table
+//! the harness prints in place of the paper's plots.
+
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::estimate::SumEstimator;
+use uu_core::frequency::FrequencyEstimator;
+use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
+use uu_core::naive::NaiveEstimator;
+use uu_core::sample::{replay_checkpoints, SampleView};
+
+/// A named boxed estimator.
+pub type NamedEstimator = (&'static str, Box<dyn SumEstimator + Send + Sync>);
+
+/// The four estimators the paper's figures compare, in presentation order.
+pub fn standard_estimators(mc: MonteCarloConfig) -> Vec<NamedEstimator> {
+    vec![
+        ("naive", Box::new(NaiveEstimator::default())),
+        ("freq", Box::new(FrequencyEstimator::default())),
+        ("bucket", Box::new(DynamicBucketEstimator::default())),
+        ("mc", Box::new(MonteCarloEstimator::new(mc))),
+    ]
+}
+
+/// One repetition of a workload: its ground truth and checkpointed views.
+pub struct Run {
+    /// Ground-truth value of the aggregate under study.
+    pub truth: f64,
+    /// `(n, view)` pairs at the requested checkpoints.
+    pub views: Vec<(usize, SampleView)>,
+}
+
+/// Builds a [`Run`] from a stream and a ground truth.
+pub fn run_from_stream(
+    truth: f64,
+    stream: impl Iterator<Item = (u64, f64, u32)>,
+    checkpoints: &[usize],
+) -> Run {
+    Run {
+        truth,
+        views: replay_checkpoints(stream, checkpoints),
+    }
+}
+
+/// A series of mean estimates over repetitions.
+pub struct MeanSeries {
+    /// Checkpoints that actually materialised (streams can be shorter than
+    /// requested).
+    pub checkpoints: Vec<usize>,
+    /// Mean ground truth across repetitions.
+    pub truth: f64,
+    /// Mean observed (closed-world) aggregate per checkpoint.
+    pub observed: Vec<f64>,
+    /// Estimator names, aligned with `estimates`.
+    pub names: Vec<&'static str>,
+    /// `estimates[e][k]`: mean estimate of estimator `e` at checkpoint `k`,
+    /// averaged over the repetitions where it was defined (`None` if it was
+    /// never defined there).
+    pub estimates: Vec<Vec<Option<f64>>>,
+    /// `spreads[e][k]`: population standard deviation across the defined
+    /// repetitions (the error bars the paper omits "for readability";
+    /// included in the CSV output).
+    pub spreads: Vec<Vec<Option<f64>>>,
+}
+
+/// Runs `reps` seeded repetitions of a workload and averages the corrected
+/// sums of every estimator at every checkpoint.
+pub fn mean_series(
+    reps: u64,
+    base_seed: u64,
+    make: impl Fn(u64) -> Run,
+    estimators: &[NamedEstimator],
+) -> MeanSeries {
+    let mut checkpoints: Vec<usize> = Vec::new();
+    let mut observed_acc: Vec<f64> = Vec::new();
+    // (Σx, Σx², count) per estimator per checkpoint.
+    let mut est_acc: Vec<Vec<(f64, f64, u64)>> = vec![Vec::new(); estimators.len()];
+    let mut truth_acc = 0.0;
+
+    for rep in 0..reps {
+        let run = make(base_seed + rep);
+        truth_acc += run.truth;
+        if checkpoints.is_empty() {
+            checkpoints = run.views.iter().map(|&(n, _)| n).collect();
+            observed_acc = vec![0.0; checkpoints.len()];
+            for acc in &mut est_acc {
+                acc.resize(checkpoints.len(), (0.0, 0.0, 0));
+            }
+        }
+        for (k, (_, view)) in run.views.iter().enumerate() {
+            observed_acc[k] += view.observed_sum();
+            for (e, (_, est)) in estimators.iter().enumerate() {
+                if let Some(v) = est.estimate_sum(view) {
+                    est_acc[e][k].0 += v;
+                    est_acc[e][k].1 += v * v;
+                    est_acc[e][k].2 += 1;
+                }
+            }
+        }
+    }
+
+    let mut estimates = Vec::with_capacity(est_acc.len());
+    let mut spreads = Vec::with_capacity(est_acc.len());
+    for col in est_acc {
+        let mut means = Vec::with_capacity(col.len());
+        let mut sds = Vec::with_capacity(col.len());
+        for (sum, sumsq, cnt) in col {
+            if cnt > 0 {
+                let mean = sum / cnt as f64;
+                // Population variance; guard tiny negatives from rounding.
+                let var = (sumsq / cnt as f64 - mean * mean).max(0.0);
+                means.push(Some(mean));
+                sds.push(Some(var.sqrt()));
+            } else {
+                means.push(None);
+                sds.push(None);
+            }
+        }
+        estimates.push(means);
+        spreads.push(sds);
+    }
+
+    MeanSeries {
+        checkpoints,
+        truth: truth_acc / reps as f64,
+        observed: observed_acc.iter().map(|v| v / reps as f64).collect(),
+        names: estimators.iter().map(|&(n, _)| n).collect(),
+        estimates,
+        spreads,
+    }
+}
+
+/// Formats an optional estimate into a fixed-width cell.
+pub fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.abs() >= 1e7 => format!("{x:>13.3e}"),
+        Some(x) => format!("{x:>13.1}"),
+        None => format!("{:>13}", "-"),
+    }
+}
+
+/// Prints a [`MeanSeries`] as an aligned table with a ground-truth footer.
+pub fn print_series(series: &MeanSeries) {
+    print!("{:>8} {:>13}", "n", "observed");
+    for name in &series.names {
+        print!(" {name:>13}");
+    }
+    println!();
+    for (k, &n) in series.checkpoints.iter().enumerate() {
+        print!("{:>8} {}", n, cell(Some(series.observed[k])));
+        for est in &series.estimates {
+            print!(" {}", cell(est[k]));
+        }
+        println!();
+    }
+    println!("ground truth: {:.1}", series.truth);
+}
+
+/// Renders a [`MeanSeries`] as CSV
+/// (`n,observed,<est>,<est>_sd,…,truth`), for external plotting with error
+/// bars. Undefined estimates become empty fields.
+pub fn series_to_csv(series: &MeanSeries) -> String {
+    let mut out = String::from("n,observed");
+    for name in &series.names {
+        out.push_str(&format!(",{name},{name}_sd"));
+    }
+    out.push_str(",truth\n");
+    for (k, &n) in series.checkpoints.iter().enumerate() {
+        out.push_str(&format!("{n},{}", series.observed[k]));
+        for (est, sd) in series.estimates.iter().zip(&series.spreads) {
+            out.push(',');
+            if let Some(v) = est[k] {
+                out.push_str(&format!("{v}"));
+            }
+            out.push(',');
+            if let Some(v) = sd[k] {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push_str(&format!(",{}\n", series.truth));
+    }
+    out
+}
+
+/// Writes [`series_to_csv`] output to `dir/name.csv`, creating `dir` if
+/// needed. Returns the written path.
+pub fn write_series_csv(
+    series: &MeanSeries,
+    dir: &std::path::Path,
+    name: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, series_to_csv(series))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_datagen::scenario::figure6;
+
+    #[test]
+    fn mean_series_runs_and_averages() {
+        let estimators = standard_estimators(MonteCarloConfig::fast());
+        let series = mean_series(
+            2,
+            10,
+            |seed| {
+                let s = figure6(10, 1.0, 1.0, seed);
+                let truth = s.population.ground_truth_sum();
+                run_from_stream(truth, s.stream(), &[100, 300])
+            },
+            &estimators,
+        );
+        assert_eq!(series.checkpoints, vec![100, 300]);
+        assert_eq!(series.names, vec!["naive", "freq", "bucket", "mc"]);
+        assert!((series.truth - 50_500.0).abs() < 1e-9);
+        assert!(series.observed[0] > 0.0);
+        // At n=300 of a healthy workload every estimator should be defined.
+        for est in &series.estimates {
+            assert!(est[1].is_some());
+        }
+        // Two distinct seeds ⇒ nonzero spread for a defined estimator.
+        assert!(series.spreads[0][1].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert!(cell(None).contains('-'));
+        assert!(cell(Some(12.34)).contains("12.3"));
+        assert!(cell(Some(5.0e9)).contains('e'));
+    }
+
+    #[test]
+    fn csv_rendering_shape() {
+        let series = MeanSeries {
+            checkpoints: vec![10, 20],
+            truth: 100.0,
+            observed: vec![40.0, 70.0],
+            names: vec!["naive", "bucket"],
+            estimates: vec![vec![Some(90.0), Some(95.0)], vec![None, Some(99.0)]],
+            spreads: vec![vec![Some(1.0), Some(2.0)], vec![None, Some(0.5)]],
+        };
+        let csv = series_to_csv(&series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,observed,naive,naive_sd,bucket,bucket_sd,truth");
+        assert_eq!(lines[1], "10,40,90,1,,,100");
+        assert_eq!(lines[2], "20,70,95,2,99,0.5,100");
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let series = MeanSeries {
+            checkpoints: vec![1],
+            truth: 1.0,
+            observed: vec![1.0],
+            names: vec!["x"],
+            estimates: vec![vec![Some(1.0)]],
+            spreads: vec![vec![Some(0.0)]],
+        };
+        let dir = std::env::temp_dir().join("uu-bench-csv-test");
+        let path = write_series_csv(&series, &dir, "smoke").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,observed,x,x_sd,truth"));
+        let _ = std::fs::remove_file(path);
+    }
+}

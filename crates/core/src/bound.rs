@@ -1,0 +1,254 @@
+//! Estimation-error upper bound for SUM queries (paper §4, Eq. 16–19).
+//!
+//! The worst case is the product of two worst cases:
+//!
+//! * **Count** — the McAllester–Schapire `1 − δ` bound on the unobserved mass
+//!   `M0` gives `N̂ ≤ c / (1 − M0_bound)` (Eq. 17; the `γ̂²` term is dropped,
+//!   it only accelerates convergence).
+//! * **Value** — mean substitution tends to a normal distribution (CLT), so
+//!   the ground-truth mean is bounded by `φ_K/c + z·σ_K` with `z = 3` (the
+//!   three-sigma rule, Eq. 18).
+//!
+//! The resulting bound `∆_bound` (Eq. 19) is loose for small `n` — exactly
+//! what Figure 7 shows — and undefined until the mass bound drops below 1.
+
+use crate::sample::SampleView;
+use uu_stats::bound::good_turing_mass_bound;
+
+/// Parameters of the upper bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpperBoundConfig {
+    /// Failure probability δ of the Good–Turing mass bound (paper: 0.01 for
+    /// 99% confidence).
+    pub delta: f64,
+    /// Sigma multiplier for the value bound (paper: 3, the "three-sigma rule
+    /// of thumb", ≈ 99.95% of a normal below the bound).
+    pub z: f64,
+}
+
+impl Default for UpperBoundConfig {
+    fn default() -> Self {
+        UpperBoundConfig {
+            delta: 0.01,
+            z: 3.0,
+        }
+    }
+}
+
+/// The computed bound with its intermediate quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumUpperBound {
+    /// Upper bound on the ground-truth aggregate `φ_D` (Eq. 19's product).
+    pub phi_d_bound: f64,
+    /// Upper bound on the impact: `phi_d_bound − φ_K`.
+    pub delta_bound: f64,
+    /// The `M0` mass bound used (Eq. 16).
+    pub m0_bound: f64,
+    /// Worst-case richness `c / (1 − M0)` (Eq. 17).
+    pub worst_case_count: f64,
+    /// Worst-case mean `φ_K/c + z·σ_K` (Eq. 18).
+    pub worst_case_mean: f64,
+}
+
+/// Computes the Eq. 19 upper bound for a SUM query over `sample`.
+///
+/// Returns `None` when the bound is undefined: empty sample, fewer than two
+/// unique values (no sample standard deviation), or a vacuous mass bound
+/// (`M0 ≥ 1`, i.e. too few observations at this confidence level).
+///
+/// # Examples
+///
+/// ```
+/// use uu_core::sample::SampleView;
+/// use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
+///
+/// let s = SampleView::from_value_multiplicities(
+///     (0..600).map(|i| (10.0 + (i % 60) as f64, 3 + (i % 4) as u64)),
+/// );
+/// let b = sum_upper_bound(&s, UpperBoundConfig::default()).unwrap();
+/// assert!(b.phi_d_bound >= s.observed_sum());
+/// assert!(b.delta_bound >= 0.0);
+/// ```
+pub fn sum_upper_bound(sample: &SampleView, config: UpperBoundConfig) -> Option<SumUpperBound> {
+    let m0_bound = good_turing_mass_bound(sample.freq(), config.delta)?;
+    if m0_bound >= 1.0 {
+        return None;
+    }
+    let sigma = sample.value_stddev()?;
+    let mean = sample.mean_value()?;
+    let c = sample.c() as f64;
+    let worst_case_count = c / (1.0 - m0_bound);
+    let worst_case_mean = mean + config.z * sigma;
+    let phi_d_bound = worst_case_mean * worst_case_count;
+    Some(SumUpperBound {
+        phi_d_bound,
+        delta_bound: phi_d_bound - sample.observed_sum(),
+        m0_bound,
+        worst_case_count,
+        worst_case_mean,
+    })
+}
+
+/// Per-bucket application of the bound (§4: "The same upper bound can easily
+/// be applied to each bucket in the bucket estimator").
+///
+/// Partitions the sample with the dynamic splitter and sums per-bucket
+/// worst cases. Buckets too thin for a bound of their own (fewer than two
+/// unique values, or a vacuous mass bound) fall back to a whole-sample
+/// quantity scaled to the bucket: the global worst-case mean is replaced by
+/// the bucket's own `mean + z·σ_global` and the count bound is computed from
+/// the bucket's f-statistics against the *global* deviation term — keeping
+/// the result a valid (if conservative) upper bound for that slice.
+///
+/// Returns `None` when the whole-sample bound itself is undefined; the
+/// bucketed bound can be tighter than [`sum_upper_bound`] because each
+/// bucket's value spread `σ` is smaller than the global one.
+pub fn bucketed_sum_upper_bound(
+    sample: &SampleView,
+    buckets: &crate::bucket::DynamicBucketEstimator,
+    config: UpperBoundConfig,
+) -> Option<SumUpperBound> {
+    let global = sum_upper_bound(sample, config)?;
+    let reports = buckets.bucketize(sample);
+    if reports.len() <= 1 {
+        return Some(global);
+    }
+    let mut phi_d_bound = 0.0;
+    for report in &reports {
+        let sub = sample.subset_by_value(report.lo, report.hi);
+        let bucket_bound = match sum_upper_bound(&sub, config) {
+            Some(b) => b.phi_d_bound,
+            None => {
+                // Thin bucket: bound its mean by its own mean plus the
+                // *global* z·σ, and its count by the global mass bound.
+                let mean = sub.mean_value()?;
+                let sigma = sample.value_stddev()?;
+                let count = sub.c() as f64 / (1.0 - global.m0_bound);
+                (mean + config.z * sigma) * count
+            }
+        };
+        phi_d_bound += bucket_bound;
+    }
+    // Never report a looser bound than the global one.
+    let phi_d_bound = phi_d_bound.min(global.phi_d_bound);
+    Some(SumUpperBound {
+        phi_d_bound,
+        delta_bound: phi_d_bound - sample.observed_sum(),
+        ..global
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::DynamicBucketEstimator;
+    use crate::estimate::SumEstimator;
+    use crate::naive::NaiveEstimator;
+
+    fn rich_sample(reps: u64) -> SampleView {
+        // 200 unique values, each observed `reps` times.
+        SampleView::from_value_multiplicities((0..200).map(|i| (10.0 * (i + 1) as f64, reps)))
+    }
+
+    #[test]
+    fn undefined_for_empty_and_tiny() {
+        let empty = SampleView::from_value_multiplicities(std::iter::empty());
+        assert!(sum_upper_bound(&empty, UpperBoundConfig::default()).is_none());
+        // One unique value: σ_K undefined.
+        let single = SampleView::from_value_multiplicities([(5.0, 100)]);
+        assert!(sum_upper_bound(&single, UpperBoundConfig::default()).is_none());
+        // Few observations: mass bound vacuous.
+        let small = SampleView::from_value_multiplicities([(5.0, 2), (6.0, 2)]);
+        assert!(sum_upper_bound(&small, UpperBoundConfig::default()).is_none());
+    }
+
+    #[test]
+    fn bound_dominates_observed_sum() {
+        let s = rich_sample(5);
+        let b = sum_upper_bound(&s, UpperBoundConfig::default()).unwrap();
+        assert!(b.phi_d_bound > s.observed_sum());
+        assert!(b.delta_bound > 0.0);
+        assert!(b.worst_case_count >= s.c() as f64);
+    }
+
+    #[test]
+    fn bound_dominates_naive_estimate() {
+        // With no singletons the naive Δ is 0 and the bound strictly larger.
+        let s = rich_sample(4);
+        let b = sum_upper_bound(&s, UpperBoundConfig::default()).unwrap();
+        let naive = NaiveEstimator::default().estimate_sum(&s).unwrap();
+        assert!(b.phi_d_bound >= naive);
+    }
+
+    #[test]
+    fn bound_tightens_with_more_observations() {
+        let loose = sum_upper_bound(&rich_sample(3), UpperBoundConfig::default()).unwrap();
+        let tight = sum_upper_bound(&rich_sample(30), UpperBoundConfig::default()).unwrap();
+        assert!(tight.m0_bound < loose.m0_bound);
+        assert!(tight.phi_d_bound < loose.phi_d_bound);
+    }
+
+    #[test]
+    fn higher_confidence_is_looser() {
+        let s = rich_sample(5);
+        let c99 = sum_upper_bound(
+            &s,
+            UpperBoundConfig {
+                delta: 0.01,
+                z: 3.0,
+            },
+        )
+        .unwrap();
+        let c50 = sum_upper_bound(&s, UpperBoundConfig { delta: 0.5, z: 3.0 }).unwrap();
+        assert!(c99.phi_d_bound > c50.phi_d_bound);
+    }
+
+    #[test]
+    fn bucketed_bound_is_valid_and_no_looser_than_global() {
+        // Two well-separated value clusters with plenty of data: per-bucket
+        // σ is much smaller than global σ, so the bucketed bound tightens.
+        let mut pairs: Vec<(f64, u64)> = (0..100).map(|i| (10.0 + i as f64 * 0.1, 5)).collect();
+        pairs.extend((0..100).map(|i| (1000.0 + i as f64 * 0.1, 5)));
+        let s = SampleView::from_value_multiplicities(pairs);
+        let buckets = DynamicBucketEstimator::default();
+        let global = sum_upper_bound(&s, UpperBoundConfig::default()).unwrap();
+        let bucketed = bucketed_sum_upper_bound(&s, &buckets, UpperBoundConfig::default()).unwrap();
+        assert!(bucketed.phi_d_bound >= s.observed_sum());
+        assert!(bucketed.phi_d_bound <= global.phi_d_bound + 1e-9);
+    }
+
+    #[test]
+    fn bucketed_bound_single_bucket_equals_global() {
+        let s = rich_sample(5);
+        let buckets = DynamicBucketEstimator::default();
+        let global = sum_upper_bound(&s, UpperBoundConfig::default()).unwrap();
+        let bucketed = bucketed_sum_upper_bound(&s, &buckets, UpperBoundConfig::default()).unwrap();
+        // The dynamic splitter may or may not split; either way the result
+        // must stay within the global bound and above the observed sum.
+        assert!(bucketed.phi_d_bound <= global.phi_d_bound + 1e-9);
+        assert!(bucketed.phi_d_bound >= s.observed_sum());
+    }
+
+    #[test]
+    fn bucketed_bound_undefined_when_global_is() {
+        let s = SampleView::from_value_multiplicities([(5.0, 2), (6.0, 2)]);
+        let buckets = DynamicBucketEstimator::default();
+        assert!(bucketed_sum_upper_bound(&s, &buckets, UpperBoundConfig::default()).is_none());
+    }
+
+    #[test]
+    fn z_scales_the_value_bound() {
+        let s = rich_sample(5);
+        let z0 = sum_upper_bound(
+            &s,
+            UpperBoundConfig {
+                delta: 0.01,
+                z: 0.0,
+            },
+        )
+        .unwrap();
+        assert!((z0.worst_case_mean - s.mean_value().unwrap()).abs() < 1e-9);
+        let z3 = sum_upper_bound(&s, UpperBoundConfig::default()).unwrap();
+        assert!(z3.worst_case_mean > z0.worst_case_mean);
+    }
+}

@@ -1,0 +1,521 @@
+//! Bucket estimators (paper §3.3, Appendix B).
+//!
+//! Buckets divide the observed value range into sub-ranges that are estimated
+//! independently and summed: `Δ_bucket = Σ_b Δ(b)` (Eq. 11). This confines
+//! the publicity–value correlation — each bucket's mean substitution only
+//! sees values of its own magnitude — at the price of thinner statistics per
+//! bucket.
+//!
+//! * [`StaticBucketEstimator`] — fixed equi-width or equi-height buckets
+//!   (§3.3.1). Simple, but the right bucket count depends on the unknown
+//!   publicity distribution; buckets that end up empty or all-singleton make
+//!   the whole estimate undefined (the "missing data points" of Figures 8–9).
+//! * [`DynamicBucketEstimator`] — the paper's conservative splitter
+//!   (Algorithm 1): starting from one bucket covering everything, recursively
+//!   accept only splits that *strictly decrease* the total `Σ_b |Δ(b)|`.
+//!   The legitimacy of "smaller is better" rests on the split lemma
+//!   (Eq. 13–14): under an even split the count estimate can only grow, so an
+//!   increase signals estimation error while a decrease signals genuine
+//!   structure.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::estimate::{DeltaEstimate, SumEstimator};
+use crate::naive::NaiveEstimator;
+use crate::sample::{ObservedItem, SampleView};
+
+/// Per-bucket diagnostics produced by [`DynamicBucketEstimator::bucketize`]
+/// and consumed by the AVG/MIN/MAX strategies (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketReport {
+    /// Smallest value in the bucket.
+    pub lo: f64,
+    /// Largest value in the bucket.
+    pub hi: f64,
+    /// Unique entities in the bucket.
+    pub c: u64,
+    /// Observations in the bucket.
+    pub n: u64,
+    /// Singletons in the bucket.
+    pub f1: u64,
+    /// Observed SUM over the bucket's unique entities.
+    pub observed_sum: f64,
+    /// The bucket's Δ estimate (and its `N̂`).
+    pub estimate: DeltaEstimate,
+}
+
+impl BucketReport {
+    /// Estimated number of unknown unknowns in this bucket (`N̂ − c`),
+    /// `None` when the bucket's estimator is undefined.
+    pub fn unknown_count(&self) -> Option<f64> {
+        self.estimate.n_hat.map(|nh| (nh - self.c as f64).max(0.0))
+    }
+}
+
+/// Builds a sub-sample from a sorted slice of items.
+fn subview(items: &[&ObservedItem]) -> SampleView {
+    SampleView::from_observed_items(items.iter().map(|&i| i.clone()).collect())
+}
+
+fn report_for(items: &[&ObservedItem], estimate: DeltaEstimate) -> BucketReport {
+    let c = items.len() as u64;
+    let n: u64 = items.iter().map(|i| i.multiplicity).sum();
+    let f1 = items.iter().filter(|i| i.multiplicity == 1).count() as u64;
+    let observed_sum: f64 = items.iter().map(|i| i.value).sum();
+    BucketReport {
+        lo: items.first().map(|i| i.value).unwrap_or(f64::NAN),
+        hi: items.last().map(|i| i.value).unwrap_or(f64::NAN),
+        c,
+        n,
+        f1,
+        observed_sum,
+        estimate,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic buckets (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// The paper's dynamic bucket estimator (§3.3.2, Algorithm 1).
+///
+/// The inner estimator applied per bucket defaults to [`NaiveEstimator`]
+/// (what the paper evaluates); [`crate::combined`] wires in the frequency and
+/// Monte-Carlo estimators for the Appendix D ablations.
+///
+/// # Examples
+///
+/// ```
+/// use uu_core::sample::SampleView;
+/// use uu_core::bucket::DynamicBucketEstimator;
+/// use uu_core::estimate::SumEstimator;
+///
+/// // Toy example after s5 (Table 2): expect exactly 13 950.
+/// let s = SampleView::from_value_multiplicities([
+///     (300.0, 1), (1000.0, 2), (2000.0, 2), (10_000.0, 4),
+/// ]);
+/// let est = DynamicBucketEstimator::default().estimate_sum(&s).unwrap();
+/// assert!((est - 13_950.0).abs() < 1e-6);
+/// ```
+pub struct DynamicBucketEstimator {
+    inner: Box<dyn SumEstimator + Send + Sync>,
+}
+
+impl Default for DynamicBucketEstimator {
+    fn default() -> Self {
+        DynamicBucketEstimator {
+            inner: Box::new(NaiveEstimator::default()),
+        }
+    }
+}
+
+impl std::fmt::Debug for DynamicBucketEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicBucketEstimator")
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl DynamicBucketEstimator {
+    /// Uses `inner` as the per-bucket Δ estimator.
+    pub fn with_inner(inner: impl SumEstimator + Send + Sync + 'static) -> Self {
+        DynamicBucketEstimator {
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Runs Algorithm 1 and returns the final buckets with their estimates,
+    /// ordered by value range. Returns an empty vector for an empty sample.
+    pub fn bucketize(&self, sample: &SampleView) -> Vec<BucketReport> {
+        if sample.is_empty() {
+            return Vec::new();
+        }
+        let sorted = sample.items_sorted_by_value();
+        let ranges = self.split_ranges(&sorted);
+        ranges
+            .into_iter()
+            .map(|(lo, hi, est)| report_for(&sorted[lo..hi], est))
+            .collect()
+    }
+
+    /// Algorithm 1 over index ranges of the sorted item list. Returns the
+    /// final `(lo, hi, Δ)` ranges sorted by `lo`.
+    fn split_ranges(&self, sorted: &[&ObservedItem]) -> Vec<(usize, usize, DeltaEstimate)> {
+        let full = (0usize, sorted.len());
+        let mut memo: HashMap<(usize, usize), DeltaEstimate> = HashMap::new();
+        let mut delta_of = |lo: usize, hi: usize| -> DeltaEstimate {
+            *memo
+                .entry((lo, hi))
+                .or_insert_with(|| self.inner.estimate_delta(&subview(&sorted[lo..hi])))
+        };
+
+        // δ_min tracks the total Σ|Δ| over the current bucketing.
+        let mut delta_min = delta_of(full.0, full.1).abs_or_infinite();
+        let mut todo: VecDeque<(usize, usize)> = VecDeque::from([full]);
+        let mut done: Vec<(usize, usize, DeltaEstimate)> = Vec::new();
+
+        while let Some((lo, hi)) = todo.pop_front() {
+            let own = delta_of(lo, hi);
+            let own_abs = own.abs_or_infinite();
+            if !own_abs.is_finite() {
+                // An undefined bucket can never be improved by the strict
+                // comparison below; keep it whole.
+                done.push((lo, hi, own));
+                continue;
+            }
+            // Total of all other buckets.
+            let delta_tmp = delta_min - own_abs;
+            let mut best: Option<usize> = None;
+            // Candidate split points: boundaries between distinct values
+            // ("for unique r ∈ b: split(b, r.value)"); splitting after the
+            // last distinct value would leave t2 empty and is skipped.
+            for k in (lo + 1)..hi {
+                if sorted[k - 1].value == sorted[k].value {
+                    continue; // items sharing a value stay together
+                }
+                let cand = delta_tmp
+                    + delta_of(lo, k).abs_or_infinite()
+                    + delta_of(k, hi).abs_or_infinite();
+                if cand < delta_min {
+                    delta_min = cand;
+                    best = Some(k);
+                }
+            }
+            match best {
+                Some(k) => {
+                    todo.push_back((lo, k));
+                    todo.push_back((k, hi));
+                }
+                None => done.push((lo, hi, own)),
+            }
+        }
+        done.sort_by_key(|&(lo, _, _)| lo);
+        done
+    }
+}
+
+impl SumEstimator for DynamicBucketEstimator {
+    fn name(&self) -> &'static str {
+        "bucket"
+    }
+
+    fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
+        if sample.is_empty() {
+            return DeltaEstimate::UNDEFINED;
+        }
+        let buckets = self.bucketize(sample);
+        let mut delta = 0.0;
+        let mut n_hat = 0.0;
+        for b in &buckets {
+            match (b.estimate.delta, b.estimate.n_hat) {
+                (Some(d), Some(nh)) => {
+                    delta += d;
+                    n_hat += nh;
+                }
+                _ => return DeltaEstimate::UNDEFINED,
+            }
+        }
+        DeltaEstimate::new(delta, n_hat)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static buckets (§3.3.1, Appendix B)
+// ---------------------------------------------------------------------------
+
+/// Partitioning rule for [`StaticBucketEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticStrategy {
+    /// `nb` buckets of equal value-range width (Eq. 12).
+    EquiWidth,
+    /// `nb` buckets of (approximately) equal unique-item count, after sorting
+    /// by value.
+    EquiHeight,
+}
+
+/// Fixed-bucketing estimator (§3.3.1).
+///
+/// Matches the paper's semantics for pathological partitions: a bucket that
+/// is *empty* or whose estimate is undefined (all singletons) makes the whole
+/// estimate undefined — these are the missing data points in Figures 8–9.
+pub struct StaticBucketEstimator {
+    strategy: StaticStrategy,
+    num_buckets: usize,
+    inner: Box<dyn SumEstimator + Send + Sync>,
+}
+
+impl std::fmt::Debug for StaticBucketEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticBucketEstimator")
+            .field("strategy", &self.strategy)
+            .field("num_buckets", &self.num_buckets)
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl StaticBucketEstimator {
+    /// Creates a static bucketing estimator with the naïve inner estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets == 0`.
+    pub fn new(strategy: StaticStrategy, num_buckets: usize) -> Self {
+        assert!(num_buckets > 0, "need at least one bucket");
+        StaticBucketEstimator {
+            strategy,
+            num_buckets,
+            inner: Box::new(NaiveEstimator::default()),
+        }
+    }
+
+    /// Replaces the per-bucket estimator.
+    pub fn with_inner(mut self, inner: impl SumEstimator + Send + Sync + 'static) -> Self {
+        self.inner = Box::new(inner);
+        self
+    }
+
+    /// Partitions the sorted items into the configured buckets. Buckets may
+    /// be empty (for equi-width partitions of sparse ranges); empty buckets
+    /// carry an undefined estimate.
+    pub fn bucketize(&self, sample: &SampleView) -> Vec<BucketReport> {
+        if sample.is_empty() {
+            return Vec::new();
+        }
+        let sorted = sample.items_sorted_by_value();
+        let groups: Vec<Vec<&ObservedItem>> = match self.strategy {
+            StaticStrategy::EquiWidth => {
+                let min = sorted.first().expect("non-empty").value;
+                let max = sorted.last().expect("non-empty").value;
+                let width = (max - min) / self.num_buckets as f64;
+                let mut groups: Vec<Vec<&ObservedItem>> = vec![Vec::new(); self.num_buckets];
+                for &item in &sorted {
+                    let idx = if width > 0.0 {
+                        (((item.value - min) / width) as usize).min(self.num_buckets - 1)
+                    } else {
+                        0 // all values identical
+                    };
+                    groups[idx].push(item);
+                }
+                groups
+            }
+            StaticStrategy::EquiHeight => {
+                let per = sorted.len().div_ceil(self.num_buckets);
+                sorted.chunks(per.max(1)).map(|ch| ch.to_vec()).collect()
+            }
+        };
+        groups
+            .into_iter()
+            .map(|g| {
+                let est = if g.is_empty() {
+                    DeltaEstimate::UNDEFINED
+                } else {
+                    self.inner.estimate_delta(&subview(&g))
+                };
+                report_for(&g, est)
+            })
+            .collect()
+    }
+}
+
+impl SumEstimator for StaticBucketEstimator {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            StaticStrategy::EquiWidth => "static-eqwidth",
+            StaticStrategy::EquiHeight => "static-eqheight",
+        }
+    }
+
+    fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
+        if sample.is_empty() {
+            return DeltaEstimate::UNDEFINED;
+        }
+        let mut delta = 0.0;
+        let mut n_hat = 0.0;
+        for b in self.bucketize(sample) {
+            match (b.estimate.delta, b.estimate.n_hat) {
+                (Some(d), Some(nh)) => {
+                    delta += d;
+                    n_hat += nh;
+                }
+                _ => return DeltaEstimate::UNDEFINED,
+            }
+        }
+        DeltaEstimate::new(delta, n_hat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequency::FrequencyEstimator;
+
+    fn toy_before() -> SampleView {
+        SampleView::from_value_multiplicities([(1000.0, 1), (2000.0, 2), (10_000.0, 4)])
+    }
+
+    fn toy_after() -> SampleView {
+        SampleView::from_value_multiplicities([(300.0, 1), (1000.0, 2), (2000.0, 2), (10_000.0, 4)])
+    }
+
+    #[test]
+    fn table2_before_s5() {
+        // Paper: buckets {A,B} and {D}; Δ = 1500 ⇒ 14 500.
+        let est = DynamicBucketEstimator::default();
+        let sum = est.estimate_sum(&toy_before()).unwrap();
+        assert!((sum - 14_500.0).abs() < 1e-6, "sum {sum}");
+        let buckets = est.bucketize(&toy_before());
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].c, 2); // {A, B}
+        assert_eq!(buckets[1].c, 1); // {D}
+        assert!((buckets[0].estimate.delta.unwrap() - 1500.0).abs() < 1e-9);
+        assert_eq!(buckets[1].estimate.delta, Some(0.0));
+    }
+
+    #[test]
+    fn table2_after_s5() {
+        // Paper: Δ = 650 ⇒ 13 950 (bucket {A,E} contributes everything).
+        let est = DynamicBucketEstimator::default();
+        let sum = est.estimate_sum(&toy_after()).unwrap();
+        assert!((sum - 13_950.0).abs() < 1e-6, "sum {sum}");
+        let buckets = est.bucketize(&toy_after());
+        // The low bucket must contain exactly {E, A}.
+        assert_eq!(buckets[0].c, 2);
+        assert_eq!(buckets[0].lo, 300.0);
+        assert_eq!(buckets[0].hi, 1000.0);
+        assert!((buckets[0].estimate.delta.unwrap() - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_never_exceeds_the_unsplit_estimate() {
+        // The splitter only accepts strict improvements of Σ|Δ|.
+        let samples = [toy_before(), toy_after()];
+        for s in &samples {
+            let naive = NaiveEstimator::default()
+                .estimate_delta(s)
+                .abs_or_infinite();
+            let bucket = DynamicBucketEstimator::default()
+                .estimate_delta(s)
+                .abs_or_infinite();
+            assert!(bucket <= naive + 1e-9, "bucket {bucket} > naive {naive}");
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_items() {
+        let est = DynamicBucketEstimator::default();
+        let s = toy_after();
+        let buckets = est.bucketize(&s);
+        let total_c: u64 = buckets.iter().map(|b| b.c).sum();
+        let total_n: u64 = buckets.iter().map(|b| b.n).sum();
+        assert_eq!(total_c, s.c());
+        assert_eq!(total_n, s.n());
+        // Ranges are ordered and non-overlapping.
+        for w in buckets.windows(2) {
+            assert!(w[0].hi < w[1].lo);
+        }
+    }
+
+    #[test]
+    fn empty_sample_is_undefined() {
+        let s = SampleView::from_value_multiplicities(std::iter::empty());
+        assert!(!DynamicBucketEstimator::default()
+            .estimate_delta(&s)
+            .is_defined());
+        assert!(DynamicBucketEstimator::default().bucketize(&s).is_empty());
+    }
+
+    #[test]
+    fn all_singletons_is_undefined_single_bucket() {
+        let s = SampleView::from_value_multiplicities([(1.0, 1), (2.0, 1), (3.0, 1)]);
+        let est = DynamicBucketEstimator::default();
+        assert!(!est.estimate_delta(&s).is_defined());
+        let buckets = est.bucketize(&s);
+        assert_eq!(buckets.len(), 1, "undefined bucket must not split");
+    }
+
+    #[test]
+    fn identical_values_cannot_be_split() {
+        let s = SampleView::from_value_multiplicities([(5.0, 1), (5.0, 2), (5.0, 3)]);
+        let est = DynamicBucketEstimator::default();
+        let buckets = est.bucketize(&s);
+        assert_eq!(buckets.len(), 1);
+    }
+
+    #[test]
+    fn frequency_inner_works() {
+        let est = DynamicBucketEstimator::with_inner(FrequencyEstimator::default());
+        let d = est.estimate_delta(&toy_before());
+        assert!(d.is_defined());
+        // Inner freq on bucket {A,B}: φ_f1 = 1000, Δ = 1000·(2+0·3)/(3−1) = 1000.
+        // Bucket total 1000 < whole-sample freq Δ? whole: 1000·(25/6)/6 ≈ 694.
+        // The splitter keeps whichever is smaller in absolute terms.
+        assert!(d.delta.unwrap() <= 1000.0 + 1e-9);
+    }
+
+    #[test]
+    fn unknown_count_accessor() {
+        let est = DynamicBucketEstimator::default();
+        let buckets = est.bucketize(&toy_before());
+        // {A,B}: N̂ = 3, c = 2 ⇒ one unknown company.
+        assert!((buckets[0].unknown_count().unwrap() - 1.0).abs() < 1e-9);
+        assert!((buckets[1].unknown_count().unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equiwidth_buckets_partition_value_range() {
+        let s = toy_after();
+        let est = StaticBucketEstimator::new(StaticStrategy::EquiWidth, 2);
+        let buckets = est.bucketize(&s);
+        assert_eq!(buckets.len(), 2);
+        // Width = (10000-300)/2 = 4850: bucket 1 gets E,A,B; bucket 2 gets D.
+        assert_eq!(buckets[0].c, 3);
+        assert_eq!(buckets[1].c, 1);
+    }
+
+    #[test]
+    fn equiwidth_with_empty_bucket_is_undefined() {
+        // Values cluster at the extremes; middle bucket is empty.
+        let s = SampleView::from_value_multiplicities([(0.0, 2), (1.0, 3), (100.0, 2)]);
+        let est = StaticBucketEstimator::new(StaticStrategy::EquiWidth, 10);
+        assert!(!est.estimate_delta(&s).is_defined());
+    }
+
+    #[test]
+    fn equiheight_buckets_have_balanced_counts() {
+        let s = SampleView::from_value_multiplicities((0..20).map(|i| (i as f64 * 10.0, 2u64)));
+        let est = StaticBucketEstimator::new(StaticStrategy::EquiHeight, 4);
+        let buckets = est.bucketize(&s);
+        assert_eq!(buckets.len(), 4);
+        assert!(buckets.iter().all(|b| b.c == 5));
+    }
+
+    #[test]
+    fn single_bucket_static_equals_naive() {
+        let s = toy_before();
+        let naive = NaiveEstimator::default().estimate_delta(&s).delta.unwrap();
+        for strategy in [StaticStrategy::EquiWidth, StaticStrategy::EquiHeight] {
+            let est = StaticBucketEstimator::new(strategy, 1);
+            let d = est.estimate_delta(&s).delta.unwrap();
+            assert!((d - naive).abs() < 1e-9, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn constant_valued_sample_equiwidth() {
+        // Degenerate width 0: everything lands in bucket 0.
+        let s = SampleView::from_value_multiplicities([(5.0, 2), (5.0, 3)]);
+        let est = StaticBucketEstimator::new(StaticStrategy::EquiWidth, 3);
+        assert!(!est.estimate_delta(&s).is_defined()); // buckets 1,2 empty
+        let one = StaticBucketEstimator::new(StaticStrategy::EquiWidth, 1);
+        assert!(one.estimate_delta(&s).is_defined());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        StaticBucketEstimator::new(StaticStrategy::EquiWidth, 0);
+    }
+}

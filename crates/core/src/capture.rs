@@ -1,0 +1,245 @@
+//! Capture–recapture population-size estimators over source lineage.
+//!
+//! The paper's related work points at capture–recapture as *the* classic
+//! alternative for unknown-unknowns **count** estimation (it underlies the
+//! deep-web size estimates of Lu & Li that the paper cites). Where the
+//! species estimators consume only the pooled `f`-statistics, these
+//! estimators exploit the per-source lineage directly: treat one group of
+//! sources as the "marking" occasion and another as the "recapture".
+//!
+//! * [`lincoln_petersen`] — two-occasion estimator `N̂ = n₁·n₂ / m` (with the
+//!   Chapman small-sample correction), splitting the sources into two halves.
+//! * [`schnabel`] — multi-occasion generalisation treating every source as
+//!   its own capture occasion.
+//!
+//! Both assume what the paper's model already assumes (§2.2): sources draw
+//! independently, and an entity's publicity does not change between sources.
+//! Under heavy publicity skew they share the species estimators' downward
+//! bias (popular entities are "recaptured" too easily) — the ablation bench
+//! quantifies this against Chao92.
+
+use crate::sample::SampleView;
+
+/// Two-occasion Lincoln–Petersen estimate with Chapman correction.
+///
+/// Sources are split by id parity into two pooled occasions; entities seen by
+/// both pools are the recaptures:
+///
+/// ```text
+/// N̂ = (n₁ + 1)(n₂ + 1) / (m + 1) − 1
+/// ```
+///
+/// Returns `None` when lineage is missing or either pool is empty. The
+/// Chapman form stays defined for `m = 0` and is nearly unbiased for
+/// `n₁ + n₂ ≥ N̂`.
+pub fn lincoln_petersen(sample: &SampleView) -> Option<f64> {
+    if !sample.has_lineage() {
+        return None;
+    }
+    let mut n1 = 0u64; // unique entities seen by even-id sources
+    let mut n2 = 0u64; // unique entities seen by odd-id sources
+    let mut m = 0u64; // entities seen by both pools
+    for item in sample.items() {
+        let in_even = item.source_counts.iter().any(|&(s, _)| s % 2 == 0);
+        let in_odd = item.source_counts.iter().any(|&(s, _)| s % 2 == 1);
+        if in_even {
+            n1 += 1;
+        }
+        if in_odd {
+            n2 += 1;
+        }
+        if in_even && in_odd {
+            m += 1;
+        }
+    }
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    let n_hat = (n1 as f64 + 1.0) * (n2 as f64 + 1.0) / (m as f64 + 1.0) - 1.0;
+    Some(n_hat.max(sample.c() as f64))
+}
+
+/// Multi-occasion Schnabel estimate.
+///
+/// Every source is a capture occasion; for occasion `t` with catch `C_t`,
+/// `M_t` entities are already marked (seen by an earlier source) of which
+/// `R_t` are recaptured:
+///
+/// ```text
+/// N̂ = Σ_t C_t·M_t  /  Σ_t R_t
+/// ```
+///
+/// Returns `None` without lineage, with fewer than two contributing sources,
+/// or when no recapture ever happens (the ratio is then unbounded —
+/// exactly the all-singletons regime where Chao92 is undefined too).
+pub fn schnabel(sample: &SampleView) -> Option<f64> {
+    if !sample.has_lineage() {
+        return None;
+    }
+    let num_sources = sample.source_sizes().len();
+    if num_sources < 2 {
+        return None;
+    }
+    // Occasions in source-id order. For each, the catch is every entity the
+    // source observed; "marked" means observed by any smaller source id.
+    let mut numerator = 0.0;
+    let mut recaptures = 0u64;
+    let mut marked_so_far = 0u64;
+    // Entities indexed by first-source; count how many were first seen
+    // before occasion t (M_t) incrementally.
+    let mut first_seen: Vec<u32> = Vec::with_capacity(sample.items().len());
+    for item in sample.items() {
+        let first = item
+            .source_counts
+            .iter()
+            .map(|&(s, _)| s)
+            .min()
+            .expect("observed items have at least one source");
+        first_seen.push(first);
+    }
+    for t in 0..num_sources as u32 {
+        let catch_t = sample
+            .items()
+            .iter()
+            .filter(|i| i.source_counts.iter().any(|&(s, _)| s == t))
+            .count() as f64;
+        let recaptured_t = sample
+            .items()
+            .iter()
+            .zip(&first_seen)
+            .filter(|(i, &first)| first < t && i.source_counts.iter().any(|&(s, _)| s == t))
+            .count() as u64;
+        numerator += catch_t * marked_so_far as f64;
+        recaptures += recaptured_t;
+        marked_so_far += first_seen.iter().filter(|&&f| f == t).count() as u64;
+    }
+    if recaptures == 0 {
+        return None;
+    }
+    Some((numerator / recaptures as f64).max(sample.c() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::StreamAccumulator;
+    use uu_datagen::integration::{ArrivalOrder, IntegratedSample};
+    use uu_datagen::population::{Population, Publicity, ValueSpec};
+    use uu_stats::rng::Rng;
+
+    fn view_from(pop: &Population, sample: &IntegratedSample) -> SampleView {
+        let mut acc = StreamAccumulator::new();
+        for obs in sample.observations() {
+            acc.push(
+                obs.item_id as u64,
+                pop.value(obs.item_id),
+                obs.source_id as u32,
+            );
+        }
+        acc.view()
+    }
+
+    #[test]
+    fn textbook_lincoln_petersen() {
+        // Source 0 marks entities {0..9}; source 1 catches {5..14}:
+        // n1 = 10, n2 = 10, m = 5 ⇒ Chapman N̂ = 11·11/6 − 1 ≈ 19.17
+        // (true N = 15 in this constructed world of ids 0..14).
+        let mut acc = StreamAccumulator::new();
+        for i in 0..10u64 {
+            acc.push(i, 1.0, 0);
+        }
+        for i in 5..15u64 {
+            acc.push(i, 1.0, 1);
+        }
+        let n_hat = lincoln_petersen(&acc.view()).unwrap();
+        assert!((n_hat - (11.0 * 11.0 / 6.0 - 1.0)).abs() < 1e-9, "{n_hat}");
+    }
+
+    #[test]
+    fn undefined_without_lineage_or_one_pool() {
+        let plain = SampleView::from_value_multiplicities([(1.0, 2), (2.0, 1)]);
+        assert_eq!(lincoln_petersen(&plain), None);
+        assert_eq!(schnabel(&plain), None);
+
+        // Only even-id sources: no recapture pool.
+        let mut acc = StreamAccumulator::new();
+        for i in 0..5u64 {
+            acc.push(i, 1.0, 0);
+            acc.push(i, 1.0, 2);
+        }
+        assert_eq!(lincoln_petersen(&acc.view()), None);
+    }
+
+    #[test]
+    fn schnabel_needs_recaptures() {
+        // Disjoint sources: never a recapture.
+        let mut acc = StreamAccumulator::new();
+        for i in 0..5u64 {
+            acc.push(i, 1.0, 0);
+            acc.push(i + 100, 1.0, 1);
+        }
+        assert_eq!(schnabel(&acc.view()), None);
+    }
+
+    #[test]
+    fn estimators_recover_population_scale() {
+        // 100 items, mild skew, 12 sources of 30: both estimators should land
+        // near N = 100.
+        let pop = Population::builder(100)
+            .values(ValueSpec::Arithmetic {
+                start: 1.0,
+                step: 1.0,
+            })
+            .publicity(Publicity::Exponential { lambda: 1.0 })
+            .correlation(0.0)
+            .build(3);
+        let mut rng = Rng::new(3);
+        let stream =
+            IntegratedSample::integrate(&pop, &[30; 12], ArrivalOrder::RoundRobin, &mut rng);
+        let view = view_from(&pop, &stream);
+        let lp = lincoln_petersen(&view).unwrap();
+        let sc = schnabel(&view).unwrap();
+        assert!((80.0..125.0).contains(&lp), "lincoln-petersen {lp}");
+        assert!((80.0..125.0).contains(&sc), "schnabel {sc}");
+    }
+
+    #[test]
+    fn estimates_never_fall_below_observed_uniques() {
+        let pop = Population::builder(50)
+            .values(ValueSpec::Arithmetic {
+                start: 1.0,
+                step: 1.0,
+            })
+            .publicity(Publicity::Exponential { lambda: 4.0 })
+            .correlation(1.0)
+            .build(9);
+        let mut rng = Rng::new(9);
+        let stream =
+            IntegratedSample::integrate(&pop, &[20; 6], ArrivalOrder::RoundRobin, &mut rng);
+        let view = view_from(&pop, &stream);
+        let c = view.c() as f64;
+        assert!(lincoln_petersen(&view).unwrap() >= c);
+        assert!(schnabel(&view).unwrap() >= c);
+    }
+
+    #[test]
+    fn skew_biases_capture_recapture_downward() {
+        // Heavy publicity skew: popular entities are recaptured constantly,
+        // so m is inflated and N̂ underestimates — the reason the paper
+        // builds on Chao92 instead.
+        let pop = Population::builder(200)
+            .values(ValueSpec::Arithmetic {
+                start: 1.0,
+                step: 1.0,
+            })
+            .publicity(Publicity::Exponential { lambda: 6.0 })
+            .correlation(0.0)
+            .build(17);
+        let mut rng = Rng::new(17);
+        let stream =
+            IntegratedSample::integrate(&pop, &[25; 8], ArrivalOrder::RoundRobin, &mut rng);
+        let view = view_from(&pop, &stream);
+        let lp = lincoln_petersen(&view).unwrap();
+        assert!(lp < 200.0, "expected downward bias, got {lp}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Leave-one-source-out sensitivity analysis.
+//!
+//! The paper's closing "Trust In The Results" discussion asks what users can
+//! hold on to when every estimator rests on assumptions. One concrete,
+//! assumption-free diagnostic is *source influence*: recompute the estimate
+//! with each source removed and see which source moves it the most. A healthy
+//! integration is insensitive to any single source; a dominant influence is
+//! the fingerprint of a streaker or a copied/dependent source (the §2.2
+//! independence assumption failing), and correlates with the cases where the
+//! paper's estimators go wrong.
+
+use crate::estimate::SumEstimator;
+use crate::sample::{ObservedItem, SampleView};
+
+/// Influence of one source on the corrected estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceInfluence {
+    /// The source id.
+    pub source_id: u32,
+    /// Observations this source contributed.
+    pub contribution: u64,
+    /// Corrected sum with this source removed (`None` when the estimator is
+    /// undefined on the reduced sample).
+    pub estimate_without: Option<f64>,
+    /// `estimate_without − full_estimate` (`None` when either side is
+    /// undefined).
+    pub shift: Option<f64>,
+}
+
+/// Result of a leave-one-source-out sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// Corrected estimate on the full sample.
+    pub full_estimate: Option<f64>,
+    /// Per-source influences, sorted by decreasing `|shift|` (undefined
+    /// shifts last).
+    pub influences: Vec<SourceInfluence>,
+}
+
+impl SensitivityReport {
+    /// The single most influential source, if any shift is defined.
+    pub fn most_influential(&self) -> Option<&SourceInfluence> {
+        self.influences.iter().find(|i| i.shift.is_some())
+    }
+
+    /// Largest relative shift `|shift| / |full|` (`None` when nothing is
+    /// comparable).
+    pub fn max_relative_shift(&self) -> Option<f64> {
+        let full = self.full_estimate?;
+        let scale = full.abs().max(f64::MIN_POSITIVE);
+        self.influences
+            .iter()
+            .filter_map(|i| i.shift)
+            .map(|s| s.abs() / scale)
+            .max_by(f64::total_cmp)
+    }
+}
+
+/// Removes one source's observations from a sample. Entities observed *only*
+/// by that source disappear entirely (they become unknown unknowns again).
+fn without_source(sample: &SampleView, source_id: u32) -> SampleView {
+    let items: Vec<ObservedItem> = sample
+        .items()
+        .iter()
+        .filter_map(|item| {
+            let source_counts: Vec<(u32, u32)> = item
+                .source_counts
+                .iter()
+                .copied()
+                .filter(|&(s, _)| s != source_id)
+                .collect();
+            let multiplicity: u64 = source_counts.iter().map(|&(_, k)| k as u64).sum();
+            if multiplicity == 0 {
+                None
+            } else {
+                Some(ObservedItem {
+                    value: item.value,
+                    multiplicity,
+                    source_counts,
+                })
+            }
+        })
+        .collect();
+    SampleView::from_observed_items(items)
+}
+
+/// Runs the leave-one-source-out sweep for `estimator` over `sample`.
+///
+/// Returns `None` when the sample carries no lineage (there is nothing to
+/// leave out). Sources with zero contribution are skipped.
+pub fn leave_one_source_out(
+    sample: &SampleView,
+    estimator: &(impl SumEstimator + ?Sized),
+) -> Option<SensitivityReport> {
+    if !sample.has_lineage() {
+        return None;
+    }
+    let full_estimate = estimator.estimate_sum(sample);
+    let mut influences = Vec::new();
+    for (source_id, &contribution) in sample.source_sizes().iter().enumerate() {
+        if contribution == 0 {
+            continue;
+        }
+        let reduced = without_source(sample, source_id as u32);
+        let estimate_without = estimator.estimate_sum(&reduced);
+        let shift = match (estimate_without, full_estimate) {
+            (Some(w), Some(f)) => Some(w - f),
+            _ => None,
+        };
+        influences.push(SourceInfluence {
+            source_id: source_id as u32,
+            contribution,
+            estimate_without,
+            shift,
+        });
+    }
+    influences.sort_by(|a, b| {
+        let ka = a.shift.map(f64::abs);
+        let kb = b.shift.map(f64::abs);
+        kb.partial_cmp(&ka).expect("no NaN shifts")
+    });
+    Some(SensitivityReport {
+        full_estimate,
+        influences,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEstimator;
+    use crate::sample::StreamAccumulator;
+
+    fn balanced_sample() -> SampleView {
+        let mut acc = StreamAccumulator::new();
+        for source in 0..8u32 {
+            for item in 0..10u64 {
+                acc.push(item, (item + 1) as f64 * 10.0, source);
+            }
+        }
+        acc.view()
+    }
+
+    fn streaked_sample() -> SampleView {
+        let mut acc = StreamAccumulator::new();
+        // Source 0 contributes 30 unique items; sources 1..5 contribute 3
+        // shared items each.
+        for item in 0..30u64 {
+            acc.push(item, (item + 1) as f64, 0);
+        }
+        for source in 1..6u32 {
+            for item in 0..3u64 {
+                acc.push(item, (item + 1) as f64, source);
+            }
+        }
+        acc.view()
+    }
+
+    #[test]
+    fn no_lineage_no_report() {
+        let s = SampleView::from_value_multiplicities([(1.0, 2), (2.0, 3)]);
+        assert!(leave_one_source_out(&s, &NaiveEstimator::default()).is_none());
+    }
+
+    #[test]
+    fn balanced_sources_have_small_influence() {
+        let s = balanced_sample();
+        let report = leave_one_source_out(&s, &NaiveEstimator::default()).unwrap();
+        assert_eq!(report.influences.len(), 8);
+        // Complete, balanced sample: removing any single source leaves
+        // every item still observed 7 times ⇒ no singleton appears and the
+        // estimate barely moves.
+        let max_rel = report.max_relative_shift().unwrap();
+        assert!(max_rel < 0.05, "unexpected influence {max_rel}");
+    }
+
+    #[test]
+    fn streaker_dominates_the_report() {
+        let s = streaked_sample();
+        let report = leave_one_source_out(&s, &NaiveEstimator::default()).unwrap();
+        let top = report.most_influential().unwrap();
+        assert_eq!(top.source_id, 0, "the streaker should rank first");
+        assert_eq!(top.contribution, 30);
+        // Removing the streaker deletes 27 entities from the sample.
+        let shift = top.shift.unwrap();
+        assert!(shift < 0.0, "estimate should collapse without the streaker");
+    }
+
+    #[test]
+    fn without_source_drops_exclusive_entities() {
+        let s = streaked_sample();
+        let reduced = without_source(&s, 0);
+        assert_eq!(reduced.c(), 3); // only the 3 shared items remain
+        assert_eq!(reduced.source_sizes()[0], 0);
+        let total: u64 = reduced.source_sizes().iter().sum();
+        assert_eq!(total, reduced.n());
+    }
+
+    #[test]
+    fn influences_are_sorted_by_absolute_shift() {
+        let s = streaked_sample();
+        let report = leave_one_source_out(&s, &NaiveEstimator::default()).unwrap();
+        let shifts: Vec<f64> = report
+            .influences
+            .iter()
+            .filter_map(|i| i.shift.map(f64::abs))
+            .collect();
+        assert!(shifts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_contributions_are_skipped() {
+        let mut acc = StreamAccumulator::new();
+        acc.push(1, 5.0, 0);
+        acc.push(1, 5.0, 5); // sources 1..4 contribute nothing
+        let report = leave_one_source_out(&acc.view(), &NaiveEstimator::default()).unwrap();
+        assert_eq!(report.influences.len(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Integration of multiple sources into one observation stream `S`.
+//!
+//! The integrated sample keeps full lineage: every observation records which
+//! source mentioned which entity, in arrival order. Prefixes of the stream
+//! model "after k crowd answers" — the x-axis of every figure in the paper.
+
+use crate::population::Population;
+use crate::source::{draw_source, SourceSample};
+use uu_stats::rng::Rng;
+
+/// One observation: source `source_id` mentioned entity `item_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The entity mentioned.
+    pub item_id: usize,
+    /// The source (crowd worker / web page) that mentioned it.
+    pub source_id: usize,
+}
+
+/// How the per-source observations interleave into one arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Sources arrive one after another, each emptying completely before the
+    /// next starts. This is the pathological "streakers only" ordering of
+    /// Figure 7(a).
+    SourceBySource,
+    /// Observations interleave round-robin across sources — the steady
+    /// trickle of a healthy crowdsourcing run.
+    RoundRobin,
+    /// All observations shuffled uniformly at random.
+    Shuffled,
+}
+
+/// The integrated sample `S`: observations with lineage, in arrival order.
+///
+/// # Examples
+///
+/// ```
+/// use uu_datagen::population::{Population, Publicity, ValueSpec};
+/// use uu_datagen::integration::{ArrivalOrder, IntegratedSample};
+/// use uu_stats::rng::Rng;
+///
+/// let pop = Population::builder(100)
+///     .publicity(Publicity::Exponential { lambda: 4.0 })
+///     .correlation(1.0)
+///     .build(7);
+/// let mut rng = Rng::new(7);
+/// let s = IntegratedSample::integrate(&pop, &[30; 10], ArrivalOrder::RoundRobin, &mut rng);
+/// assert_eq!(s.len(), 300);
+/// assert_eq!(s.num_sources(), 10);
+/// assert_eq!(s.prefix_source_sizes(25), vec![3, 3, 3, 3, 3, 2, 2, 2, 2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegratedSample {
+    observations: Vec<Observation>,
+    num_sources: usize,
+}
+
+impl IntegratedSample {
+    /// Draws `source_sizes.len()` sources from the population and interleaves
+    /// them per `order`.
+    pub fn integrate(
+        population: &Population,
+        source_sizes: &[usize],
+        order: ArrivalOrder,
+        rng: &mut Rng,
+    ) -> Self {
+        let sources: Vec<SourceSample> = source_sizes
+            .iter()
+            .enumerate()
+            .map(|(sid, &sz)| draw_source(population, sid, sz, rng))
+            .collect();
+        Self::from_sources(sources, order, rng)
+    }
+
+    /// Interleaves already-drawn sources.
+    pub fn from_sources(sources: Vec<SourceSample>, order: ArrivalOrder, rng: &mut Rng) -> Self {
+        let num_sources = sources.len();
+        let total: usize = sources.iter().map(|s| s.len()).sum();
+        let mut observations = Vec::with_capacity(total);
+        match order {
+            ArrivalOrder::SourceBySource => {
+                for s in &sources {
+                    observations.extend(s.item_ids.iter().map(|&item_id| Observation {
+                        item_id,
+                        source_id: s.source_id,
+                    }));
+                }
+            }
+            ArrivalOrder::RoundRobin => {
+                let mut cursors = vec![0usize; num_sources];
+                let mut remaining = total;
+                while remaining > 0 {
+                    for (s, cursor) in sources.iter().zip(cursors.iter_mut()) {
+                        if *cursor < s.len() {
+                            observations.push(Observation {
+                                item_id: s.item_ids[*cursor],
+                                source_id: s.source_id,
+                            });
+                            *cursor += 1;
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+            ArrivalOrder::Shuffled => {
+                for s in &sources {
+                    observations.extend(s.item_ids.iter().map(|&item_id| Observation {
+                        item_id,
+                        source_id: s.source_id,
+                    }));
+                }
+                rng.shuffle(&mut observations);
+            }
+        }
+        IntegratedSample {
+            observations,
+            num_sources,
+        }
+    }
+
+    /// Splices the observations of `streaker` into the stream starting at
+    /// arrival position `at` (clamped to the current length), renumbering the
+    /// streaker as a fresh source. Models Figure 7(b)'s "streaker injected at
+    /// n = 160".
+    pub fn inject_streaker_at(&mut self, at: usize, mut streaker: SourceSample) {
+        let at = at.min(self.observations.len());
+        streaker.source_id = self.num_sources;
+        self.num_sources += 1;
+        let tail: Vec<Observation> = self.observations.split_off(at);
+        self.observations
+            .extend(streaker.item_ids.iter().map(|&item_id| Observation {
+                item_id,
+                source_id: streaker.source_id,
+            }));
+        self.observations.extend(tail);
+    }
+
+    /// Total number of observations `n = |S|`.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when no observation has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Number of sources that contributed (including empty ones).
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Full observation stream, arrival order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The first `k` observations (saturating at the stream length).
+    pub fn prefix(&self, k: usize) -> &[Observation] {
+        &self.observations[..k.min(self.observations.len())]
+    }
+
+    /// Per-source contribution counts within the first `k` observations.
+    ///
+    /// The Monte-Carlo estimator needs `[n_1, …, n_l]` for exactly the prefix
+    /// it is estimating from.
+    pub fn prefix_source_sizes(&self, k: usize) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_sources];
+        for obs in self.prefix(k) {
+            sizes[obs.source_id] += 1;
+        }
+        sizes
+    }
+
+    /// Per-source contribution counts of the whole stream.
+    pub fn source_sizes(&self) -> Vec<usize> {
+        self.prefix_source_sizes(self.observations.len())
+    }
+}
+
+/// Joins a sample with its population into `(item, value, source)` triples in
+/// arrival order — the exact input shape of `uu-core`'s `StreamAccumulator`.
+pub fn value_stream<'a>(
+    population: &'a Population,
+    sample: &'a IntegratedSample,
+) -> impl Iterator<Item = (u64, f64, u32)> + 'a {
+    sample.observations().iter().map(|obs| {
+        (
+            obs.item_id as u64,
+            population.value(obs.item_id),
+            obs.source_id as u32,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{Population, Publicity, ValueSpec};
+    use crate::source::draw_exhaustive_source;
+
+    fn pop() -> Population {
+        Population::builder(50)
+            .values(ValueSpec::Arithmetic {
+                start: 1.0,
+                step: 1.0,
+            })
+            .publicity(Publicity::Exponential { lambda: 2.0 })
+            .correlation(1.0)
+            .build(11)
+    }
+
+    #[test]
+    fn source_by_source_preserves_blocks() {
+        let p = pop();
+        let mut rng = Rng::new(1);
+        let s = IntegratedSample::integrate(&p, &[5, 3], ArrivalOrder::SourceBySource, &mut rng);
+        let ids: Vec<usize> = s.observations().iter().map(|o| o.source_id).collect();
+        assert_eq!(ids, vec![0, 0, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let p = pop();
+        let mut rng = Rng::new(2);
+        let s = IntegratedSample::integrate(&p, &[3, 3, 2], ArrivalOrder::RoundRobin, &mut rng);
+        let ids: Vec<usize> = s.observations().iter().map(|o| o.source_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn shuffled_is_a_permutation_of_the_multiset() {
+        let p = pop();
+        let mut rng = Rng::new(3);
+        let ordered =
+            IntegratedSample::integrate(&p, &[10, 10], ArrivalOrder::SourceBySource, &mut rng);
+        let mut rng2 = Rng::new(3);
+        let shuffled =
+            IntegratedSample::integrate(&p, &[10, 10], ArrivalOrder::Shuffled, &mut rng2);
+        assert_eq!(ordered.len(), shuffled.len());
+        let count = |s: &IntegratedSample, sid: usize| {
+            s.observations()
+                .iter()
+                .filter(|o| o.source_id == sid)
+                .count()
+        };
+        assert_eq!(count(&shuffled, 0), 10);
+        assert_eq!(count(&shuffled, 1), 10);
+    }
+
+    #[test]
+    fn prefix_source_sizes_counts_correctly() {
+        let p = pop();
+        let mut rng = Rng::new(4);
+        let s = IntegratedSample::integrate(&p, &[4, 4], ArrivalOrder::RoundRobin, &mut rng);
+        assert_eq!(s.prefix_source_sizes(0), vec![0, 0]);
+        assert_eq!(s.prefix_source_sizes(3), vec![2, 1]);
+        assert_eq!(s.prefix_source_sizes(100), vec![4, 4]);
+        assert_eq!(s.source_sizes(), vec![4, 4]);
+    }
+
+    #[test]
+    fn no_source_repeats_an_item() {
+        let p = pop();
+        let mut rng = Rng::new(5);
+        let s = IntegratedSample::integrate(&p, &[20; 6], ArrivalOrder::Shuffled, &mut rng);
+        for sid in 0..6 {
+            let mut ids: Vec<usize> = s
+                .observations()
+                .iter()
+                .filter(|o| o.source_id == sid)
+                .map(|o| o.item_id)
+                .collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "source {sid} repeated an item");
+        }
+    }
+
+    #[test]
+    fn streaker_injection_splices_and_renumbers() {
+        let p = pop();
+        let mut rng = Rng::new(6);
+        let mut s = IntegratedSample::integrate(&p, &[5, 5], ArrivalOrder::RoundRobin, &mut rng);
+        let streaker = draw_exhaustive_source(&p, 0, &mut rng);
+        s.inject_streaker_at(4, streaker);
+        assert_eq!(s.num_sources(), 3);
+        assert_eq!(s.len(), 10 + 50);
+        // Positions 4..54 all belong to the new source id 2.
+        assert!(s.observations()[4..54].iter().all(|o| o.source_id == 2));
+        // The original tail survives.
+        assert_eq!(s.prefix_source_sizes(s.len()), vec![5, 5, 50]);
+    }
+
+    #[test]
+    fn injection_position_is_clamped() {
+        let p = pop();
+        let mut rng = Rng::new(7);
+        let mut s = IntegratedSample::integrate(&p, &[2], ArrivalOrder::RoundRobin, &mut rng);
+        let streaker = draw_exhaustive_source(&p, 0, &mut rng);
+        s.inject_streaker_at(999, streaker);
+        assert_eq!(s.len(), 52);
+        assert!(s.observations()[2..].iter().all(|o| o.source_id == 1));
+    }
+}

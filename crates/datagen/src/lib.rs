@@ -1,0 +1,37 @@
+//! # uu-datagen — data integration as a sampling process
+//!
+//! This crate implements the paper's data-integration model (§2.2, Figure 3)
+//! as a reusable workload generator:
+//!
+//! * [`population`] — the ground truth `D`: `N` unique entities, each with an
+//!   attribute value and a *publicity* weight `p_i` (the probability of being
+//!   mentioned by a data source). Publicity can be uniform, exponentially
+//!   skewed (`λ`) or Zipfian, and can be *correlated* with the attribute
+//!   values (`ρ`, the publicity–value correlation central to the paper).
+//! * [`source`] — a data source samples `n_j` items from `D` **without
+//!   replacement**, publicity-weighted (a web page or crowd worker mentions an
+//!   entity at most once).
+//! * [`integration`] — integrates `l` sources into one observation stream `S`
+//!   with per-observation lineage, under configurable arrival orders
+//!   (round-robin, source-by-source, shuffled) including the paper's
+//!   *streaker* pathologies.
+//! * [`scenario`] — presets that reproduce the exact configurations of every
+//!   synthetic figure in the paper's evaluation (Figures 6, 7, 9, 11).
+//! * [`realworld`] — simulated stand-ins for the four AMT crowdsourcing
+//!   datasets (US tech employment / revenue, US GDP, Proton beam), built so
+//!   the qualitative dynamics the paper reports are reproduced while the
+//!   ground truth stays exactly known. See DESIGN.md §4 for the substitution
+//!   rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod integration;
+pub mod population;
+pub mod realworld;
+pub mod scenario;
+pub mod source;
+
+pub use integration::{ArrivalOrder, IntegratedSample, Observation};
+pub use population::{Population, PopulationBuilder, Publicity, ValueSpec};
+pub use realworld::RealWorldDataset;

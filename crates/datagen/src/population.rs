@@ -1,0 +1,481 @@
+//! The ground truth `D`: entities with attribute values and publicity.
+//!
+//! In the paper's model (§2.2) every entity `d_i ∈ D` carries a *publicity
+//! likelihood* `p_i` (how likely a data source is to mention it) drawn from a
+//! distribution `X`, while its attribute value follows a distribution `Y`.
+//! The two may be correlated (`ρ ≠ 0`): e.g. big companies are both large and
+//! famous. This module builds such populations deterministically from a seed.
+
+use uu_stats::cv::cv_squared_exact;
+use uu_stats::rng::Rng;
+
+/// Shape of the publicity distribution over the `N` entities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Publicity {
+    /// Every entity equally likely (`γ = 0`).
+    Uniform,
+    /// Exponential rank decay `p_i ∝ exp(−λ·i/N)` for rank `i = 0..N`.
+    ///
+    /// `λ` is the *range decay*: the most public entity is `e^λ` times more
+    /// likely than the least public one. `λ = 0` is uniform; the paper's
+    /// "highly skewed" setting is `λ = 4` (ratio ≈ 55).
+    Exponential {
+        /// Range decay λ ≥ 0.
+        lambda: f64,
+    },
+    /// Zipfian decay `p_i ∝ 1/(i+1)^s`.
+    Zipf {
+        /// Zipf exponent `s > 0`.
+        s: f64,
+    },
+}
+
+impl Publicity {
+    /// Raw (unnormalised) weight of publicity rank `i` out of `n`.
+    fn weight(self, i: usize, n: usize) -> f64 {
+        match self {
+            Publicity::Uniform => 1.0,
+            Publicity::Exponential { lambda } => (-lambda * i as f64 / n as f64).exp(),
+            Publicity::Zipf { s } => (i as f64 + 1.0).powf(-s),
+        }
+    }
+}
+
+/// Specification of the attribute values of the population.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueSpec {
+    /// `start, start+step, …` — the paper's synthetic data uses
+    /// `10, 20, …, 1000` (start 10, step 10, N = 100).
+    Arithmetic {
+        /// First value.
+        start: f64,
+        /// Increment between consecutive values.
+        step: f64,
+    },
+    /// Exponential decay across ranks: `value_i = scale · exp(−k·i/N)`.
+    ///
+    /// Produces the heavy-tailed "few giants, many small" shape of company
+    /// sizes or revenues. `scale` is the largest value; `scale·e^(−k)` the
+    /// smallest.
+    ExponentialTail {
+        /// Largest value in the population.
+        scale: f64,
+        /// Tail decay (larger ⇒ heavier concentration at the top).
+        decay: f64,
+    },
+    /// Explicit values (e.g. the 50 real state GDPs).
+    Explicit(Vec<f64>),
+}
+
+impl ValueSpec {
+    /// Materialises the `n` attribute values, unordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `Explicit` spec does not contain exactly `n` values.
+    fn materialise(&self, n: usize) -> Vec<f64> {
+        match self {
+            ValueSpec::Arithmetic { start, step } => {
+                (0..n).map(|i| start + step * i as f64).collect()
+            }
+            ValueSpec::ExponentialTail { scale, decay } => (0..n)
+                .map(|i| scale * (-decay * i as f64 / n as f64).exp())
+                .collect(),
+            ValueSpec::Explicit(values) => {
+                assert_eq!(
+                    values.len(),
+                    n,
+                    "explicit value spec has {} values but population size is {n}",
+                    values.len()
+                );
+                values.clone()
+            }
+        }
+    }
+}
+
+/// One entity of the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Stable identifier (also the publicity rank: 0 = most public).
+    pub id: usize,
+    /// Attribute value `attr(r)`.
+    pub value: f64,
+    /// Normalised publicity probability `p_i` (sums to 1 over the population).
+    pub publicity: f64,
+}
+
+/// The ground truth `D` of the sampling process.
+///
+/// # Examples
+///
+/// ```
+/// use uu_datagen::population::{Population, Publicity, ValueSpec};
+///
+/// // The paper's synthetic population: N = 100, values 10..=1000,
+/// // heavy publicity skew, perfect publicity–value correlation.
+/// let pop = Population::builder(100)
+///     .values(ValueSpec::Arithmetic { start: 10.0, step: 10.0 })
+///     .publicity(Publicity::Exponential { lambda: 4.0 })
+///     .correlation(1.0)
+///     .build(42);
+/// assert_eq!(pop.len(), 100);
+/// assert!((pop.ground_truth_sum() - 50_500.0).abs() < 1e-6);
+/// // ρ = 1: the most public item carries the largest value.
+/// assert_eq!(pop.item(0).value, 1000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    items: Vec<Item>,
+}
+
+impl Population {
+    /// Starts building a population of `n` entities.
+    pub fn builder(n: usize) -> PopulationBuilder {
+        PopulationBuilder {
+            n,
+            values: ValueSpec::Arithmetic {
+                start: 10.0,
+                step: 10.0,
+            },
+            publicity: Publicity::Uniform,
+            correlation: 0.0,
+        }
+    }
+
+    /// Number of entities `N = |D|`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The entity at publicity rank `i` (0 = most public).
+    pub fn item(&self, i: usize) -> Item {
+        self.items[i]
+    }
+
+    /// All items in publicity-rank order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The attribute value of entity `id`.
+    pub fn value(&self, id: usize) -> f64 {
+        self.items[id].value
+    }
+
+    /// Normalised publicity vector (index = entity id).
+    pub fn publicities(&self) -> Vec<f64> {
+        self.items.iter().map(|i| i.publicity).collect()
+    }
+
+    /// Ground-truth `SELECT SUM(attr) FROM D`.
+    pub fn ground_truth_sum(&self) -> f64 {
+        self.items.iter().map(|i| i.value).sum()
+    }
+
+    /// Ground-truth `SELECT AVG(attr) FROM D` (`None` when empty).
+    pub fn ground_truth_avg(&self) -> Option<f64> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.ground_truth_sum() / self.items.len() as f64)
+        }
+    }
+
+    /// Ground-truth `SELECT MIN(attr) FROM D` (`None` when empty).
+    pub fn ground_truth_min(&self) -> Option<f64> {
+        self.items
+            .iter()
+            .map(|i| i.value)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Ground-truth `SELECT MAX(attr) FROM D` (`None` when empty).
+    pub fn ground_truth_max(&self) -> Option<f64> {
+        self.items
+            .iter()
+            .map(|i| i.value)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Exact squared coefficient of variation of the publicity vector
+    /// (the true `γ²` of paper Eq. 5; estimators never see this).
+    pub fn publicity_cv_squared(&self) -> Option<f64> {
+        cv_squared_exact(&self.publicities())
+    }
+}
+
+/// Builder for [`Population`].
+#[derive(Debug, Clone)]
+pub struct PopulationBuilder {
+    n: usize,
+    values: ValueSpec,
+    publicity: Publicity,
+    correlation: f64,
+}
+
+impl PopulationBuilder {
+    /// Sets the attribute-value specification.
+    pub fn values(mut self, spec: ValueSpec) -> Self {
+        self.values = spec;
+        self
+    }
+
+    /// Sets the publicity distribution shape.
+    pub fn publicity(mut self, publicity: Publicity) -> Self {
+        self.publicity = publicity;
+        self
+    }
+
+    /// Sets the publicity–value correlation `ρ ∈ [−1, 1]`.
+    ///
+    /// `ρ = 1` assigns the largest value to the most public entity (exact rank
+    /// match), `ρ = 0` assigns values to publicity ranks uniformly at random,
+    /// `ρ = −1` inverts the ranks. Intermediate values blend the rank signal
+    /// with uniform noise; the induced Spearman correlation is monotone in
+    /// `ρ` with exact endpoints (property-tested below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ρ ∉ [−1, 1]`.
+    pub fn correlation(mut self, rho: f64) -> Self {
+        assert!(
+            (-1.0..=1.0).contains(&rho),
+            "publicity-value correlation must be in [-1, 1], got {rho}"
+        );
+        self.correlation = rho;
+        self
+    }
+
+    /// Builds the population deterministically from `seed`.
+    pub fn build(self, seed: u64) -> Population {
+        let n = self.n;
+        let mut rng = Rng::new(seed);
+
+        // Publicity: rank 0 is the most public. Normalise to probabilities.
+        let raw: Vec<f64> = (0..n).map(|i| self.publicity.weight(i, n)).collect();
+        let total: f64 = raw.iter().sum();
+
+        // Values sorted descending so index k is the k-th largest.
+        let mut sorted_values = self.values.materialise(n);
+        sorted_values.sort_by(|a, b| b.total_cmp(a));
+
+        // Rank coupling: score publicity rank i with
+        //   s_i = |ρ| · u_i + (1 − |ρ|) · ε_i,
+        // where u_i is the (descending) rank percentile and ε_i uniform noise,
+        // then hand the k-th largest value to the k-th largest score. ρ < 0
+        // inverts the rank signal.
+        let rho = self.correlation;
+        let mut scored: Vec<(f64, usize)> = (0..n)
+            .map(|i| {
+                let pct = if n == 1 {
+                    0.5
+                } else {
+                    1.0 - i as f64 / (n - 1) as f64
+                };
+                let u = if rho >= 0.0 { pct } else { 1.0 - pct };
+                let s = rho.abs() * u + (1.0 - rho.abs()) * rng.next_f64();
+                (s, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut values = vec![0.0; n];
+        for (k, &(_, rank)) in scored.iter().enumerate() {
+            values[rank] = sorted_values[k];
+        }
+
+        let items = (0..n)
+            .map(|i| Item {
+                id: i,
+                value: values[i],
+                publicity: raw[i] / total,
+            })
+            .collect();
+        Population { items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uu_stats::descriptive::spearman;
+
+    fn build(lambda: f64, rho: f64, seed: u64) -> Population {
+        Population::builder(100)
+            .values(ValueSpec::Arithmetic {
+                start: 10.0,
+                step: 10.0,
+            })
+            .publicity(Publicity::Exponential { lambda })
+            .correlation(rho)
+            .build(seed)
+    }
+
+    #[test]
+    fn publicities_sum_to_one() {
+        let pop = build(4.0, 1.0, 1);
+        let total: f64 = pop.publicities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_publicity_has_zero_cv() {
+        let pop = build(0.0, 0.0, 2);
+        assert!(pop.publicity_cv_squared().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_publicity_is_skewed_and_monotone() {
+        let pop = build(4.0, 0.0, 3);
+        assert!(pop.publicity_cv_squared().unwrap() > 0.3);
+        let ps = pop.publicities();
+        assert!(
+            ps.windows(2).all(|w| w[0] >= w[1]),
+            "publicity not decreasing"
+        );
+        // Range decay e^4 ≈ 54.6.
+        assert!((ps[0] / ps[99] - (4.0f64 * 99.0 / 100.0).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_correlation_matches_ranks_exactly() {
+        let pop = build(4.0, 1.0, 4);
+        // Most public item carries the largest value, and so on down.
+        for i in 0..99 {
+            assert!(pop.item(i).value >= pop.item(i + 1).value);
+        }
+        assert_eq!(pop.item(0).value, 1000.0);
+        assert_eq!(pop.item(99).value, 10.0);
+    }
+
+    #[test]
+    fn negative_correlation_inverts_ranks() {
+        let pop = build(4.0, -1.0, 5);
+        assert_eq!(pop.item(0).value, 10.0);
+        assert_eq!(pop.item(99).value, 1000.0);
+    }
+
+    #[test]
+    fn zero_correlation_is_roughly_independent() {
+        let pop = build(4.0, 0.0, 6);
+        let ranks: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values: Vec<f64> = pop.items().iter().map(|it| it.value).collect();
+        let r = spearman(&ranks, &values).unwrap().abs();
+        assert!(r < 0.35, "unexpected residual correlation {r}");
+    }
+
+    #[test]
+    fn correlation_strength_is_monotone() {
+        // Spearman(publicity, value) should grow with ρ.
+        let mut last = -2.0;
+        for &rho in &[0.0, 0.5, 0.9, 1.0] {
+            // Average over seeds to tame noise.
+            let mut acc = 0.0;
+            for seed in 0..10 {
+                let pop = build(4.0, rho, 100 + seed);
+                let pubs = pop.publicities();
+                let values: Vec<f64> = pop.items().iter().map(|it| it.value).collect();
+                acc += spearman(&pubs, &values).unwrap();
+            }
+            let avg = acc / 10.0;
+            assert!(
+                avg > last,
+                "correlation not monotone at rho={rho}: {avg} <= {last}"
+            );
+            last = avg;
+        }
+        assert!((last - 1.0).abs() < 1e-9, "rho=1 should be exact");
+    }
+
+    #[test]
+    fn ground_truth_aggregates() {
+        let pop = build(1.0, 1.0, 7);
+        assert!((pop.ground_truth_sum() - 50_500.0).abs() < 1e-9);
+        assert!((pop.ground_truth_avg().unwrap() - 505.0).abs() < 1e-9);
+        assert_eq!(pop.ground_truth_min(), Some(10.0));
+        assert_eq!(pop.ground_truth_max(), Some(1000.0));
+    }
+
+    #[test]
+    fn explicit_values_are_preserved_as_a_multiset() {
+        let vals = vec![3.0, 1.0, 2.0];
+        let pop = Population::builder(3)
+            .values(ValueSpec::Explicit(vals.clone()))
+            .correlation(0.0)
+            .build(8);
+        let mut got: Vec<f64> = pop.items().iter().map(|i| i.value).collect();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit value spec has 2 values")]
+    fn explicit_value_size_mismatch_panics() {
+        Population::builder(3)
+            .values(ValueSpec::Explicit(vec![1.0, 2.0]))
+            .build(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [-1, 1]")]
+    fn out_of_range_correlation_panics() {
+        let _ = Population::builder(3).correlation(1.5);
+    }
+
+    #[test]
+    fn exponential_tail_values_decay() {
+        let pop = Population::builder(1000)
+            .values(ValueSpec::ExponentialTail {
+                scale: 39_500.0,
+                decay: 10.0,
+            })
+            .correlation(1.0)
+            .build(10);
+        assert!((pop.item(0).value - 39_500.0).abs() < 1e-6);
+        assert!(pop.ground_truth_min().unwrap() > 1.0);
+        // Sum ≈ scale·N·(1−e^−k)/k ≈ 3.95M.
+        let sum = pop.ground_truth_sum();
+        assert!((3.0e6..5.0e6).contains(&sum), "sum {sum}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build(2.0, 0.5, 42);
+        let b = build(2.0, 0.5, 42);
+        assert_eq!(a.items(), b.items());
+    }
+
+    proptest! {
+        #[test]
+        fn values_are_a_permutation_of_the_spec(
+            rho in -1.0f64..1.0,
+            seed in 0u64..500,
+        ) {
+            let pop = build(4.0, rho, seed);
+            let mut got: Vec<f64> = pop.items().iter().map(|i| i.value).collect();
+            got.sort_by(f64::total_cmp);
+            let want: Vec<f64> = (1..=100).map(|i| 10.0 * i as f64).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn publicity_normalised_for_all_shapes(
+            lambda in 0.0f64..8.0,
+            n in 1usize..300,
+        ) {
+            let pop = Population::builder(n)
+                .values(ValueSpec::Arithmetic { start: 1.0, step: 1.0 })
+                .publicity(Publicity::Exponential { lambda })
+                .build(0);
+            let total: f64 = pop.publicities().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Simulated stand-ins for the paper's four AMT crowdsourcing datasets.
+//!
+//! The original crowd answers are not public, so each dataset here is a
+//! seeded simulation engineered to reproduce the *dynamics* the paper
+//! reports, while keeping the ground truth exactly known (which the paper's
+//! own ground truths were not — it leans on Pew Research estimates it itself
+//! questions). DESIGN.md §4 documents each substitution:
+//!
+//! * **US tech employment** (Fig. 2/4) — heavy-tailed company sizes, strong
+//!   publicity–value correlation, 100 evenly contributing workers.
+//! * **US tech revenue** (Fig. 5a) — heavier tail, stronger correlation:
+//!   naïve/frequency overshoot harder.
+//! * **US GDP** (Fig. 5b) — the 50 real 2015 state GDPs (public data,
+//!   embedded below) with one *streaker* worker who reports 45 states first.
+//! * **Proton beam** (Fig. 5c) — long tail of small studies, weak
+//!   correlation, no streakers, slow saturation.
+
+use crate::integration::{ArrivalOrder, IntegratedSample};
+use crate::population::{Population, Publicity, ValueSpec};
+use crate::source::draw_source;
+use uu_stats::rng::Rng;
+
+/// A simulated real-world crowdsourcing dataset.
+#[derive(Debug, Clone)]
+pub struct RealWorldDataset {
+    /// Short identifier, e.g. `"tech-employment"`.
+    pub name: &'static str,
+    /// The aggregate question the paper poses over this dataset.
+    pub question: &'static str,
+    /// Ground truth population.
+    pub population: Population,
+    /// Crowd answer stream.
+    pub sample: IntegratedSample,
+}
+
+impl RealWorldDataset {
+    /// Ground-truth `SUM(attr)` — the red line of the paper's figures.
+    pub fn ground_truth_sum(&self) -> f64 {
+        self.population.ground_truth_sum()
+    }
+
+    /// `(item, value, source)` triples in arrival order.
+    pub fn stream(&self) -> impl Iterator<Item = (u64, f64, u32)> + '_ {
+        crate::integration::value_stream(&self.population, &self.sample)
+    }
+}
+
+/// Approximate 2015 US state GDP in millions of current dollars (BEA data,
+/// rounded; all 50 states, no DC/territories). Used as the explicit value
+/// vector of the [`us_gdp`] dataset so the value distribution is the real one.
+pub const US_STATE_GDP_2015_MUSD: [(&str, f64); 50] = [
+    ("California", 2_481_348.0),
+    ("Texas", 1_639_375.0),
+    ("New York", 1_455_568.0),
+    ("Florida", 893_689.0),
+    ("Illinois", 791_608.0),
+    ("Pennsylvania", 719_116.0),
+    ("Ohio", 608_007.0),
+    ("New Jersey", 575_655.0),
+    ("North Carolina", 510_170.0),
+    ("Georgia", 497_632.0),
+    ("Massachusetts", 484_943.0),
+    ("Virginia", 481_107.0),
+    ("Michigan", 468_008.0),
+    ("Washington", 445_412.0),
+    ("Maryland", 365_917.0),
+    ("Indiana", 336_717.0),
+    ("Minnesota", 335_172.0),
+    ("Colorado", 318_600.0),
+    ("Tennessee", 312_584.0),
+    ("Wisconsin", 306_011.0),
+    ("Arizona", 302_957.0),
+    ("Missouri", 299_134.0),
+    ("Connecticut", 260_827.0),
+    ("Louisiana", 238_900.0),
+    ("Oregon", 226_113.0),
+    ("Alabama", 204_861.0),
+    ("South Carolina", 201_307.0),
+    ("Kentucky", 197_043.0),
+    ("Oklahoma", 181_690.0),
+    ("Iowa", 178_766.0),
+    ("Utah", 156_332.0),
+    ("Kansas", 150_953.0),
+    ("Nevada", 141_204.0),
+    ("Arkansas", 121_395.0),
+    ("Nebraska", 115_346.0),
+    ("Mississippi", 107_735.0),
+    ("New Mexico", 93_243.0),
+    ("Hawaii", 80_887.0),
+    ("New Hampshire", 73_902.0),
+    ("West Virginia", 73_374.0),
+    ("Delaware", 70_387.0),
+    ("Idaho", 66_069.0),
+    ("Rhode Island", 57_433.0),
+    ("Maine", 57_207.0),
+    ("Alaska", 52_747.0),
+    ("North Dakota", 52_089.0),
+    ("South Dakota", 45_951.0),
+    ("Montana", 45_578.0),
+    ("Wyoming", 39_980.0),
+    ("Vermont", 30_692.0),
+];
+
+/// US tech-sector employment (the running example; Figures 2, 4, 8, 10).
+///
+/// `SELECT SUM(employees) FROM us_tech_companies` over 1 000 companies with a
+/// heavy-tailed size distribution (largest ≈ 39 500 employees, total
+/// ≈ 3.9 M — the same order as the Pew reference the paper uses), strong
+/// publicity–value correlation (`ρ = 0.85`: big companies are famous) and 100
+/// evenly contributing crowd workers of 5 answers each.
+pub fn tech_employment(seed: u64) -> RealWorldDataset {
+    let population = Population::builder(1000)
+        .values(ValueSpec::ExponentialTail {
+            scale: 39_500.0,
+            decay: 10.0,
+        })
+        .publicity(Publicity::Exponential { lambda: 6.0 })
+        .correlation(0.85)
+        .build(seed);
+    let mut rng = Rng::new(seed ^ 0x7EA1_0001);
+    let sizes = vec![5usize; 100];
+    let sample = IntegratedSample::integrate(&population, &sizes, ArrivalOrder::Shuffled, &mut rng);
+    RealWorldDataset {
+        name: "tech-employment",
+        question: "SELECT SUM(employees) FROM us_tech_companies",
+        population,
+        sample,
+    }
+}
+
+/// US tech-sector revenue (Figure 5a): heavier tail and stronger correlation
+/// than employment — the regime where naïve and frequency overshoot hardest.
+pub fn tech_revenue(seed: u64) -> RealWorldDataset {
+    let population = Population::builder(1000)
+        .values(ValueSpec::ExponentialTail {
+            scale: 80_000.0, // $M; largest firm ≈ $80B revenue
+            decay: 14.0,
+        })
+        .publicity(Publicity::Exponential { lambda: 7.0 })
+        .correlation(0.95)
+        .build(seed);
+    let mut rng = Rng::new(seed ^ 0x7EA1_0002);
+    let sizes = vec![5usize; 80];
+    let sample = IntegratedSample::integrate(&population, &sizes, ArrivalOrder::Shuffled, &mut rng);
+    RealWorldDataset {
+        name: "tech-revenue",
+        question: "SELECT SUM(revenue) FROM us_tech_companies",
+        population,
+        sample,
+    }
+}
+
+/// GDP per US state (Figure 5b): the 50 real state GDPs with a *streaker* —
+/// one worker reports 45 states up front, then 15 workers of 5 answers each.
+pub fn us_gdp(seed: u64) -> RealWorldDataset {
+    let values: Vec<f64> = US_STATE_GDP_2015_MUSD.iter().map(|&(_, v)| v).collect();
+    let population = Population::builder(50)
+        .values(ValueSpec::Explicit(values))
+        .publicity(Publicity::Exponential { lambda: 1.5 })
+        .correlation(0.6)
+        .build(seed);
+    let mut rng = Rng::new(seed ^ 0x7EA1_0003);
+    // The post-streaker trickle: 15 workers × 5 states, round-robin.
+    let sizes = vec![5usize; 15];
+    let mut sample =
+        IntegratedSample::integrate(&population, &sizes, ArrivalOrder::RoundRobin, &mut rng);
+    // The streaker opens the stream with 45 of the 50 states.
+    let streaker = draw_source(&population, 0, 45, &mut rng);
+    sample.inject_streaker_at(0, streaker);
+    RealWorldDataset {
+        name: "us-gdp",
+        question: "SELECT SUM(gdp) FROM us_states",
+        population,
+        sample,
+    }
+}
+
+/// Proton beam (Figure 5c): `SELECT SUM(participants) FROM
+/// proton_beam_studies` — a long tail of mostly-small studies, weak
+/// publicity–value correlation, many workers, no streakers. The unique-count
+/// keeps growing throughout the stream, which is what makes naïve/frequency
+/// keep climbing in the paper's figure.
+pub fn proton_beam(seed: u64) -> RealWorldDataset {
+    let population = Population::builder(1500)
+        .values(ValueSpec::ExponentialTail {
+            scale: 450.0, // participants of the largest study
+            decay: 6.0,
+        })
+        .publicity(Publicity::Exponential { lambda: 2.0 })
+        .correlation(0.2)
+        .build(seed);
+    let mut rng = Rng::new(seed ^ 0x7EA1_0004);
+    let sizes = vec![4usize; 150];
+    let sample = IntegratedSample::integrate(&population, &sizes, ArrivalOrder::Shuffled, &mut rng);
+    RealWorldDataset {
+        name: "proton-beam",
+        question: "SELECT SUM(participants) FROM proton_beam_studies",
+        population,
+        sample,
+    }
+}
+
+/// US tech-sector *net income* — an extension dataset with **negative**
+/// attribute values (the paper's §3.3.2 aside: "even for the case of having
+/// negative attribute values (e.g., net losses of companies)"). Roughly a
+/// third of the companies run losses; publicity correlates with |income|
+/// (famous companies are either very profitable or famously burning cash).
+pub fn tech_net_income(seed: u64) -> RealWorldDataset {
+    // Build the value vector explicitly: heavy-tailed profits, a loss tail.
+    let n = 800usize;
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / n as f64;
+        let magnitude = 12_000.0 * (-8.0 * t).exp(); // $M, decaying
+                                                     // Every third company is in the red.
+        let sign = if i % 3 == 2 { -0.4 } else { 1.0 };
+        values.push(magnitude * sign);
+    }
+    let population = Population::builder(n)
+        .values(ValueSpec::Explicit(values))
+        .publicity(Publicity::Exponential { lambda: 5.0 })
+        .correlation(0.7)
+        .build(seed);
+    let mut rng = Rng::new(seed ^ 0x7EA1_0005);
+    let sizes = vec![5usize; 80];
+    let sample = IntegratedSample::integrate(&population, &sizes, ArrivalOrder::Shuffled, &mut rng);
+    RealWorldDataset {
+        name: "tech-net-income",
+        question: "SELECT SUM(net_income) FROM us_tech_companies",
+        population,
+        sample,
+    }
+}
+
+/// All four paper datasets, in the order the paper presents them.
+pub fn all(seed: u64) -> Vec<RealWorldDataset> {
+    vec![
+        tech_employment(seed),
+        tech_revenue(seed),
+        us_gdp(seed),
+        proton_beam(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gdp_table_has_fifty_states_and_real_total() {
+        assert_eq!(US_STATE_GDP_2015_MUSD.len(), 50);
+        let total: f64 = US_STATE_GDP_2015_MUSD.iter().map(|&(_, v)| v).sum();
+        // 2015 US GDP (states only) was ≈ $17.9T.
+        assert!((15.0e6..20.0e6).contains(&total), "total {total}");
+        // No duplicate state names.
+        let mut names: Vec<&str> = US_STATE_GDP_2015_MUSD.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn tech_employment_shape() {
+        let d = tech_employment(1);
+        assert_eq!(d.population.len(), 1000);
+        assert_eq!(d.sample.len(), 500);
+        assert_eq!(d.sample.num_sources(), 100);
+        let sum = d.ground_truth_sum();
+        assert!((3.0e6..5.0e6).contains(&sum), "employment sum {sum}");
+    }
+
+    #[test]
+    fn gdp_streaker_opens_the_stream() {
+        let d = us_gdp(2);
+        assert_eq!(d.sample.len(), 45 + 75);
+        // The first 45 observations come from a single source.
+        let first_sid = d.sample.observations()[0].source_id;
+        assert!(d.sample.prefix(45).iter().all(|o| o.source_id == first_sid));
+        // It reported 45 distinct states.
+        let mut ids: Vec<usize> = d.sample.prefix(45).iter().map(|o| o.item_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 45);
+    }
+
+    #[test]
+    fn proton_beam_keeps_discovering() {
+        let d = proton_beam(3);
+        // Unique count should still be growing at the end of the stream:
+        // the last quarter must add new items.
+        let unique_at = |k: usize| {
+            let mut ids: Vec<usize> = d.sample.prefix(k).iter().map(|o| o.item_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        assert!(
+            unique_at(600) > unique_at(450),
+            "discovery saturated too early"
+        );
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = tech_revenue(9);
+        let b = tech_revenue(9);
+        assert_eq!(a.sample, b.sample);
+        assert_eq!(a.ground_truth_sum(), b.ground_truth_sum());
+    }
+
+    #[test]
+    fn net_income_mixes_signs() {
+        let d = tech_net_income(4);
+        let values: Vec<f64> = d.population.items().iter().map(|i| i.value).collect();
+        let negatives = values.iter().filter(|&&v| v < 0.0).count();
+        assert!(negatives > 100, "only {negatives} loss-making companies");
+        assert!(values.iter().any(|&v| v > 0.0));
+        // Total is still positive (profits dominate) but far from the
+        // all-positive sum — the interesting regime for the abs() objective.
+        let sum = d.ground_truth_sum();
+        assert!(sum > 0.0, "sum {sum}");
+        let abs_sum: f64 = values.iter().map(|v| v.abs()).sum();
+        assert!(sum < 0.8 * abs_sum);
+    }
+
+    #[test]
+    fn all_returns_four_distinct_datasets() {
+        let ds = all(0);
+        assert_eq!(ds.len(), 4);
+        let names: Vec<&str> = ds.iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            vec!["tech-employment", "tech-revenue", "us-gdp", "proton-beam"]
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Preset workloads reproducing the paper's synthetic experiments.
+//!
+//! Each preset returns a [`Scenario`] — a ground-truth population plus an
+//! integrated observation stream — configured exactly as the corresponding
+//! figure describes (population size, value range, publicity skew `λ`,
+//! publicity–value correlation `ρ`, number and size of sources, arrival
+//! pathologies).
+
+use crate::integration::{ArrivalOrder, IntegratedSample};
+use crate::population::{Population, Publicity, ValueSpec};
+use crate::source::{draw_exhaustive_source, draw_source};
+use uu_stats::rng::Rng;
+
+/// A ready-to-estimate workload: ground truth plus observation stream.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable identifier (used by the repro harness).
+    pub name: String,
+    /// The ground truth `D` (gives exact reference aggregates).
+    pub population: Population,
+    /// The integrated sample `S` with lineage.
+    pub sample: IntegratedSample,
+}
+
+impl Scenario {
+    /// `(item, value, source)` triples in arrival order.
+    pub fn stream(&self) -> impl Iterator<Item = (u64, f64, u32)> + '_ {
+        crate::integration::value_stream(&self.population, &self.sample)
+    }
+}
+
+/// The paper's standard synthetic population: `N = 100` unique items with
+/// values `10, 20, …, 1000` (§6.2).
+pub fn standard_population(lambda: f64, rho: f64, seed: u64) -> Population {
+    Population::builder(100)
+        .values(ValueSpec::Arithmetic {
+            start: 10.0,
+            step: 10.0,
+        })
+        .publicity(Publicity::Exponential { lambda })
+        .correlation(rho)
+        .build(seed)
+}
+
+/// Generic synthetic scenario over the standard population.
+///
+/// `w` sources each contribute `per_source` items (capped at `N = 100`),
+/// interleaved per `order`.
+pub fn synthetic(
+    name: impl Into<String>,
+    w: usize,
+    per_source: usize,
+    lambda: f64,
+    rho: f64,
+    order: ArrivalOrder,
+    seed: u64,
+) -> Scenario {
+    let population = standard_population(lambda, rho, seed);
+    let mut rng = Rng::new(seed ^ 0x5EED_0001);
+    let sizes = vec![per_source.min(population.len()); w];
+    let sample = IntegratedSample::integrate(&population, &sizes, order, &mut rng);
+    Scenario {
+        name: name.into(),
+        population,
+        sample,
+    }
+}
+
+/// Figure 6: the 3×3 grid cell with `w` workers, publicity skew `lambda` and
+/// correlation `rho`. Workers contribute ≈ 500 observations in total
+/// (e.g. `w = 100` ⇒ 5 each), arriving round-robin.
+pub fn figure6(w: usize, lambda: f64, rho: f64, seed: u64) -> Scenario {
+    let per_source = 500usize.div_ceil(w);
+    synthetic(
+        format!("fig6(w={w},lambda={lambda},rho={rho})"),
+        w,
+        per_source,
+        lambda,
+        rho,
+        ArrivalOrder::RoundRobin,
+        seed,
+    )
+}
+
+/// Figure 7(a): streakers only — each of `num_streakers` sources successively
+/// provides **all** `N = 100` items (§6.3, extreme case). `λ = 1, ρ = 1`.
+pub fn streakers_only(num_streakers: usize, seed: u64) -> Scenario {
+    let population = standard_population(1.0, 1.0, seed);
+    let mut rng = Rng::new(seed ^ 0x5EED_0002);
+    let sources = (0..num_streakers)
+        .map(|sid| draw_exhaustive_source(&population, sid, &mut rng))
+        .collect();
+    let sample = IntegratedSample::from_sources(sources, ArrivalOrder::SourceBySource, &mut rng);
+    Scenario {
+        name: format!("fig7a(streakers={num_streakers})"),
+        population,
+        sample,
+    }
+}
+
+/// Figure 7(b): a healthy round-robin stream of 20 sources (20 items each)
+/// with a single streaker injected at `n = 160` contributing all 100 unique
+/// items at once. `λ = 1, ρ = 1`.
+pub fn streaker_injected(seed: u64) -> Scenario {
+    let population = standard_population(1.0, 1.0, seed);
+    let mut rng = Rng::new(seed ^ 0x5EED_0003);
+    let sizes = vec![20usize; 20];
+    let mut sample =
+        IntegratedSample::integrate(&population, &sizes, ArrivalOrder::RoundRobin, &mut rng);
+    let streaker = draw_exhaustive_source(&population, 0, &mut rng);
+    sample.inject_streaker_at(160, streaker);
+    Scenario {
+        name: "fig7b(streaker@160)".to_string(),
+        population,
+        sample,
+    }
+}
+
+/// Figures 7(c)–(f): the synthetic setting of §6.4 — `λ = 1, ρ = 1`
+/// ("larger values are more likely"), 20 evenly contributing sources.
+pub fn section64(seed: u64) -> Scenario {
+    synthetic(
+        "sec6.4(lambda=1,rho=1,w=20)",
+        20,
+        50,
+        1.0,
+        1.0,
+        ArrivalOrder::RoundRobin,
+        seed,
+    )
+}
+
+/// Figure 9 (App. B): uniform publicity, no correlation — the regime where
+/// static splitting hurts.
+pub fn figure9(seed: u64) -> Scenario {
+    synthetic(
+        "fig9(lambda=0,rho=0,w=10)",
+        10,
+        50,
+        0.0,
+        0.0,
+        ArrivalOrder::RoundRobin,
+        seed,
+    )
+}
+
+/// Figure 11 (App. E): number-of-sources sweep at `λ = 4, ρ = 1` — bucket
+/// needs enough independent sources for `S` to approximate sampling with
+/// replacement.
+pub fn sources_sweep(w: usize, seed: u64) -> Scenario {
+    synthetic(
+        format!("fig11(w={w})"),
+        w,
+        60,
+        4.0,
+        1.0,
+        ArrivalOrder::RoundRobin,
+        seed,
+    )
+}
+
+/// An uneven-contribution scenario used by the recommendation tests: one
+/// dominant source plus many small ones (a realistic, non-extreme streaker).
+pub fn uneven_sources(seed: u64) -> Scenario {
+    let population = standard_population(1.0, 1.0, seed);
+    let mut rng = Rng::new(seed ^ 0x5EED_0004);
+    let mut sources = vec![draw_source(&population, 0, 90, &mut rng)];
+    for sid in 1..16 {
+        sources.push(draw_source(&population, sid, 6, &mut rng));
+    }
+    let sample = IntegratedSample::from_sources(sources, ArrivalOrder::SourceBySource, &mut rng);
+    Scenario {
+        name: "uneven-sources".to_string(),
+        population,
+        sample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_population_matches_paper_spec() {
+        let p = standard_population(4.0, 1.0, 0);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.ground_truth_min(), Some(10.0));
+        assert_eq!(p.ground_truth_max(), Some(1000.0));
+        assert!((p.ground_truth_sum() - 50_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure6_total_observations() {
+        for &w in &[100usize, 10, 5] {
+            let s = figure6(w, 4.0, 1.0, 1);
+            assert_eq!(s.sample.num_sources(), w);
+            assert!(s.sample.len() >= 500, "w={w}: n={}", s.sample.len());
+            // every source is within the population bound
+            for sz in s.sample.source_sizes() {
+                assert!(sz <= 100);
+            }
+        }
+    }
+
+    #[test]
+    fn streakers_only_blocks_are_exhaustive() {
+        let s = streakers_only(3, 2);
+        assert_eq!(s.sample.len(), 300);
+        // First 100 observations are one full enumeration.
+        let mut ids: Vec<usize> = s.sample.prefix(100).iter().map(|o| o.item_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streaker_injection_position() {
+        let s = streaker_injected(3);
+        assert_eq!(s.sample.len(), 400 + 100);
+        let sid = s.sample.observations()[160].source_id;
+        assert_eq!(sid, 20, "streaker should be the 21st source");
+        assert!(s.sample.observations()[160..260]
+            .iter()
+            .all(|o| o.source_id == 20));
+    }
+
+    #[test]
+    fn uneven_sources_are_dominated_by_source_zero() {
+        let s = uneven_sources(4);
+        let sizes = s.sample.source_sizes();
+        assert_eq!(sizes[0], 90);
+        assert!(sizes[1..].iter().all(|&x| x == 6));
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = figure6(10, 4.0, 1.0, 77);
+        let b = figure6(10, 4.0, 1.0, 77);
+        assert_eq!(a.sample, b.sample);
+    }
+}

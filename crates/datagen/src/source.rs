@@ -1,0 +1,145 @@
+//! A single data source: a publicity-weighted sample without replacement.
+//!
+//! The paper's model (§2.2): "each \[source\] sampling `n_j = |s_j|` data items
+//! from the ground truth D … **without replacement**, as a data source
+//! typically only mentions a data item once". Crowd workers behave the same
+//! way (Trushkowsky et al., ICDE 2013).
+
+use crate::population::Population;
+use uu_stats::rng::Rng;
+use uu_stats::sampling::weighted_without_replacement;
+
+/// One materialised data source: the ids it mentions, in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSample {
+    /// Stable identifier of the source within its integration run.
+    pub source_id: usize,
+    /// Entity ids mentioned by this source (distinct, publicity-ordered draw).
+    pub item_ids: Vec<usize>,
+}
+
+impl SourceSample {
+    /// Number of items this source contributes (`n_j`).
+    pub fn len(&self) -> usize {
+        self.item_ids.len()
+    }
+
+    /// True when the source mentions nothing.
+    pub fn is_empty(&self) -> bool {
+        self.item_ids.is_empty()
+    }
+}
+
+/// Draws one source of `size` items from the population, publicity-weighted
+/// and without replacement.
+///
+/// # Panics
+///
+/// Panics if `size` exceeds the population size (a source cannot mention more
+/// distinct entities than exist).
+pub fn draw_source(
+    population: &Population,
+    source_id: usize,
+    size: usize,
+    rng: &mut Rng,
+) -> SourceSample {
+    assert!(
+        size <= population.len(),
+        "source size {size} exceeds population size {}",
+        population.len()
+    );
+    let weights = population.publicities();
+    let item_ids = weighted_without_replacement(&weights, size, rng);
+    SourceSample {
+        source_id,
+        item_ids,
+    }
+}
+
+/// Draws a source that enumerates the *entire* population — the paper's
+/// extreme "streaker" (§6.3, Figure 7a: "each source successively provides
+/// all N = 100 data items"). Arrival order still follows publicity.
+pub fn draw_exhaustive_source(
+    population: &Population,
+    source_id: usize,
+    rng: &mut Rng,
+) -> SourceSample {
+    draw_source(population, source_id, population.len(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{Population, Publicity, ValueSpec};
+
+    fn pop(lambda: f64) -> Population {
+        Population::builder(100)
+            .values(ValueSpec::Arithmetic {
+                start: 10.0,
+                step: 10.0,
+            })
+            .publicity(Publicity::Exponential { lambda })
+            .correlation(1.0)
+            .build(0)
+    }
+
+    #[test]
+    fn source_has_distinct_items() {
+        let p = pop(4.0);
+        let mut rng = Rng::new(1);
+        let s = draw_source(&p, 0, 60, &mut rng);
+        assert_eq!(s.len(), 60);
+        let mut ids = s.item_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 60, "source mentioned an entity twice");
+    }
+
+    #[test]
+    fn public_items_appear_more_often_across_sources() {
+        let p = pop(4.0);
+        let mut rng = Rng::new(2);
+        let mut hits_top = 0usize;
+        let mut hits_bottom = 0usize;
+        for sid in 0..400 {
+            let s = draw_source(&p, sid, 10, &mut rng);
+            if s.item_ids.contains(&0) {
+                hits_top += 1;
+            }
+            if s.item_ids.contains(&99) {
+                hits_bottom += 1;
+            }
+        }
+        assert!(
+            hits_top > 4 * hits_bottom.max(1),
+            "publicity ignored: top={hits_top} bottom={hits_bottom}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_source_covers_everything() {
+        let p = pop(1.0);
+        let mut rng = Rng::new(3);
+        let s = draw_exhaustive_source(&p, 7, &mut rng);
+        assert_eq!(s.source_id, 7);
+        let mut ids = s.item_ids.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds population size")]
+    fn oversized_source_panics() {
+        let p = pop(0.0);
+        let mut rng = Rng::new(4);
+        draw_source(&p, 0, 101, &mut rng);
+    }
+
+    #[test]
+    fn empty_source_is_allowed() {
+        let p = pop(0.0);
+        let mut rng = Rng::new(5);
+        let s = draw_source(&p, 0, 0, &mut rng);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! A catalog of integrated tables, for multi-table databases.
+
+use std::collections::HashMap;
+
+use crate::exec::{
+    execute_grouped, execute_sql as exec_one, CorrectionMethod, ExecError, GroupResult, QueryResult,
+};
+use crate::sql::parse;
+use crate::table::IntegratedTable;
+
+/// Errors from catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with this (case-insensitive) name is already registered.
+    DuplicateTable(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(name) => {
+                write!(f, "table {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A set of named integrated tables with SQL dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use uu_query::catalog::Catalog;
+/// use uu_query::exec::CorrectionMethod;
+/// use uu_query::schema::{ColumnType, Schema};
+/// use uu_query::table::IntegratedTable;
+/// use uu_query::value::Value;
+///
+/// let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Float)]);
+/// let mut t = IntegratedTable::new("sales", schema, "k").unwrap();
+/// t.insert_observation(0, vec![Value::from("a"), Value::from(10.0)]).unwrap();
+/// t.insert_observation(1, vec![Value::from("a"), Value::from(10.0)]).unwrap();
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(t).unwrap();
+/// let r = catalog.execute_sql("SELECT SUM(v) FROM sales", CorrectionMethod::None).unwrap();
+/// assert_eq!(r.observed, 10.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, IntegratedTable>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name (case-insensitive).
+    pub fn register(&mut self, table: IntegratedTable) -> Result<(), CatalogError> {
+        let key = table.name().to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(CatalogError::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Looks a table up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&IntegratedTable> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Mutable lookup (e.g. to keep inserting observations).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut IntegratedTable> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.values().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Parses and executes a SQL string against the referenced table.
+    pub fn execute_sql(
+        &self,
+        sql: &str,
+        method: CorrectionMethod,
+    ) -> Result<QueryResult, ExecError> {
+        let query = parse(sql)?;
+        let table = self
+            .get(&query.table)
+            .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
+        exec_one(table, sql, method)
+    }
+
+    /// Parses and executes a `GROUP BY` SQL string against the referenced
+    /// table.
+    pub fn execute_sql_grouped(
+        &self,
+        sql: &str,
+        method: CorrectionMethod,
+    ) -> Result<Vec<GroupResult>, ExecError> {
+        let query = parse(sql)?;
+        let table = self
+            .get(&query.table)
+            .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
+        execute_grouped(table, &query, method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn table(name: &str) -> IntegratedTable {
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Float)]);
+        let mut t = IntegratedTable::new(name, schema, "k").unwrap();
+        for src in 0..3u32 {
+            for i in 0..4 {
+                t.insert_observation(
+                    src,
+                    vec![Value::from(format!("e{i}")), Value::from(i as f64)],
+                )
+                .unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn register_and_dispatch() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("alpha")).unwrap();
+        catalog.register(table("beta")).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.table_names(), vec!["alpha", "beta"]);
+        let r = catalog
+            .execute_sql("SELECT COUNT(*) FROM Alpha", CorrectionMethod::Naive)
+            .unwrap();
+        assert_eq!(r.observed, 4.0);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        assert_eq!(
+            catalog.register(table("T")),
+            Err(CatalogError::DuplicateTable("T".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let catalog = Catalog::new();
+        let err = catalog
+            .execute_sql("SELECT SUM(v) FROM missing", CorrectionMethod::None)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::UnknownTable(name) if name == "missing"));
+    }
+
+    #[test]
+    fn grouped_dispatch_works() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        let groups = catalog
+            .execute_sql_grouped("SELECT SUM(v) FROM t GROUP BY k", CorrectionMethod::None)
+            .unwrap();
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn get_mut_allows_further_ingestion() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        catalog
+            .get_mut("t")
+            .unwrap()
+            .insert_observation(9, vec![Value::from("new"), Value::from(9.0)])
+            .unwrap();
+        let r = catalog
+            .execute_sql("SELECT COUNT(*) FROM t", CorrectionMethod::None)
+            .unwrap();
+        assert_eq!(r.observed, 5.0);
+    }
+}

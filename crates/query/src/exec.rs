@@ -1,0 +1,637 @@
+//! Open-world query execution.
+//!
+//! [`execute`] evaluates an aggregate query twice: once under the closed
+//! world assumption (the answer a classical RDBMS would give over the
+//! integrated table), and once corrected for unknown unknowns with the
+//! estimator selected by [`CorrectionMethod`]. SUM queries additionally carry
+//! the §4 upper bound, MIN/MAX queries carry the §5 trust report, and every
+//! result carries the §6.5 diagnostics and recommendation.
+
+use std::fmt;
+
+use crate::query::{AggregateFunction, AggregateQuery};
+use crate::sql::{parse, ParseError};
+use crate::table::{IntegratedTable, TableError};
+use uu_core::aggregates::{
+    avg_estimate, count_estimate, max_report, min_report, ExtremeReport, EXTREME_TRUST_THRESHOLD,
+};
+use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::estimate::SumEstimator;
+use uu_core::frequency::FrequencyEstimator;
+use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
+use uu_core::naive::NaiveEstimator;
+use uu_core::recommend::{diagnose, recommend, Diagnostics, Recommendation};
+use uu_core::sample::SampleView;
+use uu_stats::species::SpeciesEstimator;
+
+/// Which unknown-unknowns correction to apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorrectionMethod {
+    /// Closed-world only (no correction).
+    None,
+    /// Naïve estimator (§3.1).
+    Naive,
+    /// Frequency estimator (§3.2).
+    Frequency,
+    /// Dynamic bucket estimator (§3.3) — the paper's default recommendation.
+    Bucket,
+    /// Monte-Carlo estimator (§3.4) with explicit configuration.
+    MonteCarlo(MonteCarloConfig),
+    /// Follow the §6.5 policy: bucket when sources are plentiful and even,
+    /// Monte-Carlo under streakers/few sources, nothing below the coverage
+    /// gate.
+    Auto,
+}
+
+/// Errors from query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The query references a different table than the one supplied.
+    TableNameMismatch {
+        /// Table the query names.
+        requested: String,
+        /// Table that was supplied.
+        actual: String,
+    },
+    /// Schema/column/predicate problem.
+    Table(TableError),
+    /// SQL text failed to parse.
+    Parse(ParseError),
+    /// The query has a GROUP BY clause; use [`execute_grouped`].
+    GroupedQuery,
+    /// The referenced table is not registered (catalog dispatch).
+    UnknownTable(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TableNameMismatch { requested, actual } => {
+                write!(f, "query targets table {requested:?} but got {actual:?}")
+            }
+            ExecError::Table(e) => write!(f, "{e}"),
+            ExecError::Parse(e) => write!(f, "{e}"),
+            ExecError::GroupedQuery => {
+                write!(
+                    f,
+                    "query has GROUP BY; use execute_grouped/execute_sql_grouped"
+                )
+            }
+            ExecError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<TableError> for ExecError {
+    fn from(e: TableError) -> Self {
+        ExecError::Table(e)
+    }
+}
+
+impl From<ParseError> for ExecError {
+    fn from(e: ParseError) -> Self {
+        ExecError::Parse(e)
+    }
+}
+
+/// The dual closed-world / open-world answer.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The executed query, pretty-printed.
+    pub query: String,
+    /// Closed-world answer over the integrated table. For AVG/MIN/MAX over an
+    /// empty selection this is `NaN` (SQL would return NULL).
+    pub observed: f64,
+    /// Unknown-unknowns-corrected answer; `None` when no correction was
+    /// requested, the estimator is undefined for this sample, or the Auto
+    /// policy withheld the estimate (coverage below 40%).
+    pub corrected: Option<f64>,
+    /// Name of the estimator that produced `corrected`.
+    pub method: &'static str,
+    /// Estimated population richness `N̂` where applicable.
+    pub n_hat: Option<f64>,
+    /// §4 upper bound on the ground-truth SUM (SUM queries only).
+    pub upper_bound: Option<f64>,
+    /// §5 trust report (MIN/MAX queries only).
+    pub extreme: Option<ExtremeReport>,
+    /// §6.5 sample diagnostics.
+    pub diagnostics: Diagnostics,
+    /// §6.5 estimator recommendation.
+    pub recommendation: Recommendation,
+}
+
+fn sum_estimator(method: CorrectionMethod) -> Option<Box<dyn SumEstimator + Send + Sync>> {
+    match method {
+        CorrectionMethod::None => None,
+        CorrectionMethod::Naive => Some(Box::new(NaiveEstimator::default())),
+        CorrectionMethod::Frequency => Some(Box::new(FrequencyEstimator::default())),
+        CorrectionMethod::Bucket => Some(Box::new(DynamicBucketEstimator::default())),
+        CorrectionMethod::MonteCarlo(cfg) => Some(Box::new(MonteCarloEstimator::new(cfg))),
+        CorrectionMethod::Auto => unreachable!("Auto is resolved before this point"),
+    }
+}
+
+fn resolve_auto(view: &SampleView) -> (CorrectionMethod, bool) {
+    match recommend(view) {
+        Recommendation::Bucket => (CorrectionMethod::Bucket, false),
+        Recommendation::MonteCarlo => (
+            CorrectionMethod::MonteCarlo(MonteCarloConfig::default()),
+            false,
+        ),
+        Recommendation::CollectMoreData => (CorrectionMethod::None, true),
+    }
+}
+
+/// Executes `query` against `table` with the chosen correction.
+///
+/// Queries with a `GROUP BY` clause must go through [`execute_grouped`].
+pub fn execute(
+    table: &IntegratedTable,
+    query: &AggregateQuery,
+    method: CorrectionMethod,
+) -> Result<QueryResult, ExecError> {
+    check_table(table, query)?;
+    if query.group_by.is_some() {
+        return Err(ExecError::GroupedQuery);
+    }
+    let view = table.sample_view(query.column.as_deref(), &query.predicate)?;
+    Ok(compute(query.to_string(), query.agg, &view, method))
+}
+
+fn check_table(table: &IntegratedTable, query: &AggregateQuery) -> Result<(), ExecError> {
+    if !query.table.eq_ignore_ascii_case(table.name()) {
+        return Err(ExecError::TableNameMismatch {
+            requested: query.table.clone(),
+            actual: table.name().to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// One result row of a grouped query.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// The group's key value.
+    pub key: crate::value::Value,
+    /// The corrected aggregate over this group's estimation universe
+    /// (entities satisfying the predicate with this group value).
+    pub result: QueryResult,
+}
+
+/// Executes a `GROUP BY` query: one open-world-corrected aggregate per
+/// distinct group value, each group treated as its own estimation universe.
+///
+/// Also accepts queries without `GROUP BY` (returns a single group keyed by
+/// NULL).
+pub fn execute_grouped(
+    table: &IntegratedTable,
+    query: &AggregateQuery,
+    method: CorrectionMethod,
+) -> Result<Vec<GroupResult>, ExecError> {
+    check_table(table, query)?;
+    let Some(group_column) = query.group_by.as_deref() else {
+        let result = execute(table, query, method)?;
+        return Ok(vec![GroupResult {
+            key: crate::value::Value::Null,
+            result,
+        }]);
+    };
+    let groups =
+        table.grouped_sample_views(query.column.as_deref(), &query.predicate, group_column)?;
+    Ok(groups
+        .into_iter()
+        .map(|(key, view)| {
+            let label = format!("{query} [{group_column} = {key}]");
+            let result = compute(label, query.agg, &view, method);
+            GroupResult { key, result }
+        })
+        .collect())
+}
+
+/// Parses and executes a `GROUP BY` SQL string.
+pub fn execute_sql_grouped(
+    table: &IntegratedTable,
+    sql: &str,
+    method: CorrectionMethod,
+) -> Result<Vec<GroupResult>, ExecError> {
+    let query = parse(sql)?;
+    execute_grouped(table, &query, method)
+}
+
+/// Computes the dual answer for one estimation universe.
+fn compute(
+    query_display: String,
+    agg: AggregateFunction,
+    view: &SampleView,
+    method: CorrectionMethod,
+) -> QueryResult {
+    let view = view.clone();
+    let diagnostics = diagnose(&view);
+    let recommendation = recommend(&view);
+
+    let (method, withheld) = match method {
+        CorrectionMethod::Auto => resolve_auto(&view),
+        m => (m, false),
+    };
+
+    let buckets = DynamicBucketEstimator::default();
+    let mut result = QueryResult {
+        query: query_display,
+        observed: f64::NAN,
+        corrected: None,
+        method: if withheld {
+            "withheld(coverage<40%)"
+        } else {
+            "none"
+        },
+        n_hat: None,
+        upper_bound: None,
+        extreme: None,
+        diagnostics,
+        recommendation,
+    };
+
+    match agg {
+        AggregateFunction::Sum => {
+            result.observed = view.observed_sum();
+            result.upper_bound =
+                sum_upper_bound(&view, UpperBoundConfig::default()).map(|b| b.phi_d_bound);
+            if let Some(est) = sum_estimator(method) {
+                let d = est.estimate_delta(&view);
+                result.corrected = d.delta.map(|delta| view.observed_sum() + delta);
+                result.n_hat = d.n_hat;
+                result.method = est.name();
+            }
+        }
+        AggregateFunction::Count => {
+            result.observed = view.c() as f64;
+            let n_hat = match method {
+                CorrectionMethod::None => None,
+                CorrectionMethod::MonteCarlo(cfg) => {
+                    result.method = "monte-carlo";
+                    MonteCarloEstimator::new(cfg).estimate_count(&view)
+                }
+                CorrectionMethod::Bucket => {
+                    result.method = "bucket";
+                    DynamicBucketEstimator::default()
+                        .estimate_delta(&view)
+                        .n_hat
+                }
+                _ => {
+                    result.method = "chao92";
+                    count_estimate(&view, SpeciesEstimator::Chao92)
+                }
+            };
+            result.corrected = n_hat;
+            result.n_hat = n_hat;
+        }
+        AggregateFunction::Avg => {
+            result.observed = view.mean_value().unwrap_or(f64::NAN);
+            if method != CorrectionMethod::None {
+                // Only the bucket approach moves AVG off the observed value
+                // (§5); all other estimators reproduce the observed mean.
+                if let Some(avg) = avg_estimate(&view, &buckets) {
+                    result.corrected = Some(avg.corrected);
+                    result.method = "bucket-avg";
+                }
+            }
+        }
+        AggregateFunction::Min | AggregateFunction::Max => {
+            let is_max = agg == AggregateFunction::Max;
+            result.observed = if is_max {
+                view.max_value().unwrap_or(f64::NAN)
+            } else {
+                view.min_value().unwrap_or(f64::NAN)
+            };
+            if method != CorrectionMethod::None {
+                let report = if is_max {
+                    max_report(&view, &buckets, EXTREME_TRUST_THRESHOLD)
+                } else {
+                    min_report(&view, &buckets, EXTREME_TRUST_THRESHOLD)
+                };
+                if let Some(r) = report {
+                    // An endorsed extreme is the corrected answer; an
+                    // unendorsed one stays observation-only.
+                    if r.is_trusted() {
+                        result.corrected = Some(r.observed());
+                    }
+                    result.extreme = Some(r);
+                    result.method = "bucket-extreme";
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Parses and executes a SQL string against `table`.
+pub fn execute_sql(
+    table: &IntegratedTable,
+    sql: &str,
+    method: CorrectionMethod,
+) -> Result<QueryResult, ExecError> {
+    let query = parse(sql)?;
+    execute(table, &query, method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    /// The toy example table (Appendix F), after s5 = {A, E}.
+    fn toy_table() -> IntegratedTable {
+        let schema = Schema::new([
+            ("company", ColumnType::Str),
+            ("employees", ColumnType::Float),
+        ]);
+        let mut t = IntegratedTable::new("companies", schema, "company").unwrap();
+        let observations: [(u32, &str, f64); 9] = [
+            (0, "A", 1000.0),
+            (0, "B", 2000.0),
+            (0, "D", 10_000.0),
+            (1, "B", 2000.0),
+            (1, "D", 10_000.0),
+            (2, "D", 10_000.0),
+            (3, "D", 10_000.0),
+            (4, "A", 1000.0),
+            (4, "E", 300.0),
+        ];
+        for (src, name, emp) in observations {
+            t.insert_observation(src, vec![Value::from(name), Value::from(emp)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sum_with_all_estimators_matches_table2() {
+        let t = toy_table();
+        let sql = "SELECT SUM(employees) FROM companies";
+        let naive = execute_sql(&t, sql, CorrectionMethod::Naive).unwrap();
+        assert_eq!(naive.observed, 13_300.0);
+        assert!((naive.corrected.unwrap() - 14_962.5).abs() < 1e-6);
+        let freq = execute_sql(&t, sql, CorrectionMethod::Frequency).unwrap();
+        assert!((freq.corrected.unwrap() - 13_450.0).abs() < 1e-6);
+        let bucket = execute_sql(&t, sql, CorrectionMethod::Bucket).unwrap();
+        assert!((bucket.corrected.unwrap() - 13_950.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn none_method_reports_observed_only() {
+        let t = toy_table();
+        let r = execute_sql(
+            &t,
+            "SELECT SUM(employees) FROM companies",
+            CorrectionMethod::None,
+        )
+        .unwrap();
+        assert_eq!(r.observed, 13_300.0);
+        assert_eq!(r.corrected, None);
+        assert_eq!(r.method, "none");
+    }
+
+    #[test]
+    fn count_estimates() {
+        let t = toy_table();
+        let sql = "SELECT COUNT(*) FROM companies";
+        let r = execute_sql(&t, sql, CorrectionMethod::Naive).unwrap();
+        assert_eq!(r.observed, 4.0);
+        assert!((r.corrected.unwrap() - 4.5).abs() < 1e-9); // Chao92
+    }
+
+    #[test]
+    fn avg_is_corrected_downwards_here() {
+        let t = toy_table();
+        let r = execute_sql(
+            &t,
+            "SELECT AVG(employees) FROM companies",
+            CorrectionMethod::Bucket,
+        )
+        .unwrap();
+        assert!((r.observed - 3325.0).abs() < 1e-9);
+        assert!(r.corrected.unwrap() < r.observed);
+    }
+
+    #[test]
+    fn max_trusted_min_not() {
+        let t = toy_table();
+        let max = execute_sql(
+            &t,
+            "SELECT MAX(employees) FROM companies",
+            CorrectionMethod::Bucket,
+        )
+        .unwrap();
+        assert_eq!(max.observed, 10_000.0);
+        assert_eq!(max.corrected, Some(10_000.0));
+        assert!(max.extreme.unwrap().is_trusted());
+
+        let min = execute_sql(
+            &t,
+            "SELECT MIN(employees) FROM companies",
+            CorrectionMethod::Bucket,
+        )
+        .unwrap();
+        assert_eq!(min.observed, 300.0);
+        assert_eq!(
+            min.corrected, None,
+            "incomplete low bucket must not be endorsed"
+        );
+        assert!(!min.extreme.unwrap().is_trusted());
+    }
+
+    #[test]
+    fn predicates_narrow_the_estimation_universe() {
+        let t = toy_table();
+        let r = execute_sql(
+            &t,
+            "SELECT SUM(employees) FROM companies WHERE employees < 5000",
+            CorrectionMethod::Naive,
+        )
+        .unwrap();
+        assert_eq!(r.observed, 3300.0);
+        // c = 3 (A, B, E), n = 5, f1 = 1 (E).
+        assert!(r.corrected.unwrap() > r.observed);
+    }
+
+    #[test]
+    fn table_name_is_checked() {
+        let t = toy_table();
+        let err = execute_sql(
+            &t,
+            "SELECT SUM(employees) FROM wrong",
+            CorrectionMethod::None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::TableNameMismatch { .. }));
+    }
+
+    #[test]
+    fn parse_and_schema_errors_propagate() {
+        let t = toy_table();
+        assert!(matches!(
+            execute_sql(&t, "SELEKT", CorrectionMethod::None),
+            Err(ExecError::Parse(_))
+        ));
+        assert!(matches!(
+            execute_sql(
+                &t,
+                "SELECT SUM(nope) FROM companies",
+                CorrectionMethod::None
+            ),
+            Err(ExecError::Table(TableError::UnknownColumn(_)))
+        ));
+    }
+
+    #[test]
+    fn auto_resolves_to_monte_carlo_for_few_sources() {
+        // Only 2 sources ⇒ policy says Monte-Carlo (needs high coverage to
+        // get past the gate, so observe everything twice).
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        for src in 0..2u32 {
+            for i in 0..10 {
+                t.insert_observation(
+                    src,
+                    vec![Value::from(format!("e{i}")), Value::from(i as f64)],
+                )
+                .unwrap();
+            }
+        }
+        let r = execute_sql(&t, "SELECT SUM(v) FROM t", CorrectionMethod::Auto).unwrap();
+        assert_eq!(r.recommendation, Recommendation::MonteCarlo);
+        assert_eq!(r.method, "monte-carlo");
+    }
+
+    #[test]
+    fn auto_withholds_below_coverage_gate() {
+        // All singletons: coverage 0 ⇒ Auto refuses to correct.
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        for i in 0..10 {
+            t.insert_observation(
+                i % 6,
+                vec![Value::from(format!("e{i}")), Value::from(i as f64)],
+            )
+            .unwrap();
+        }
+        let r = execute_sql(&t, "SELECT SUM(v) FROM t", CorrectionMethod::Auto).unwrap();
+        assert_eq!(r.corrected, None);
+        assert_eq!(r.method, "withheld(coverage<40%)");
+        assert_eq!(r.recommendation, Recommendation::CollectMoreData);
+    }
+
+    #[test]
+    fn upper_bound_attached_to_sums_when_defined() {
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        for src in 0..8u32 {
+            for i in 0..60 {
+                t.insert_observation(
+                    src,
+                    vec![Value::from(format!("e{i}")), Value::from(i as f64)],
+                )
+                .unwrap();
+            }
+        }
+        let r = execute_sql(&t, "SELECT SUM(v) FROM t", CorrectionMethod::Bucket).unwrap();
+        let bound = r.upper_bound.expect("bound defined for n=480");
+        assert!(bound >= r.observed);
+        assert!(bound >= r.corrected.unwrap());
+    }
+
+    #[test]
+    fn empty_selection_yields_nan_for_avg() {
+        let t = toy_table();
+        let r = execute_sql(
+            &t,
+            "SELECT AVG(employees) FROM companies WHERE employees > 99999",
+            CorrectionMethod::Bucket,
+        )
+        .unwrap();
+        assert!(r.observed.is_nan());
+        assert_eq!(r.corrected, None);
+    }
+
+    #[test]
+    fn grouped_execution_partitions_the_universe() {
+        // Re-create the toy table with a state column so grouping is useful.
+        let schema = Schema::new([
+            ("company", ColumnType::Str),
+            ("employees", ColumnType::Float),
+            ("state", ColumnType::Str),
+        ]);
+        let mut t = IntegratedTable::new("companies", schema, "company").unwrap();
+        let rows: [(u32, &str, f64, &str); 9] = [
+            (0, "A", 1000.0, "CA"),
+            (0, "B", 2000.0, "CA"),
+            (0, "D", 10_000.0, "WA"),
+            (1, "B", 2000.0, "CA"),
+            (1, "D", 10_000.0, "WA"),
+            (2, "D", 10_000.0, "WA"),
+            (3, "D", 10_000.0, "WA"),
+            (4, "A", 1000.0, "CA"),
+            (4, "E", 300.0, "CA"),
+        ];
+        for (src, name, emp, state) in rows {
+            t.insert_observation(
+                src,
+                vec![Value::from(name), Value::from(emp), Value::from(state)],
+            )
+            .unwrap();
+        }
+        let groups = super::execute_sql_grouped(
+            &t,
+            "SELECT SUM(employees) FROM companies GROUP BY state",
+            CorrectionMethod::Naive,
+        )
+        .unwrap();
+        assert_eq!(groups.len(), 2);
+        let ca = &groups[0];
+        assert_eq!(ca.key, Value::from("CA"));
+        assert_eq!(ca.result.observed, 3300.0);
+        // CA group: A:2, B:2, E:1 → n=5, c=3, f1=1, Chao92 defined.
+        assert!(ca.result.corrected.unwrap() > 3300.0);
+        let wa = &groups[1];
+        assert_eq!(wa.key, Value::from("WA"));
+        assert_eq!(wa.result.observed, 10_000.0);
+        // WA group: only D, seen 4 times — complete, Δ = 0.
+        assert_eq!(wa.result.corrected, Some(10_000.0));
+        // The group label names the group.
+        assert!(
+            ca.result.query.contains("state = 'CA'"),
+            "{}",
+            ca.result.query
+        );
+    }
+
+    #[test]
+    fn grouped_query_through_plain_execute_is_an_error() {
+        let t = toy_table();
+        let err = execute_sql(
+            &t,
+            "SELECT SUM(employees) FROM companies GROUP BY company",
+            CorrectionMethod::None,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::GroupedQuery);
+    }
+
+    #[test]
+    fn ungrouped_query_through_grouped_exec_is_a_single_null_group() {
+        let t = toy_table();
+        let groups = super::execute_sql_grouped(
+            &t,
+            "SELECT SUM(employees) FROM companies",
+            CorrectionMethod::Bucket,
+        )
+        .unwrap();
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].key.is_null());
+        assert!((groups[0].result.corrected.unwrap() - 13_950.0).abs() < 1e-6);
+    }
+}

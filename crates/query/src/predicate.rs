@@ -1,0 +1,259 @@
+//! Typed predicate AST for `WHERE` clauses.
+//!
+//! SQL three-valued logic is honoured: comparisons involving NULL (or
+//! incomparable types) evaluate to *unknown*, which filters the row out
+//! unless negation/disjunction resolves it.
+
+use std::fmt;
+
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Errors raised during predicate evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateError {
+    /// The predicate references a column the schema does not have.
+    UnknownColumn(String),
+}
+
+impl fmt::Display for PredicateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredicateError::UnknownColumn(c) => write!(f, "unknown column {c:?} in predicate"),
+        }
+    }
+}
+
+impl std::error::Error for PredicateError {}
+
+/// A boolean predicate over a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the empty `WHERE` clause).
+    True,
+    /// `column op literal`.
+    Cmp {
+        /// Column name (case-insensitive).
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// Logical conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Logical disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Logical negation (NOT on unknown stays unknown).
+    Not(Box<Predicate>),
+}
+
+/// Kleene three-valued logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Predicate {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: Value) -> Predicate {
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value,
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    fn eval3(&self, schema: &Schema, record: &Record) -> Result<Tri, PredicateError> {
+        match self {
+            Predicate::True => Ok(Tri::True),
+            Predicate::Cmp { column, op, value } => {
+                let idx = schema
+                    .index_of(column)
+                    .ok_or_else(|| PredicateError::UnknownColumn(column.clone()))?;
+                let lhs = record.value(idx);
+                Ok(match lhs.compare(value) {
+                    None => Tri::Unknown,
+                    Some(ord) => {
+                        let pass = match op {
+                            CmpOp::Eq => ord.is_eq(),
+                            CmpOp::Ne => ord.is_ne(),
+                            CmpOp::Lt => ord.is_lt(),
+                            CmpOp::Le => ord.is_le(),
+                            CmpOp::Gt => ord.is_gt(),
+                            CmpOp::Ge => ord.is_ge(),
+                        };
+                        if pass {
+                            Tri::True
+                        } else {
+                            Tri::False
+                        }
+                    }
+                })
+            }
+            Predicate::And(a, b) => {
+                let (a, b) = (a.eval3(schema, record)?, b.eval3(schema, record)?);
+                Ok(match (a, b) {
+                    (Tri::False, _) | (_, Tri::False) => Tri::False,
+                    (Tri::True, Tri::True) => Tri::True,
+                    _ => Tri::Unknown,
+                })
+            }
+            Predicate::Or(a, b) => {
+                let (a, b) = (a.eval3(schema, record)?, b.eval3(schema, record)?);
+                Ok(match (a, b) {
+                    (Tri::True, _) | (_, Tri::True) => Tri::True,
+                    (Tri::False, Tri::False) => Tri::False,
+                    _ => Tri::Unknown,
+                })
+            }
+            Predicate::Not(inner) => Ok(match inner.eval3(schema, record)? {
+                Tri::True => Tri::False,
+                Tri::False => Tri::True,
+                Tri::Unknown => Tri::Unknown,
+            }),
+        }
+    }
+
+    /// Evaluates the predicate; *unknown* filters the record out (SQL
+    /// `WHERE` semantics).
+    pub fn eval(&self, schema: &Schema, record: &Record) -> Result<bool, PredicateError> {
+        Ok(self.eval3(schema, record)? == Tri::True)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(inner) => write!(f, "(NOT {inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn setup() -> (Schema, Record, Record) {
+        let schema = Schema::new([("name", ColumnType::Str), ("employees", ColumnType::Float)]);
+        let big = Record::new(&schema, vec![Value::from("D"), Value::from(10_000.0)]).unwrap();
+        let hidden = Record::new(&schema, vec![Value::from("X"), Value::Null]).unwrap();
+        (schema, big, hidden)
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let (schema, big, _) = setup();
+        for (op, expect) in [
+            (CmpOp::Eq, false),
+            (CmpOp::Ne, true),
+            (CmpOp::Lt, false),
+            (CmpOp::Le, false),
+            (CmpOp::Gt, true),
+            (CmpOp::Ge, true),
+        ] {
+            let p = Predicate::cmp("employees", op, Value::from(5000.0));
+            assert_eq!(p.eval(&schema, &big).unwrap(), expect, "{op}");
+        }
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let (schema, big, _) = setup();
+        let a = Predicate::cmp("employees", CmpOp::Gt, Value::from(5000.0));
+        let b = Predicate::cmp("name", CmpOp::Eq, Value::from("D"));
+        assert!(a.clone().and(b.clone()).eval(&schema, &big).unwrap());
+        assert!(a.clone().or(b.clone().not()).eval(&schema, &big).unwrap());
+        assert!(!a.not().eval(&schema, &big).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown_and_filter_out() {
+        let (schema, _, hidden) = setup();
+        let p = Predicate::cmp("employees", CmpOp::Gt, Value::from(0.0));
+        assert!(!p.eval(&schema, &hidden).unwrap());
+        // NOT(unknown) is still unknown ⇒ still filtered out.
+        let p = Predicate::cmp("employees", CmpOp::Gt, Value::from(0.0)).not();
+        assert!(!p.eval(&schema, &hidden).unwrap());
+    }
+
+    #[test]
+    fn unknown_or_true_is_true() {
+        let (schema, _, hidden) = setup();
+        let unknown = Predicate::cmp("employees", CmpOp::Gt, Value::from(0.0));
+        let yes = Predicate::cmp("name", CmpOp::Eq, Value::from("X"));
+        assert!(unknown.or(yes).eval(&schema, &hidden).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let (schema, big, _) = setup();
+        let p = Predicate::cmp("missing", CmpOp::Eq, Value::Int(1));
+        assert_eq!(
+            p.eval(&schema, &big),
+            Err(PredicateError::UnknownColumn("missing".into()))
+        );
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let p = Predicate::cmp("a", CmpOp::Ge, Value::Int(3))
+            .and(Predicate::cmp("b", CmpOp::Eq, Value::from("x")).not());
+        assert_eq!(p.to_string(), "(a >= 3 AND (NOT b = 'x'))");
+    }
+}

@@ -1,0 +1,191 @@
+//! Aggregate query description and builder.
+
+use std::fmt;
+
+use crate::predicate::Predicate;
+
+/// The aggregate functions the paper considers (§1.4, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// `SUM(attr)`
+    Sum,
+    /// `COUNT(*)` or `COUNT(attr)`
+    Count,
+    /// `AVG(attr)`
+    Avg,
+    /// `MIN(attr)`
+    Min,
+    /// `MAX(attr)`
+    Max,
+}
+
+impl fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Count => "COUNT",
+            AggregateFunction::Avg => "AVG",
+            AggregateFunction::Min => "MIN",
+            AggregateFunction::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// `SELECT AGG(attr) FROM table WHERE predicate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateQuery {
+    /// The aggregate function.
+    pub agg: AggregateFunction,
+    /// Aggregated column; `None` for `COUNT(*)`.
+    pub column: Option<String>,
+    /// Target table name.
+    pub table: String,
+    /// Filter (defaults to [`Predicate::True`]).
+    pub predicate: Predicate,
+    /// Optional grouping column: one corrected aggregate per distinct value.
+    pub group_by: Option<String>,
+}
+
+impl AggregateQuery {
+    /// Starts a `SUM(column)` query.
+    pub fn sum(column: impl Into<String>) -> QueryBuilder {
+        QueryBuilder::new(AggregateFunction::Sum, Some(column.into()))
+    }
+
+    /// Starts a `COUNT(*)` query.
+    pub fn count_star() -> QueryBuilder {
+        QueryBuilder::new(AggregateFunction::Count, None)
+    }
+
+    /// Starts an `AVG(column)` query.
+    pub fn avg(column: impl Into<String>) -> QueryBuilder {
+        QueryBuilder::new(AggregateFunction::Avg, Some(column.into()))
+    }
+
+    /// Starts a `MIN(column)` query.
+    pub fn min(column: impl Into<String>) -> QueryBuilder {
+        QueryBuilder::new(AggregateFunction::Min, Some(column.into()))
+    }
+
+    /// Starts a `MAX(column)` query.
+    pub fn max(column: impl Into<String>) -> QueryBuilder {
+        QueryBuilder::new(AggregateFunction::Max, Some(column.into()))
+    }
+}
+
+impl fmt::Display for AggregateQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let col = self.column.as_deref().unwrap_or("*");
+        write!(f, "SELECT {}({}) FROM {}", self.agg, col, self.table)?;
+        if self.predicate != Predicate::True {
+            write!(f, " WHERE {}", self.predicate)?;
+        }
+        if let Some(group) = &self.group_by {
+            write!(f, " GROUP BY {group}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`AggregateQuery`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    agg: AggregateFunction,
+    column: Option<String>,
+    predicate: Predicate,
+    group_by: Option<String>,
+}
+
+impl QueryBuilder {
+    fn new(agg: AggregateFunction, column: Option<String>) -> Self {
+        QueryBuilder {
+            agg,
+            column,
+            predicate: Predicate::True,
+            group_by: None,
+        }
+    }
+
+    /// Groups the aggregate by a column (one corrected result per group).
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.group_by = Some(column.into());
+        self
+    }
+
+    /// Adds a filter (AND-composed with any existing one).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = match self.predicate {
+            Predicate::True => predicate,
+            existing => existing.and(predicate),
+        };
+        self
+    }
+
+    /// Finishes the query against `table`.
+    pub fn from(self, table: impl Into<String>) -> AggregateQuery {
+        AggregateQuery {
+            agg: self.agg,
+            column: self.column,
+            table: table.into(),
+            predicate: self.predicate,
+            group_by: self.group_by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::value::Value;
+
+    #[test]
+    fn builder_produces_paper_query() {
+        let q = AggregateQuery::sum("employees").from("us_tech_companies");
+        assert_eq!(q.agg, AggregateFunction::Sum);
+        assert_eq!(q.column.as_deref(), Some("employees"));
+        assert_eq!(
+            q.to_string(),
+            "SELECT SUM(employees) FROM us_tech_companies"
+        );
+    }
+
+    #[test]
+    fn count_star_has_no_column() {
+        let q = AggregateQuery::count_star().from("t");
+        assert_eq!(q.column, None);
+        assert_eq!(q.to_string(), "SELECT COUNT(*) FROM t");
+    }
+
+    #[test]
+    fn filters_compose_with_and() {
+        let q = AggregateQuery::avg("x")
+            .filter(Predicate::cmp("a", CmpOp::Gt, Value::Int(1)))
+            .filter(Predicate::cmp("b", CmpOp::Lt, Value::Int(9)))
+            .from("t");
+        assert_eq!(
+            q.to_string(),
+            "SELECT AVG(x) FROM t WHERE (a > 1 AND b < 9)"
+        );
+    }
+
+    #[test]
+    fn group_by_builder_and_display() {
+        let q = AggregateQuery::sum("employees").group_by("state").from("t");
+        assert_eq!(q.group_by.as_deref(), Some("state"));
+        assert_eq!(q.to_string(), "SELECT SUM(employees) FROM t GROUP BY state");
+    }
+
+    #[test]
+    fn min_max_builders() {
+        assert_eq!(
+            AggregateQuery::min("v").from("t").agg,
+            AggregateFunction::Min
+        );
+        assert_eq!(
+            AggregateQuery::max("v").from("t").agg,
+            AggregateFunction::Max
+        );
+    }
+}

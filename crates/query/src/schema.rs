@@ -1,0 +1,159 @@
+//! Table schemas.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float (integers are accepted and widened).
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether `value` conforms to the column type (NULL always does).
+    pub fn accepts(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_) | Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "INT"),
+            ColumnType::Float => write!(f, "FLOAT"),
+            ColumnType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (matched case-insensitively).
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names (case-insensitive) or an empty list.
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = (S, ColumnType)>,
+        S: Into<String>,
+    {
+        let columns: Vec<Column> = columns
+            .into_iter()
+            .map(|(name, ty)| Column {
+                name: name.into(),
+                ty,
+            })
+            .collect();
+        assert!(!columns.is_empty(), "schema needs at least one column");
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert!(
+                    !a.name.eq_ignore_ascii_case(&b.name),
+                    "duplicate column name {:?}",
+                    a.name
+                );
+            }
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::new([
+            ("Company", ColumnType::Str),
+            ("employees", ColumnType::Float),
+        ]);
+        assert_eq!(s.index_of("company"), Some(0));
+        assert_eq!(s.index_of("EMPLOYEES"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new([("a", ColumnType::Int), ("A", ColumnType::Str)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_schema_rejected() {
+        Schema::new(Vec::<(String, ColumnType)>::new());
+    }
+
+    #[test]
+    fn type_acceptance() {
+        assert!(ColumnType::Float.accepts(&Value::Int(1)));
+        assert!(ColumnType::Float.accepts(&Value::Float(1.5)));
+        assert!(!ColumnType::Int.accepts(&Value::Float(1.5)));
+        assert!(ColumnType::Str.accepts(&Value::from("x")));
+        assert!(!ColumnType::Str.accepts(&Value::Int(1)));
+        assert!(ColumnType::Int.accepts(&Value::Null));
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(ColumnType::Int.to_string(), "INT");
+        assert_eq!(ColumnType::Float.to_string(), "FLOAT");
+        assert_eq!(ColumnType::Str.to_string(), "TEXT");
+    }
+}

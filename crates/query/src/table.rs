@@ -1,0 +1,484 @@
+//! Integrated tables: entity-deduplicated storage with observation lineage.
+//!
+//! An [`IntegratedTable`] is the paper's `K` (one row per unique entity)
+//! together with the information that defines the multiset `S`: how many
+//! times each entity was observed, by which source. The end user queries the
+//! deduplicated view; the estimators consume the lineage.
+
+use std::collections::HashMap;
+
+use crate::predicate::{Predicate, PredicateError};
+use crate::record::{Record, RecordError};
+use crate::schema::{ColumnType, Schema};
+use crate::value::Value;
+use uu_core::sample::{ObservedItem, SampleView};
+
+/// Errors raised by table operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// The designated entity-key column does not exist.
+    UnknownKeyColumn(String),
+    /// A record failed schema validation.
+    Record(RecordError),
+    /// The entity key of a record is NULL.
+    NullKey,
+    /// A column referenced by a query does not exist.
+    UnknownColumn(String),
+    /// The aggregate attribute column is not numeric.
+    NonNumericColumn(String),
+    /// A predicate failed to evaluate.
+    Predicate(PredicateError),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::UnknownKeyColumn(c) => write!(f, "unknown key column {c:?}"),
+            TableError::Record(e) => write!(f, "invalid record: {e}"),
+            TableError::NullKey => write!(f, "entity key must not be NULL"),
+            TableError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            TableError::NonNumericColumn(c) => {
+                write!(
+                    f,
+                    "column {c:?} is not numeric; aggregates need INT or FLOAT"
+                )
+            }
+            TableError::Predicate(e) => write!(f, "predicate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<RecordError> for TableError {
+    fn from(e: RecordError) -> Self {
+        TableError::Record(e)
+    }
+}
+
+impl From<PredicateError> for TableError {
+    fn from(e: PredicateError) -> Self {
+        TableError::Predicate(e)
+    }
+}
+
+/// One unique entity with its lineage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// The record under the table schema (first observation wins; upstream
+    /// data cleaning is assumed, per the paper's §2).
+    pub record: Record,
+    /// `(source_id, observation_count)` — sorted by source id.
+    pub source_counts: Vec<(u32, u32)>,
+}
+
+impl Entity {
+    /// Total observations of this entity across sources.
+    pub fn multiplicity(&self) -> u64 {
+        self.source_counts.iter().map(|&(_, k)| k as u64).sum()
+    }
+}
+
+/// An integrated, entity-deduplicated table with lineage.
+#[derive(Debug, Clone)]
+pub struct IntegratedTable {
+    name: String,
+    schema: Schema,
+    key_col: usize,
+    entities: Vec<Entity>,
+    index: HashMap<String, usize>,
+}
+
+impl IntegratedTable {
+    /// Creates an empty table. `key_column` names the column whose value
+    /// identifies an entity (entity resolution is assumed done upstream).
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        key_column: &str,
+    ) -> Result<Self, TableError> {
+        let key_col = schema
+            .index_of(key_column)
+            .ok_or_else(|| TableError::UnknownKeyColumn(key_column.to_string()))?;
+        Ok(IntegratedTable {
+            name: name.into(),
+            schema,
+            key_col,
+            entities: Vec::new(),
+            index: HashMap::new(),
+        })
+    }
+
+    /// Table name (matched case-insensitively by the executor).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Records that `source_id` mentioned the entity described by `values`.
+    ///
+    /// If the entity (by key column) is new, the record is stored; otherwise
+    /// only the lineage is updated (first record wins — the paper assumes
+    /// upstream fusion resolved value conflicts).
+    pub fn insert_observation(
+        &mut self,
+        source_id: u32,
+        values: Vec<Value>,
+    ) -> Result<(), TableError> {
+        let record = Record::new(&self.schema, values)?;
+        let key_value = record.value(self.key_col);
+        if key_value.is_null() {
+            return Err(TableError::NullKey);
+        }
+        let key = key_value.entity_key();
+        let idx = match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                self.entities.push(Entity {
+                    record,
+                    source_counts: Vec::new(),
+                });
+                let i = self.entities.len() - 1;
+                self.index.insert(key, i);
+                i
+            }
+        };
+        let entity = &mut self.entities[idx];
+        match entity
+            .source_counts
+            .binary_search_by_key(&source_id, |&(s, _)| s)
+        {
+            Ok(pos) => entity.source_counts[pos].1 += 1,
+            Err(pos) => entity.source_counts.insert(pos, (source_id, 1)),
+        }
+        Ok(())
+    }
+
+    /// Number of unique entities (`c = |K|`).
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the table has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Total observations across all sources (`n = |S|`).
+    pub fn total_observations(&self) -> u64 {
+        self.entities.iter().map(Entity::multiplicity).sum()
+    }
+
+    /// Iterates over the unique entities.
+    pub fn entities(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter()
+    }
+
+    /// Looks up an entity by its key value.
+    pub fn entity(&self, key: &Value) -> Option<&Entity> {
+        self.index
+            .get(&key.entity_key())
+            .map(|&i| &self.entities[i])
+    }
+
+    /// Builds the estimator input for `AGG(attr_column) WHERE predicate`:
+    /// entities passing the predicate, with the attribute as the value and
+    /// full lineage. Entities whose attribute is NULL are skipped (SQL
+    /// aggregate semantics).
+    pub fn sample_view(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+    ) -> Result<SampleView, TableError> {
+        let attr_idx = match attr_column {
+            Some(name) => {
+                let idx = self
+                    .schema
+                    .index_of(name)
+                    .ok_or_else(|| TableError::UnknownColumn(name.to_string()))?;
+                match self.schema.column(idx).ty {
+                    ColumnType::Int | ColumnType::Float => Some(idx),
+                    ColumnType::Str => return Err(TableError::NonNumericColumn(name.to_string())),
+                }
+            }
+            None => None, // COUNT(*): values are irrelevant
+        };
+        let mut items = Vec::new();
+        for entity in &self.entities {
+            if !predicate.eval(&self.schema, &entity.record)? {
+                continue;
+            }
+            let value = match attr_idx {
+                Some(idx) => match entity.record.value(idx).as_f64() {
+                    Some(v) => v,
+                    None => continue, // NULL attribute: excluded from AGG
+                },
+                None => 0.0,
+            };
+            items.push(ObservedItem {
+                value,
+                multiplicity: entity.multiplicity(),
+                source_counts: entity.source_counts.clone(),
+            });
+        }
+        Ok(SampleView::from_observed_items(items))
+    }
+
+    /// Like [`IntegratedTable::sample_view`], but partitioned by the distinct
+    /// values of `group_column`. Returns `(group value, view)` pairs sorted
+    /// by the group key's entity representation.
+    ///
+    /// Entities whose group value is NULL form their own group (SQL groups
+    /// NULLs together).
+    pub fn grouped_sample_views(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+        group_column: &str,
+    ) -> Result<Vec<(Value, SampleView)>, TableError> {
+        let group_idx = self
+            .schema
+            .index_of(group_column)
+            .ok_or_else(|| TableError::UnknownColumn(group_column.to_string()))?;
+        let attr_idx = match attr_column {
+            Some(name) => {
+                let idx = self
+                    .schema
+                    .index_of(name)
+                    .ok_or_else(|| TableError::UnknownColumn(name.to_string()))?;
+                match self.schema.column(idx).ty {
+                    ColumnType::Int | ColumnType::Float => Some(idx),
+                    ColumnType::Str => return Err(TableError::NonNumericColumn(name.to_string())),
+                }
+            }
+            None => None,
+        };
+        // Group key (canonical string) → (representative value, items).
+        let mut groups: HashMap<String, (Value, Vec<ObservedItem>)> = HashMap::new();
+        for entity in &self.entities {
+            if !predicate.eval(&self.schema, &entity.record)? {
+                continue;
+            }
+            let value = match attr_idx {
+                Some(idx) => match entity.record.value(idx).as_f64() {
+                    Some(v) => v,
+                    None => continue,
+                },
+                None => 0.0,
+            };
+            let group_value = entity.record.value(group_idx);
+            let entry = groups
+                .entry(group_value.entity_key())
+                .or_insert_with(|| (group_value.clone(), Vec::new()));
+            entry.1.push(ObservedItem {
+                value,
+                multiplicity: entity.multiplicity(),
+                source_counts: entity.source_counts.clone(),
+            });
+        }
+        let mut out: Vec<(Value, SampleView)> = groups
+            .into_iter()
+            .map(|(_, (value, items))| (value, SampleView::from_observed_items(items)))
+            .collect();
+        out.sort_by_key(|(value, _)| value.entity_key());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn tech_table() -> IntegratedTable {
+        let schema = Schema::new([
+            ("company", ColumnType::Str),
+            ("employees", ColumnType::Float),
+            ("state", ColumnType::Str),
+        ]);
+        let mut t = IntegratedTable::new("us_tech_companies", schema, "company").unwrap();
+        let rows = [
+            (0u32, "A", 1000.0, "CA"),
+            (0, "B", 2000.0, "CA"),
+            (0, "D", 10_000.0, "WA"),
+            (1, "B", 2000.0, "CA"),
+            (1, "D", 10_000.0, "WA"),
+            (2, "D", 10_000.0, "WA"),
+            (3, "D", 10_000.0, "WA"),
+        ];
+        for (src, name, emp, state) in rows {
+            t.insert_observation(
+                src,
+                vec![Value::from(name), Value::from(emp), Value::from(state)],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn deduplicates_entities_and_tracks_lineage() {
+        let t = tech_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_observations(), 7);
+        let d = t.entity(&Value::from("D")).unwrap();
+        assert_eq!(d.multiplicity(), 4);
+        assert_eq!(d.source_counts, vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn first_record_wins_on_conflict() {
+        let mut t = tech_table();
+        t.insert_observation(
+            5,
+            vec![Value::from("A"), Value::from(9_999.0), Value::from("NY")],
+        )
+        .unwrap();
+        let a = t.entity(&Value::from("A")).unwrap();
+        assert_eq!(a.record.value(1).as_f64(), Some(1000.0));
+        assert_eq!(a.multiplicity(), 2);
+    }
+
+    #[test]
+    fn sample_view_matches_toy_example() {
+        let t = tech_table();
+        let v = t.sample_view(Some("employees"), &Predicate::True).unwrap();
+        assert_eq!(v.n(), 7);
+        assert_eq!(v.c(), 3);
+        assert_eq!(v.observed_sum(), 13_000.0);
+        assert_eq!(v.source_sizes(), &[3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn sample_view_with_predicate() {
+        let t = tech_table();
+        let pred = Predicate::cmp("state", CmpOp::Eq, Value::from("CA"));
+        let v = t.sample_view(Some("employees"), &pred).unwrap();
+        assert_eq!(v.c(), 2);
+        assert_eq!(v.observed_sum(), 3000.0);
+    }
+
+    #[test]
+    fn sample_view_errors() {
+        let t = tech_table();
+        assert!(matches!(
+            t.sample_view(Some("missing"), &Predicate::True),
+            Err(TableError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            t.sample_view(Some("company"), &Predicate::True),
+            Err(TableError::NonNumericColumn(_))
+        ));
+    }
+
+    #[test]
+    fn count_star_view_needs_no_column() {
+        let t = tech_table();
+        let v = t.sample_view(None, &Predicate::True).unwrap();
+        assert_eq!(v.c(), 3);
+        assert_eq!(v.n(), 7);
+    }
+
+    #[test]
+    fn null_attributes_are_skipped() {
+        let schema = Schema::new([("k", ColumnType::Str), ("x", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        t.insert_observation(0, vec![Value::from("a"), Value::from(1.0)])
+            .unwrap();
+        t.insert_observation(0, vec![Value::from("b"), Value::Null])
+            .unwrap();
+        let v = t.sample_view(Some("x"), &Predicate::True).unwrap();
+        assert_eq!(v.c(), 1);
+        // COUNT(*) still sees both entities.
+        let all = t.sample_view(None, &Predicate::True).unwrap();
+        assert_eq!(all.c(), 2);
+    }
+
+    #[test]
+    fn null_keys_are_rejected() {
+        let schema = Schema::new([("k", ColumnType::Str), ("x", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        let err = t
+            .insert_observation(0, vec![Value::Null, Value::from(1.0)])
+            .unwrap_err();
+        assert_eq!(err, TableError::NullKey);
+    }
+
+    #[test]
+    fn unknown_key_column_is_rejected() {
+        let schema = Schema::new([("k", ColumnType::Str)]);
+        assert!(matches!(
+            IntegratedTable::new("t", schema, "nope"),
+            Err(TableError::UnknownKeyColumn(_))
+        ));
+    }
+
+    #[test]
+    fn grouped_views_partition_by_column() {
+        let t = tech_table();
+        let groups = t
+            .grouped_sample_views(Some("employees"), &Predicate::True, "state")
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        // Sorted by key: CA before WA.
+        assert_eq!(groups[0].0, Value::from("CA"));
+        assert_eq!(groups[0].1.c(), 2);
+        assert_eq!(groups[0].1.observed_sum(), 3000.0);
+        assert_eq!(groups[1].0, Value::from("WA"));
+        assert_eq!(groups[1].1.n(), 4);
+    }
+
+    #[test]
+    fn grouped_views_respect_predicate_and_errors() {
+        let t = tech_table();
+        let pred = Predicate::cmp("employees", CmpOp::Gt, Value::from(1500.0));
+        let groups = t
+            .grouped_sample_views(Some("employees"), &pred, "state")
+            .unwrap();
+        let total: u64 = groups.iter().map(|(_, v)| v.c()).sum();
+        assert_eq!(total, 2); // B and D survive
+        assert!(matches!(
+            t.grouped_sample_views(Some("employees"), &Predicate::True, "nope"),
+            Err(TableError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn null_group_values_form_their_own_group() {
+        let schema = Schema::new([
+            ("k", ColumnType::Str),
+            ("v", ColumnType::Float),
+            ("g", ColumnType::Str),
+        ]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        t.insert_observation(
+            0,
+            vec![Value::from("a"), Value::from(1.0), Value::from("x")],
+        )
+        .unwrap();
+        t.insert_observation(0, vec![Value::from("b"), Value::from(2.0), Value::Null])
+            .unwrap();
+        t.insert_observation(1, vec![Value::from("c"), Value::from(3.0), Value::Null])
+            .unwrap();
+        let groups = t
+            .grouped_sample_views(Some("v"), &Predicate::True, "g")
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        let null_group = groups.iter().find(|(k, _)| k.is_null()).unwrap();
+        assert_eq!(null_group.1.c(), 2);
+    }
+
+    #[test]
+    fn bad_records_are_rejected() {
+        let mut t = tech_table();
+        let err = t.insert_observation(0, vec![Value::from("X")]).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::Record(RecordError::ArityMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,178 @@
+//! Typed cell values.
+
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Numeric view: integers widen to floats; strings and NULL have none.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) | Value::Null => None,
+        }
+    }
+
+    /// String view (strings only).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style three-valued comparison: `None` when the values are
+    /// incomparable (NULL involved, or string vs. number).
+    pub fn compare(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                Some(a.total_cmp(&b))
+            }
+        }
+    }
+
+    /// SQL equality (`NULL = x` is unknown ⇒ `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.compare(other).map(|o| o == std::cmp::Ordering::Equal)
+    }
+
+    /// The key representation used for entity identity — `Display`, but
+    /// canonicalising floats so `1` and `1.0` unify.
+    pub fn entity_key(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Null => "<null>".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            // SQL string syntax: embedded quotes double up, so the printed
+            // form re-parses to the same value.
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).compare(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).compare(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(
+            Value::from("apple").compare(&Value::from("banana")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::from("x").sql_eq(&Value::Null), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn string_vs_number_is_incomparable() {
+        assert_eq!(Value::from("5").compare(&Value::Int(5)), None);
+    }
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn entity_keys_canonicalise_numbers() {
+        assert_eq!(Value::Int(3).entity_key(), "3");
+        assert_eq!(Value::Float(3.0).entity_key(), "3");
+        assert_eq!(Value::Float(3.5).entity_key(), "3.5");
+        assert_eq!(Value::from("IBM").entity_key(), "IBM");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(1).to_string(), "1");
+        assert_eq!(Value::from("a").to_string(), "'a'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

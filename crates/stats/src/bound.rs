@@ -1,0 +1,142 @@
+//! High-probability upper bound on the missing probability mass (paper Eq. 16).
+//!
+//! McAllester & Schapire (COLT 2000) proved that the Good–Turing estimate of
+//! the unobserved mass `M0` admits the deviation bound
+//!
+//! ```text
+//! M0 ≤ f1/n + (2√2 + √3) · √( ln(3/δ) / n )
+//! ```
+//!
+//! which holds with probability at least `1 − δ` over the draw of the sample.
+//! The paper plugs this into `N̂ ≈ c / (1 − M0)` to obtain a worst-case count
+//! estimate (Eq. 17), and multiplies by a three-sigma value bound to get the
+//! SUM upper bound (Eq. 19, implemented in `uu-core`).
+
+use crate::freq::FrequencyStatistics;
+
+/// The constant `2√2 + √3 ≈ 4.560` from the McAllester–Schapire bound.
+pub fn mcallester_schapire_coefficient() -> f64 {
+    2.0 * std::f64::consts::SQRT_2 + 3.0f64.sqrt()
+}
+
+/// Computes the `1 − δ` upper bound on the unobserved probability mass `M0`.
+///
+/// Returns `None` for an empty sample. The value can exceed 1 for small `n` —
+/// the bound is vacuous there; [`worst_case_richness`] reports that case as
+/// `None`.
+///
+/// # Panics
+///
+/// Panics if `delta` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::FrequencyStatistics;
+/// use uu_stats::bound::good_turing_mass_bound;
+///
+/// let f = FrequencyStatistics::from_multiplicities(vec![3u64; 2000]);
+/// let m0 = good_turing_mass_bound(&f, 0.01).unwrap();
+/// assert!(m0 > 0.0 && m0 < 0.15); // f1 = 0, only the deviation term remains
+/// ```
+pub fn good_turing_mass_bound(f: &FrequencyStatistics, delta: f64) -> Option<f64> {
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "confidence parameter delta must be in (0, 1), got {delta}"
+    );
+    if f.is_empty() {
+        return None;
+    }
+    let n = f.n() as f64;
+    let f1 = f.singletons() as f64;
+    Some(f1 / n + mcallester_schapire_coefficient() * ((3.0 / delta).ln() / n).sqrt())
+}
+
+/// Worst-case richness `c / (1 − M0_bound)` (paper Eq. 17).
+///
+/// Returns `None` when the sample is empty or the mass bound is ≥ 1 (too few
+/// observations for the bound to say anything).
+pub fn worst_case_richness(f: &FrequencyStatistics, delta: f64) -> Option<f64> {
+    let m0 = good_turing_mass_bound(f, delta)?;
+    if m0 >= 1.0 {
+        return None;
+    }
+    Some(f.c() as f64 / (1.0 - m0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coefficient_value() {
+        assert!((mcallester_schapire_coefficient() - 4.560477932).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_sample_has_no_bound() {
+        let f = FrequencyStatistics::from_multiplicities(std::iter::empty());
+        assert_eq!(good_turing_mass_bound(&f, 0.01), None);
+        assert_eq!(worst_case_richness(&f, 0.01), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn invalid_delta_panics() {
+        let f = FrequencyStatistics::from_multiplicities([2, 2]);
+        let _ = good_turing_mass_bound(&f, 0.0);
+    }
+
+    #[test]
+    fn small_samples_make_the_bound_vacuous() {
+        // n = 4: deviation term alone is ≈ 4.56·√(ln300/4) ≈ 5.4 > 1.
+        let f = FrequencyStatistics::from_multiplicities([2, 2]);
+        assert!(good_turing_mass_bound(&f, 0.01).unwrap() > 1.0);
+        assert_eq!(worst_case_richness(&f, 0.01), None);
+    }
+
+    #[test]
+    fn large_complete_sample_bounds_near_c() {
+        // 500 classes each observed 20 times: f1 = 0, n = 10_000.
+        let f = FrequencyStatistics::from_multiplicities(vec![20u64; 500]);
+        let n_hat = worst_case_richness(&f, 0.01).unwrap();
+        assert!(n_hat >= 500.0);
+        assert!(
+            n_hat < 500.0 / (1.0 - 0.2),
+            "bound unexpectedly loose: {n_hat}"
+        );
+    }
+
+    #[test]
+    fn bound_tightens_with_n() {
+        let small = FrequencyStatistics::from_multiplicities(vec![5u64; 100]);
+        let large = FrequencyStatistics::from_multiplicities(vec![5u64; 10_000]);
+        let ms = good_turing_mass_bound(&small, 0.01).unwrap();
+        let ml = good_turing_mass_bound(&large, 0.01).unwrap();
+        assert!(ml < ms);
+    }
+
+    proptest! {
+        #[test]
+        fn bound_dominates_good_turing_point_estimate(
+            ms in proptest::collection::vec(1u64..20, 1..200),
+            delta in 0.001f64..0.5
+        ) {
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            let point = f.singletons() as f64 / f.n() as f64;
+            let bound = good_turing_mass_bound(&f, delta).unwrap();
+            prop_assert!(bound >= point);
+        }
+
+        #[test]
+        fn richness_bound_at_least_c_when_defined(
+            ms in proptest::collection::vec(1u64..20, 1..200)
+        ) {
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            if let Some(b) = worst_case_richness(&f, 0.01) {
+                prop_assert!(b >= f.c() as f64);
+            }
+        }
+    }
+}

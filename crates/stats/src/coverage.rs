@@ -1,0 +1,100 @@
+//! Good–Turing sample coverage (paper Eq. 4).
+//!
+//! The *sample coverage* `C` of a sample is the total probability mass of the
+//! classes that appear in it. Good (1953) showed `Ĉ = 1 − f1/n` is a nearly
+//! unbiased estimator of `C`: the share of singletons among all observations
+//! measures how much of the distribution is still unexplored.
+
+use crate::freq::FrequencyStatistics;
+
+/// Estimates the sample coverage `Ĉ = 1 − f1/n`.
+///
+/// Returns `None` for an empty sample (coverage is undefined without
+/// observations). The result is clamped to `[0, 1]`; `0` occurs exactly when
+/// every observation is a singleton, in which case downstream coverage-based
+/// estimators (Chao92) are undefined.
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::FrequencyStatistics;
+/// use uu_stats::coverage::sample_coverage;
+///
+/// let f = FrequencyStatistics::from_multiplicities([1, 2, 4]); // n=7, f1=1
+/// assert!((sample_coverage(&f).unwrap() - 6.0 / 7.0).abs() < 1e-12);
+/// ```
+pub fn sample_coverage(f: &FrequencyStatistics) -> Option<f64> {
+    if f.is_empty() {
+        return None;
+    }
+    let c = 1.0 - f.singletons() as f64 / f.n() as f64;
+    Some(c.clamp(0.0, 1.0))
+}
+
+/// The paper's §6.5 recommendation threshold: estimates should only be
+/// surfaced once predicted coverage exceeds 40% (Chao & Lee report reliable
+/// behaviour for `C ≥ 0.395` only).
+pub const RECOMMENDED_MIN_COVERAGE: f64 = 0.40;
+
+/// Returns true when the sample is complete enough for coverage-based
+/// estimates to be trustworthy per the paper's recommendation.
+pub fn meets_recommended_coverage(f: &FrequencyStatistics) -> bool {
+    sample_coverage(f).is_some_and(|c| c >= RECOMMENDED_MIN_COVERAGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sample_has_no_coverage() {
+        let f = FrequencyStatistics::from_multiplicities(std::iter::empty());
+        assert_eq!(sample_coverage(&f), None);
+    }
+
+    #[test]
+    fn all_singletons_has_zero_coverage() {
+        let f = FrequencyStatistics::from_multiplicities([1, 1, 1]);
+        assert_eq!(sample_coverage(&f), Some(0.0));
+        assert!(!meets_recommended_coverage(&f));
+    }
+
+    #[test]
+    fn no_singletons_has_full_coverage() {
+        let f = FrequencyStatistics::from_multiplicities([2, 3, 5]);
+        assert_eq!(sample_coverage(&f), Some(1.0));
+        assert!(meets_recommended_coverage(&f));
+    }
+
+    #[test]
+    fn toy_example_value() {
+        let f = FrequencyStatistics::from_multiplicities([1, 2, 4]);
+        let c = sample_coverage(&f).unwrap();
+        assert!((c - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn coverage_is_in_unit_interval(ms in proptest::collection::vec(1u64..40, 1..200)) {
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            let c = sample_coverage(&f).unwrap();
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn adding_a_duplicate_never_decreases_coverage(
+            ms in proptest::collection::vec(1u64..40, 1..100)
+        ) {
+            let before = FrequencyStatistics::from_multiplicities(ms.iter().copied());
+            // Duplicate the first item once more.
+            let mut bumped = ms.clone();
+            bumped[0] += 1;
+            let after = FrequencyStatistics::from_multiplicities(bumped);
+            let cb = sample_coverage(&before).unwrap();
+            let ca = sample_coverage(&after).unwrap();
+            // f1 can only stay or shrink while n grows, so Ĉ cannot drop.
+            prop_assert!(ca >= cb - 1e-12, "coverage dropped: {} -> {}", cb, ca);
+        }
+    }
+}

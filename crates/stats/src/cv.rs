@@ -1,0 +1,147 @@
+//! Coefficient-of-variation estimation (paper Eq. 5–6, from Chao & Lee 1992).
+//!
+//! The squared coefficient of variation `γ²` of the publicity probabilities
+//! `p_1 … p_N` measures how skewed the sampling distribution is (`γ = 0` ⇔
+//! uniform). It is unobservable directly, so Chao92 estimates it from the
+//! `f`-statistics:
+//!
+//! ```text
+//! γ̂² = max{ (c/Ĉ) · Σ_i i(i−1) f_i / (n(n−1)) − 1 , 0 }
+//! ```
+
+use crate::coverage::sample_coverage;
+use crate::freq::FrequencyStatistics;
+
+/// Estimates `γ̂²` per Eq. 6.
+///
+/// Returns `None` when the estimate is undefined: empty sample, `n < 2`
+/// (the `n(n−1)` denominator vanishes) or zero estimated coverage (all
+/// singletons, which also makes Chao92 itself undefined).
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::FrequencyStatistics;
+/// use uu_stats::cv::cv_squared;
+///
+/// // Toy example before s5: multiplicities 1, 2, 4 ⇒ γ̂² = 1/6.
+/// let f = FrequencyStatistics::from_multiplicities([1, 2, 4]);
+/// assert!((cv_squared(&f).unwrap() - 1.0 / 6.0).abs() < 1e-12);
+/// ```
+pub fn cv_squared(f: &FrequencyStatistics) -> Option<f64> {
+    if f.n() < 2 {
+        return None;
+    }
+    let coverage = sample_coverage(f)?;
+    if coverage <= 0.0 {
+        return None;
+    }
+    let n = f.n() as f64;
+    let c = f.c() as f64;
+    let sum = f.sum_i_i_minus_one_f_i() as f64;
+    let gamma2 = (c / coverage) * sum / (n * (n - 1.0)) - 1.0;
+    Some(gamma2.max(0.0))
+}
+
+/// The (non-squared) coefficient of variation estimate `γ̂`.
+pub fn cv(f: &FrequencyStatistics) -> Option<f64> {
+    cv_squared(f).map(f64::sqrt)
+}
+
+/// Exact squared coefficient of variation of a known probability vector
+/// (Eq. 5). Used by the data generator and tests to characterise synthetic
+/// publicity distributions; real estimators never see it.
+///
+/// Returns `None` for an empty slice or non-positive total mass.
+pub fn cv_squared_exact(probabilities: &[f64]) -> Option<f64> {
+    if probabilities.is_empty() {
+        return None;
+    }
+    let total: f64 = probabilities.iter().sum();
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None;
+    }
+    let n = probabilities.len() as f64;
+    let mean = total / n;
+    let var = probabilities
+        .iter()
+        .map(|p| (p - mean) * (p - mean))
+        .sum::<f64>()
+        / n;
+    Some(var / (mean * mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn undefined_for_tiny_samples() {
+        let empty = FrequencyStatistics::from_multiplicities(std::iter::empty());
+        assert_eq!(cv_squared(&empty), None);
+        let single = FrequencyStatistics::from_multiplicities([1]);
+        assert_eq!(cv_squared(&single), None);
+    }
+
+    #[test]
+    fn undefined_when_all_singletons() {
+        let f = FrequencyStatistics::from_multiplicities([1, 1, 1]);
+        assert_eq!(cv_squared(&f), None);
+    }
+
+    #[test]
+    fn toy_example_before_s5() {
+        // n=7, c=3, f1=1, Ĉ=6/7, Σ i(i-1)f_i = 14:
+        // (3/(6/7)) · 14/42 − 1 = 3.5 · 1/3 − 1 = 1/6.
+        let f = FrequencyStatistics::from_multiplicities([1, 2, 4]);
+        assert!((cv_squared(&f).unwrap() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toy_example_after_s5_clamps_to_zero() {
+        // n=9, c=4, f1=1, Ĉ=8/9, Σ=16: 4.5·16/72 − 1 = 0.
+        let f = FrequencyStatistics::from_multiplicities([2, 2, 4, 1]);
+        assert_eq!(cv_squared(&f), Some(0.0));
+    }
+
+    #[test]
+    fn exact_cv_uniform_is_zero() {
+        let probs = vec![0.25; 4];
+        assert!(cv_squared_exact(&probs).unwrap().abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_cv_skewed_is_positive() {
+        let probs = [0.7, 0.1, 0.1, 0.1];
+        assert!(cv_squared_exact(&probs).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn exact_cv_empty_is_none() {
+        assert_eq!(cv_squared_exact(&[]), None);
+        assert_eq!(cv_squared_exact(&[0.0, 0.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_is_non_negative(ms in proptest::collection::vec(1u64..30, 2..150)) {
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            if let Some(g2) = cv_squared(&f) {
+                prop_assert!(g2 >= 0.0);
+                prop_assert!(g2.is_finite());
+            }
+        }
+
+        #[test]
+        fn exact_cv_scale_invariant(
+            ps in proptest::collection::vec(0.01f64..10.0, 2..50),
+            scale in 0.1f64..100.0
+        ) {
+            let a = cv_squared_exact(&ps).unwrap();
+            let scaled: Vec<f64> = ps.iter().map(|p| p * scale).collect();
+            let b = cv_squared_exact(&scaled).unwrap();
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+}

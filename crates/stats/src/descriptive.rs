@@ -1,0 +1,246 @@
+//! Descriptive statistics used across the workspace.
+//!
+//! Includes the sample standard deviation needed by the SUM upper bound
+//! (paper Eq. 18), Spearman rank correlation (used to validate the synthetic
+//! publicity–value correlation generator) and the Gini coefficient (used by
+//! the §6.5-style streaker/source-imbalance detector in `uu-core`).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`). Returns `None` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n − 1`). Returns `None` for fewer than two
+/// observations.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation `σ_K` as used in the upper bound (Eq. 18).
+/// Returns `None` for fewer than two observations.
+pub fn sample_stddev(xs: &[f64]) -> Option<f64> {
+    sample_variance(xs).map(f64::sqrt)
+}
+
+/// Median (average of the two central order statistics for even lengths).
+/// Returns `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median over NaN"));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    })
+}
+
+/// Linear-interpolation percentile, `p ∈ [0, 100]`.
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile over NaN"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Assigns fractional ranks (1-based, ties averaged) to the values.
+fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("rank over NaN"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation coefficient. Returns `None` if either side has zero
+/// variance or the slices are empty / of different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return None;
+    }
+    Some(num / (dx.sqrt() * dy.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson correlation of fractional ranks.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    pearson(&fractional_ranks(xs), &fractional_ranks(ys))
+}
+
+/// Gini coefficient of a non-negative quantity vector (0 = perfectly even,
+/// → 1 = fully concentrated). Used to quantify source-contribution imbalance
+/// ("streakers"). Returns `None` for an empty slice or non-positive total.
+pub fn gini(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "gini expects non-negative values"
+    );
+    let total: f64 = xs.iter().sum();
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("gini over NaN"));
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    Some((2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_slices_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(population_variance(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(gini(&[]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(population_variance(&xs), Some(4.0));
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [10.0, 100.0, 1000.0, 10_000.0, 100_000.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = ys.iter().rev().copied().collect();
+        assert!((spearman(&xs, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 6.0, 7.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_no_correlation() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).unwrap().abs() < 1e-12);
+        // One source contributes everything out of 10: Gini = (n-1)/n = 0.9.
+        let mut xs = vec![0.0; 10];
+        xs[0] = 100.0;
+        assert!((gini(&xs).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn gini_is_in_unit_interval(xs in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            if let Some(g) = gini(&xs) {
+                prop_assert!((0.0..=1.0).contains(&g), "gini {}", g);
+            }
+        }
+
+        #[test]
+        fn spearman_is_in_range(
+            xs in proptest::collection::vec(-100.0f64..100.0, 3..40),
+            ys in proptest::collection::vec(-100.0f64..100.0, 3..40),
+        ) {
+            let n = xs.len().min(ys.len());
+            if let Some(r) = spearman(&xs[..n], &ys[..n]) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn percentile_is_monotone(xs in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+            let p25 = percentile(&xs, 25.0).unwrap();
+            let p50 = percentile(&xs, 50.0).unwrap();
+            let p75 = percentile(&xs, 75.0).unwrap();
+            prop_assert!(p25 <= p50 && p50 <= p75);
+        }
+    }
+}

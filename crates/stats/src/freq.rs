@@ -1,0 +1,348 @@
+//! Frequency statistics (`f`-statistics) of an observation multiset.
+//!
+//! Following the paper's notation (§3.1.1): given a sample `S` of `n`
+//! observations over `c` unique items, `f_j` is the number of distinct items
+//! observed exactly `j` times. `f1` are *singletons*, `f2` *doubletons*; `f0`
+//! (never observed) is what the species estimators infer.
+//!
+//! Two invariants hold by construction and are property-tested:
+//!
+//! * `Σ_j f_j = c`
+//! * `Σ_j j · f_j = n`
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Immutable frequency statistics of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::FrequencyStatistics;
+///
+/// // Items observed 1, 2 and 4 times (the paper's toy example before s5).
+/// let f = FrequencyStatistics::from_multiplicities([1u64, 2, 4]);
+/// assert_eq!(f.n(), 7);
+/// assert_eq!(f.c(), 3);
+/// assert_eq!(f.singletons(), 1);
+/// assert_eq!(f.f(2), 1);
+/// assert_eq!(f.f(3), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrequencyStatistics {
+    /// `f[j]` = number of items observed exactly `j+1` times (index 0 ⇒ f1).
+    f: Vec<u64>,
+    n: u64,
+    c: u64,
+}
+
+impl FrequencyStatistics {
+    /// Builds statistics from the multiplicity of each unique observed item.
+    ///
+    /// Multiplicities of zero are ignored (an unobserved item contributes to
+    /// neither `n` nor `c`; it is exactly the unknown-unknown the estimators
+    /// must infer).
+    pub fn from_multiplicities<I>(multiplicities: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut f: Vec<u64> = Vec::new();
+        let mut n = 0u64;
+        let mut c = 0u64;
+        for m in multiplicities {
+            if m == 0 {
+                continue;
+            }
+            let idx = (m - 1) as usize;
+            if idx >= f.len() {
+                f.resize(idx + 1, 0);
+            }
+            f[idx] += 1;
+            n += m;
+            c += 1;
+        }
+        FrequencyStatistics { f, n, c }
+    }
+
+    /// Builds statistics by counting duplicate observations of hashable items.
+    pub fn from_observations<K, I>(observations: I) -> Self
+    where
+        K: Eq + Hash,
+        I: IntoIterator<Item = K>,
+    {
+        let mut counts: HashMap<K, u64> = HashMap::new();
+        for item in observations {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+        Self::from_multiplicities(counts.into_values())
+    }
+
+    /// Total number of observations `n = |S|` (with duplicates).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of unique observed items `c = |K|`.
+    pub fn c(&self) -> u64 {
+        self.c
+    }
+
+    /// `f_j`: number of items observed exactly `j` times. `f(0)` returns 0 —
+    /// the unobserved count is unknowable from the sample.
+    pub fn f(&self, j: u64) -> u64 {
+        if j == 0 {
+            return 0;
+        }
+        self.f.get((j - 1) as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of singletons `f1`.
+    pub fn singletons(&self) -> u64 {
+        self.f(1)
+    }
+
+    /// Number of doubletons `f2`.
+    pub fn doubletons(&self) -> u64 {
+        self.f(2)
+    }
+
+    /// Largest multiplicity observed (0 for an empty sample).
+    pub fn max_multiplicity(&self) -> u64 {
+        self.f.len() as u64
+    }
+
+    /// `Σ_i i(i−1) f_i`, the quantity in the numerator of the Chao–Lee
+    /// coefficient-of-variation estimate (Eq. 6).
+    pub fn sum_i_i_minus_one_f_i(&self) -> u64 {
+        self.f
+            .iter()
+            .enumerate()
+            .map(|(idx, &fi)| {
+                let i = (idx + 1) as u64;
+                i * (i - 1) * fi
+            })
+            .sum()
+    }
+
+    /// Iterates over `(j, f_j)` pairs with `f_j > 0`, in increasing `j`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.f
+            .iter()
+            .enumerate()
+            .filter(|(_, &fi)| fi > 0)
+            .map(|(idx, &fi)| ((idx + 1) as u64, fi))
+    }
+
+    /// True if no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The rank-aligned multiplicity vector, sorted descending.
+    ///
+    /// Used by the Monte-Carlo estimator's indexing step (Algorithm 2, line 9):
+    /// both the observed and simulated samples are reduced to "how many times
+    /// was the k-th most frequent item seen", which makes them comparable
+    /// without a shared item identity space.
+    pub fn rank_multiplicities(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.c as usize);
+        for (j, fj) in self.iter() {
+            for _ in 0..fj {
+                out.push(j);
+            }
+        }
+        out.reverse(); // iter() is ascending in j; we want descending.
+        out
+    }
+}
+
+/// Streaming frequency statistics over identified items.
+///
+/// Maintains per-item multiplicities and the `f`-vector under single-item
+/// updates in `O(1)`, which makes prefix evaluation of an arrival stream
+/// (every figure in the paper is "estimate vs. number of crowd answers")
+/// linear instead of quadratic.
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::StreamingFrequency;
+///
+/// let mut s = StreamingFrequency::new();
+/// s.observe("google");
+/// s.observe("google");
+/// s.observe("ibm");
+/// let f = s.snapshot();
+/// assert_eq!((f.n(), f.c(), f.singletons()), (3, 2, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingFrequency<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+    f: Vec<u64>,
+    n: u64,
+}
+
+impl<K: Eq + Hash> StreamingFrequency<K> {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingFrequency {
+            counts: HashMap::new(),
+            f: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// Records one observation of `item`.
+    pub fn observe(&mut self, item: K) {
+        let m = self.counts.entry(item).or_insert(0);
+        let old = *m;
+        *m += 1;
+        let new = *m;
+        if old > 0 {
+            self.f[(old - 1) as usize] -= 1;
+        }
+        let idx = (new - 1) as usize;
+        if idx >= self.f.len() {
+            self.f.resize(idx + 1, 0);
+        }
+        self.f[idx] += 1;
+        self.n += 1;
+    }
+
+    /// Current multiplicity of `item` (0 if never observed).
+    pub fn multiplicity(&self, item: &K) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Total observations so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Unique items so far.
+    pub fn c(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// An immutable snapshot of the current `f`-statistics.
+    pub fn snapshot(&self) -> FrequencyStatistics {
+        FrequencyStatistics {
+            f: self.f.clone(),
+            n: self.n,
+            c: self.counts.len() as u64,
+        }
+    }
+
+    /// Immutable view of the per-item multiplicities.
+    pub fn multiplicities(&self) -> &HashMap<K, u64> {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sample() {
+        let f = FrequencyStatistics::from_multiplicities(std::iter::empty());
+        assert!(f.is_empty());
+        assert_eq!(f.n(), 0);
+        assert_eq!(f.c(), 0);
+        assert_eq!(f.singletons(), 0);
+        assert_eq!(f.max_multiplicity(), 0);
+    }
+
+    #[test]
+    fn zero_multiplicities_are_ignored() {
+        let f = FrequencyStatistics::from_multiplicities([0, 3, 0, 1]);
+        assert_eq!(f.n(), 4);
+        assert_eq!(f.c(), 2);
+        assert_eq!(f.singletons(), 1);
+        assert_eq!(f.f(3), 1);
+    }
+
+    #[test]
+    fn from_observations_counts_duplicates() {
+        let f = FrequencyStatistics::from_observations(["a", "b", "a", "c", "a"]);
+        assert_eq!(f.n(), 5);
+        assert_eq!(f.c(), 3);
+        assert_eq!(f.singletons(), 2);
+        assert_eq!(f.f(3), 1);
+    }
+
+    #[test]
+    fn toy_example_before_s5() {
+        // Paper App. F: multiplicities A:1, B:2, D:4.
+        let f = FrequencyStatistics::from_multiplicities([1, 2, 4]);
+        assert_eq!(f.n(), 7);
+        assert_eq!(f.c(), 3);
+        assert_eq!(f.singletons(), 1);
+        // Σ i(i-1) f_i = 1·0·1 + 2·1·1 + 4·3·1 = 14
+        assert_eq!(f.sum_i_i_minus_one_f_i(), 14);
+    }
+
+    #[test]
+    fn toy_example_after_s5() {
+        // Multiplicities A:2, B:2, D:4, E:1.
+        let f = FrequencyStatistics::from_multiplicities([2, 2, 4, 1]);
+        assert_eq!(f.n(), 9);
+        assert_eq!(f.c(), 4);
+        assert_eq!(f.singletons(), 1);
+        assert_eq!(f.sum_i_i_minus_one_f_i(), 2 + 2 + 12);
+    }
+
+    #[test]
+    fn rank_multiplicities_sorted_descending() {
+        let f = FrequencyStatistics::from_multiplicities([1, 4, 2, 2]);
+        assert_eq!(f.rank_multiplicities(), vec![4, 2, 2, 1]);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let obs = ["x", "y", "x", "z", "x", "y", "w"];
+        let mut s = StreamingFrequency::new();
+        for o in obs {
+            s.observe(o);
+        }
+        let batch = FrequencyStatistics::from_observations(obs);
+        assert_eq!(s.snapshot(), batch);
+        assert_eq!(s.multiplicity(&"x"), 3);
+        assert_eq!(s.multiplicity(&"missing"), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold(ms in proptest::collection::vec(0u64..50, 0..200)) {
+            let f = FrequencyStatistics::from_multiplicities(ms.iter().copied());
+            let c: u64 = f.iter().map(|(_, fj)| fj).sum();
+            let n: u64 = f.iter().map(|(j, fj)| j * fj).sum();
+            prop_assert_eq!(c, f.c());
+            prop_assert_eq!(n, f.n());
+            prop_assert_eq!(f.c(), ms.iter().filter(|&&m| m > 0).count() as u64);
+            prop_assert_eq!(f.n(), ms.iter().sum::<u64>());
+        }
+
+        #[test]
+        fn streaming_equals_batch(obs in proptest::collection::vec(0u8..20, 0..300)) {
+            let mut s = StreamingFrequency::new();
+            for &o in &obs {
+                s.observe(o);
+            }
+            let batch = FrequencyStatistics::from_observations(obs.iter().copied());
+            prop_assert_eq!(s.snapshot(), batch);
+        }
+
+        #[test]
+        fn rank_multiplicities_is_sorted_and_consistent(
+            ms in proptest::collection::vec(1u64..30, 1..100)
+        ) {
+            let f = FrequencyStatistics::from_multiplicities(ms.iter().copied());
+            let ranks = f.rank_multiplicities();
+            prop_assert_eq!(ranks.len() as u64, f.c());
+            prop_assert_eq!(ranks.iter().sum::<u64>(), f.n());
+            prop_assert!(ranks.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+}

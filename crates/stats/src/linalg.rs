@@ -1,0 +1,329 @@
+//! Minimal dense linear algebra: just enough for least-squares surface fits.
+//!
+//! The Monte-Carlo estimator's final step (paper Algorithm 3, line 11) fits a
+//! two-dimensional quadratic to the KL-divergence grid by least squares. The
+//! design matrices involved are tiny (≲ 100 × 6), so a straightforward dense
+//! solver with partial pivoting is both sufficient and dependency-free.
+
+use std::fmt;
+
+/// Errors from linear-system solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system matrix is (numerically) singular.
+    Singular,
+    /// Dimensions of the operands do not line up.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::DimensionMismatch => write!(f, "operand dimensions do not match"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let v = out.get(r, c) + a * other.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let out = (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum())
+            .collect();
+        Ok(out)
+    }
+}
+
+/// Solves the square system `A x = b` by Gaussian elimination with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] if `A` is not square or `b` has the
+/// wrong length; [`LinalgError::Singular`] if a pivot collapses below
+/// `1e-12 · max|A|`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    let scale = m.data.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    let tol = 1e-12 * scale.max(1.0);
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude entry in this column at/below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                m.get(r1, col)
+                    .abs()
+                    .partial_cmp(&m.get(r2, col).abs())
+                    .expect("pivot comparison on NaN")
+            })
+            .expect("non-empty pivot range");
+        if m.get(pivot_row, col).abs() <= tol {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col);
+        for row in (col + 1)..n {
+            let factor = m.get(row, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(row, c) - factor * m.get(col, c);
+                m.set(row, c, v);
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let tail: f64 = ((row + 1)..n).map(|c| m.get(row, c) * x[c]).sum();
+        x[row] = (rhs[row] - tail) / m.get(row, row);
+    }
+    Ok(x)
+}
+
+/// Solves the overdetermined system `A x ≈ b` in the least-squares sense via
+/// the normal equations `AᵀA x = Aᵀ b`.
+///
+/// Adequate for the small, well-conditioned design matrices produced by
+/// [`crate::surface`] (inputs are normalised to `[-1, 1]` there before this
+/// is called).
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if a.rows() < a.cols() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let at = a.transpose();
+    let ata = at.matmul(a)?;
+    let atb = at.matvec(b)?;
+    solve(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let x = solve(&a, &[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, -1.0]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let a = Matrix::from_rows(2, 3, vec![0.0; 6]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(LinalgError::DimensionMismatch));
+        let b = Matrix::from_rows(3, 2, vec![0.0; 6]);
+        assert_eq!(
+            a.matmul(&a.clone()).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+        assert!(a.matmul(&b).is_ok());
+        assert_eq!(a.matvec(&[1.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_fit() {
+        // y = 1 + 2x sampled at 4 points: exactly representable.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(4, 2);
+        let mut b = vec![0.0; 4];
+        for (i, &x) in xs.iter().enumerate() {
+            a.set(i, 0, 1.0);
+            a.set(i, 1, x);
+            b[i] = 1.0 + 2.0 * x;
+        }
+        let coef = least_squares(&a, &b).unwrap();
+        assert!((coef[0] - 1.0).abs() < 1e-10);
+        assert!((coef[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        let a = Matrix::from_rows(1, 2, vec![1.0, 1.0]);
+        assert_eq!(
+            least_squares(&a, &[1.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_rhs(
+            entries in proptest::collection::vec(-10.0f64..10.0, 9),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let a = Matrix::from_rows(3, 3, entries);
+            if let Ok(x) = solve(&a, &rhs) {
+                let back = a.matvec(&x).unwrap();
+                for (orig, rec) in rhs.iter().zip(&back) {
+                    prop_assert!((orig - rec).abs() < 1e-6,
+                        "residual too large: {} vs {}", orig, rec);
+                }
+            }
+        }
+
+        #[test]
+        fn least_squares_residual_is_orthogonal_to_columns(
+            xs in proptest::collection::vec(-5.0f64..5.0, 6..20),
+            noise in proptest::collection::vec(-1.0f64..1.0, 6..20),
+        ) {
+            let n = xs.len().min(noise.len());
+            let mut a = Matrix::zeros(n, 2);
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                a.set(i, 0, 1.0);
+                a.set(i, 1, xs[i]);
+                b[i] = 0.5 - 1.5 * xs[i] + noise[i];
+            }
+            if let Ok(coef) = least_squares(&a, &b) {
+                let fit = a.matvec(&coef).unwrap();
+                let resid: Vec<f64> = b.iter().zip(&fit).map(|(bi, fi)| bi - fi).collect();
+                // Normal equations ⇒ Aᵀ r = 0.
+                for col in 0..2 {
+                    let dot: f64 = (0..n).map(|i| a.get(i, col) * resid[i]).sum();
+                    prop_assert!(dot.abs() < 1e-6, "residual not orthogonal: {}", dot);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Weighted sampling with and without replacement.
+//!
+//! The paper's data-integration model (§2.2, Fig. 3) has every data source
+//! draw `n_j` items *without replacement* from the ground truth, where item
+//! `i` is drawn proportionally to its publicity `p_i`. The Monte-Carlo
+//! estimator replays exactly this process. Sampling without replacement with
+//! weights uses the Efraimidis–Spirakis exponential-keys method (one pass,
+//! exact); sampling with replacement uses binary search on cumulative sums.
+
+use crate::rng::Rng;
+
+/// Draws `k` distinct indices from `weights` without replacement, where the
+/// inclusion order follows the weighted distribution (Efraimidis–Spirakis
+/// A-Res: key `u^(1/w)`, keep the `k` largest keys — equivalently the `k`
+/// smallest exponential arrival times `e/w`).
+///
+/// Zero-weight items are only selected after every positive-weight item, in
+/// unspecified order.
+///
+/// # Panics
+///
+/// Panics if `k > weights.len()` or any weight is negative/non-finite.
+pub fn weighted_without_replacement(weights: &[f64], k: usize, rng: &mut Rng) -> Vec<usize> {
+    assert!(
+        k <= weights.len(),
+        "cannot draw {k} items from a population of {}",
+        weights.len()
+    );
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    if k == 0 {
+        return Vec::new();
+    }
+    // Arrival time Exp(w): smaller = sampled earlier. Zero weights arrive at ∞.
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let t = if w > 0.0 {
+                rng.next_exponential() / w
+            } else {
+                f64::INFINITY
+            };
+            (t, i)
+        })
+        .collect();
+    // Partial selection of the k smallest arrival times.
+    keyed.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
+    let mut picked: Vec<(f64, usize)> = keyed[..k].to_vec();
+    // Present in arrival order so prefixes of the result are themselves valid
+    // weighted samples (the integration process consumes them as a stream).
+    picked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
+    picked.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Draws `k` uniform distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn uniform_without_replacement(n: usize, k: usize, rng: &mut Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} items from a population of {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.next_below(n - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Pre-processed weighted distribution for repeated sampling *with*
+/// replacement in `O(log n)` per draw.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from raw non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty, any weight is negative/non-finite, or the
+    /// total mass is zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(
+            !weights.is_empty(),
+            "WeightedIndex needs at least one weight"
+        );
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        WeightedIndex {
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let target = rng.next_f64() * self.total;
+        // partition_point returns the first index with cumulative > target.
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        idx.min(self.cumulative.len() - 1)
+    }
+
+    /// Draws `k` indices with replacement.
+    pub fn sample_many(&self, k: usize, rng: &mut Rng) -> Vec<usize> {
+        (0..k).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Fenwick-tree (binary indexed tree) weighted sampler supporting removal and
+/// restoration in `O(log n)`.
+///
+/// The Monte-Carlo estimator simulates many data sources over the *same*
+/// publicity distribution; building the tree once per distribution and
+/// drawing each source as `sample → remove → … → restore` turns an
+/// `O(l·N)` per-run cost (re-keying the whole population per source, as the
+/// one-shot Efraimidis–Spirakis draw would) into `O(Σ n_j log N)`.
+#[derive(Debug, Clone)]
+pub struct FenwickSampler {
+    /// 1-based Fenwick tree of partial weight sums.
+    tree: Vec<f64>,
+    /// Current (possibly removed ⇒ 0) weight per index.
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl FenwickSampler {
+    /// Builds the sampler in `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty or any weight is negative/non-finite.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(
+            !weights.is_empty(),
+            "FenwickSampler needs at least one weight"
+        );
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        // O(n) construction: place each weight, then push to parent.
+        for (i, &w) in weights.iter().enumerate() {
+            tree[i + 1] += w;
+            let parent = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if parent <= n {
+                let v = tree[i + 1];
+                tree[parent] += v;
+            }
+        }
+        FenwickSampler {
+            tree,
+            weights: weights.to_vec(),
+            total: weights.iter().sum(),
+        }
+    }
+
+    /// Remaining total weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Adds `delta` to the weight at `idx`.
+    fn add(&mut self, idx: usize, delta: f64) {
+        let mut i = idx + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+        self.weights[idx] += delta;
+        self.total += delta;
+    }
+
+    /// Finds the smallest index whose cumulative weight exceeds `target`
+    /// (standard Fenwick descent).
+    fn descend(&self, mut target: f64) -> usize {
+        let n = self.weights.len();
+        let mut pos = 0usize;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos.min(n - 1) // pos is 0-based index of the selected item
+    }
+
+    /// Draws one index proportionally to the remaining weights and removes
+    /// it. Returns `None` when no positive weight remains.
+    pub fn sample_remove(&mut self, rng: &mut Rng) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        // Retry on the (rare) numeric edge where accumulated floating error
+        // lands the descent on an already-removed index.
+        for _ in 0..64 {
+            let target = rng.next_f64() * self.total;
+            let idx = self.descend(target);
+            let w = self.weights[idx];
+            if w > 0.0 {
+                self.add(idx, -w);
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Restores a previously removed index to weight `w`.
+    pub fn restore(&mut self, idx: usize, w: f64) {
+        debug_assert!(self.weights[idx] == 0.0, "restoring a live index");
+        self.add(idx, w);
+    }
+
+    /// Draws `k` distinct indices without replacement and restores the tree
+    /// to its prior state before returning — the building block for
+    /// simulating many sources over one distribution.
+    pub fn draw_source(&mut self, k: usize, original: &[f64], rng: &mut Rng) -> Vec<usize> {
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            match self.sample_remove(rng) {
+                Some(idx) => out.push(idx),
+                None => break,
+            }
+        }
+        for &idx in &out {
+            self.restore(idx, original[idx]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // Import selectively: proptest's prelude re-exports rand's `Rng` trait,
+    // which would shadow our `Rng` generator.
+    use proptest::collection as propcoll;
+    use proptest::prelude::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    #[test]
+    fn without_replacement_has_no_duplicates() {
+        let mut rng = Rng::new(1);
+        let weights: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let picked = weighted_without_replacement(&weights, 30, &mut rng);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+    }
+
+    #[test]
+    fn without_replacement_full_draw_is_a_permutation() {
+        let mut rng = Rng::new(2);
+        let weights = vec![1.0; 20];
+        let mut picked = weighted_without_replacement(&weights, 20, &mut rng);
+        picked.sort_unstable();
+        assert_eq!(picked, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_draw_is_empty() {
+        let mut rng = Rng::new(3);
+        assert!(weighted_without_replacement(&[1.0, 2.0], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn overdraw_panics() {
+        let mut rng = Rng::new(4);
+        weighted_without_replacement(&[1.0], 2, &mut rng);
+    }
+
+    #[test]
+    fn heavy_weight_dominates_first_position() {
+        // Item 0 has 100× the weight of the others; it should open the sample
+        // the overwhelming majority of the time.
+        let mut rng = Rng::new(5);
+        let mut weights = vec![1.0; 10];
+        weights[0] = 100.0;
+        let mut first0 = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let picked = weighted_without_replacement(&weights, 3, &mut rng);
+            if picked[0] == 0 {
+                first0 += 1;
+            }
+        }
+        let share = first0 as f64 / trials as f64;
+        // True probability is 100/109 ≈ 0.917.
+        assert!(share > 0.85, "heavy item led only {share} of samples");
+    }
+
+    #[test]
+    fn zero_weight_items_come_last() {
+        let mut rng = Rng::new(6);
+        let weights = [0.0, 1.0, 1.0, 0.0, 1.0];
+        for _ in 0..200 {
+            let picked = weighted_without_replacement(&weights, 3, &mut rng);
+            assert!(!picked.contains(&0) && !picked.contains(&3), "{picked:?}");
+        }
+        // Drawing all 5 must still include the zero-weight stragglers.
+        let all = weighted_without_replacement(&weights, 5, &mut rng);
+        assert_eq!(all.len(), 5);
+        assert!(all[3..].contains(&0) && all[3..].contains(&3));
+    }
+
+    #[test]
+    fn uniform_without_replacement_in_range() {
+        let mut rng = Rng::new(7);
+        let picked = uniform_without_replacement(100, 40, &mut rng);
+        assert_eq!(picked.len(), 40);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+        assert!(picked.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn weighted_index_respects_proportions() {
+        let wi = WeightedIndex::new(&[1.0, 3.0]);
+        let mut rng = Rng::new(8);
+        let draws = 100_000;
+        let ones = wi
+            .sample_many(draws, &mut rng)
+            .into_iter()
+            .filter(|&i| i == 1)
+            .count();
+        let share = ones as f64 / draws as f64;
+        assert!((share - 0.75).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn weighted_index_rejects_zero_mass() {
+        WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn weighted_index_rejects_empty() {
+        WeightedIndex::new(&[]);
+    }
+
+    #[test]
+    fn fenwick_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let f = FenwickSampler::new(&weights);
+        assert!((f.total() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fenwick_sample_remove_exhausts() {
+        let weights = [1.0, 2.0, 3.0];
+        let mut f = FenwickSampler::new(&weights);
+        let mut rng = Rng::new(9);
+        let mut seen = Vec::new();
+        while let Some(i) = f.sample_remove(&mut rng) {
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(f.total().abs() < 1e-9);
+    }
+
+    #[test]
+    fn fenwick_draw_source_restores_state() {
+        let weights: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let mut f = FenwickSampler::new(&weights);
+        let mut rng = Rng::new(10);
+        let before = f.total();
+        let drawn = f.draw_source(30, &weights, &mut rng);
+        assert_eq!(drawn.len(), 30);
+        let mut d = drawn.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 30, "duplicates within one source");
+        assert!((f.total() - before).abs() < 1e-6, "tree not restored");
+        // Next draw works on the restored tree.
+        let again = f.draw_source(100, &weights, &mut rng);
+        assert_eq!(again.len(), 100);
+    }
+
+    #[test]
+    fn fenwick_distribution_matches_weighted_index() {
+        // First-draw distribution must be proportional to weights.
+        let weights = [1.0, 0.0, 3.0];
+        let mut f = FenwickSampler::new(&weights);
+        let mut rng = Rng::new(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let i = f.draw_source(1, &weights, &mut rng)[0];
+            counts[i] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let share = counts[2] as f64 / 30_000.0;
+        assert!((share - 0.75).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn fenwick_rejects_empty() {
+        FenwickSampler::new(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn fenwick_agrees_with_efraimidis_on_support(
+            weights in propcoll::vec(0.1f64..5.0, 1..50),
+            seed in 0u64..500,
+        ) {
+            let k = (weights.len() / 2).max(1);
+            let mut f = FenwickSampler::new(&weights);
+            let mut rng = Rng::new(seed);
+            let drawn = f.draw_source(k, &weights, &mut rng);
+            prop_assert_eq!(drawn.len(), k);
+            let mut d = drawn.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), k);
+            prop_assert!(drawn.iter().all(|&i| i < weights.len()));
+        }
+
+        #[test]
+        fn draws_are_valid_indices(
+            weights in propcoll::vec(0.01f64..10.0, 1..60),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = Rng::new(seed);
+            let k = weights.len() / 2;
+            let picked = weighted_without_replacement(&weights, k, &mut rng);
+            prop_assert_eq!(picked.len(), k);
+            prop_assert!(picked.iter().all(|&i| i < weights.len()));
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k, "duplicates in sample");
+        }
+
+        #[test]
+        fn weighted_index_sample_in_range(
+            weights in propcoll::vec(0.0f64..5.0, 1..60),
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let wi = WeightedIndex::new(&weights);
+            let mut rng = Rng::new(seed);
+            for _ in 0..50 {
+                let i = wi.sample(&mut rng);
+                prop_assert!(i < weights.len());
+                // Zero-weight categories are never drawn.
+                prop_assert!(weights[i] > 0.0);
+            }
+        }
+    }
+}

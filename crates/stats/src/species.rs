@@ -1,0 +1,330 @@
+//! Species-richness estimators.
+//!
+//! Given the `f`-statistics of a sample, these estimators predict `N̂`, the
+//! total number of classes in the underlying population — observed plus
+//! unobserved. [`chao92`] is the estimator the paper builds on (chosen for its
+//! robustness to skewed publicity distributions); the others are classic
+//! ecology baselines included for ablation benchmarks and cross-checks.
+
+use crate::coverage::sample_coverage;
+use crate::cv::cv_squared;
+use crate::freq::FrequencyStatistics;
+
+/// The outcome of a species-richness estimation.
+///
+/// Coverage-based estimators are genuinely undefined for some samples (e.g.
+/// Chao92 when every observation is a singleton, where `Ĉ = 0` divides by
+/// zero). The paper exploits this: buckets that only contain singletons have
+/// an *infinite* estimate and are therefore never chosen by the dynamic
+/// splitter. `CountEstimate` makes that state explicit instead of letting
+/// `NaN`/`inf` propagate silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountEstimate {
+    /// A finite estimate of the population richness (always `≥ c`).
+    Estimate(f64),
+    /// The estimator is undefined for this sample.
+    Undefined,
+}
+
+impl CountEstimate {
+    /// The finite estimate, if defined.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            CountEstimate::Estimate(v) => Some(v),
+            CountEstimate::Undefined => None,
+        }
+    }
+
+    /// The estimate, mapping `Undefined` to `+∞` (the interpretation used by
+    /// the bucket-splitting objective).
+    pub fn or_infinite(self) -> f64 {
+        self.value().unwrap_or(f64::INFINITY)
+    }
+
+    /// True if the estimator produced a finite value.
+    pub fn is_defined(self) -> bool {
+        matches!(self, CountEstimate::Estimate(_))
+    }
+
+    fn from_raw(v: f64, c: f64) -> Self {
+        if v.is_finite() {
+            // Richness can never be below the number of classes already seen.
+            CountEstimate::Estimate(v.max(c))
+        } else {
+            CountEstimate::Undefined
+        }
+    }
+}
+
+/// The Chao92 (Chao & Lee, JASA 1992) coverage-based richness estimator —
+/// paper Eq. 7:
+///
+/// ```text
+/// N̂ = c/Ĉ + n(1−Ĉ)/Ĉ · γ̂²
+/// ```
+///
+/// Undefined for empty samples and when `Ĉ = 0` (all singletons).
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::FrequencyStatistics;
+/// use uu_stats::species::chao92;
+///
+/// // Toy example before s5 (n=7, c=3, f1=1, γ̂²=1/6):
+/// // N̂ = 3/(6/7) + 7·(1/7)/(6/7)·(1/6) = 3.5 + 7/36 ≈ 3.694
+/// let f = FrequencyStatistics::from_multiplicities([1, 2, 4]);
+/// let n_hat = chao92(&f).value().unwrap();
+/// assert!((n_hat - (3.5 + 7.0 / 36.0)).abs() < 1e-9);
+/// ```
+pub fn chao92(f: &FrequencyStatistics) -> CountEstimate {
+    let Some(coverage) = sample_coverage(f) else {
+        return CountEstimate::Undefined;
+    };
+    if coverage <= 0.0 {
+        return CountEstimate::Undefined;
+    }
+    let n = f.n() as f64;
+    let c = f.c() as f64;
+    // γ̂² is undefined only when coverage is 0 or n < 2; in the n < 2 case the
+    // skew correction is vacuous, so fall back to 0 (pure coverage estimate).
+    let gamma2 = cv_squared(f).unwrap_or(0.0);
+    let n_hat = c / coverage + n * (1.0 - coverage) / coverage * gamma2;
+    CountEstimate::from_raw(n_hat, c)
+}
+
+/// Chao92 with the skew correction forced to zero: `N̂ = c/Ĉ`.
+///
+/// This is the pure Good–Turing coverage estimate the paper invokes for the
+/// simplified frequency estimator (Eq. 10) and for the upper bound (Eq. 17,
+/// "we can omit γ̂ as it only makes the Chao92 converge faster").
+pub fn coverage_only(f: &FrequencyStatistics) -> CountEstimate {
+    let Some(coverage) = sample_coverage(f) else {
+        return CountEstimate::Undefined;
+    };
+    if coverage <= 0.0 {
+        return CountEstimate::Undefined;
+    }
+    CountEstimate::from_raw(f.c() as f64 / coverage, f.c() as f64)
+}
+
+/// The Chao84 (a.k.a. Chao1) lower-bound estimator:
+/// `N̂ = c + f1²/(2 f2)`, with the bias-corrected form
+/// `c + f1(f1−1)/2` when no doubletons were observed.
+pub fn chao84(f: &FrequencyStatistics) -> CountEstimate {
+    if f.is_empty() {
+        return CountEstimate::Undefined;
+    }
+    let c = f.c() as f64;
+    let f1 = f.singletons() as f64;
+    let f2 = f.doubletons() as f64;
+    let n_hat = if f2 > 0.0 {
+        c + f1 * f1 / (2.0 * f2)
+    } else {
+        c + f1 * (f1 - 1.0) / 2.0
+    };
+    CountEstimate::from_raw(n_hat, c)
+}
+
+/// First-order jackknife estimator: `N̂ = c + f1·(n−1)/n`.
+pub fn jackknife1(f: &FrequencyStatistics) -> CountEstimate {
+    if f.is_empty() {
+        return CountEstimate::Undefined;
+    }
+    let n = f.n() as f64;
+    let c = f.c() as f64;
+    let f1 = f.singletons() as f64;
+    CountEstimate::from_raw(c + f1 * (n - 1.0) / n, c)
+}
+
+/// Second-order jackknife estimator:
+/// `N̂ = c + f1(2n−3)/n − f2(n−2)²/(n(n−1))`.
+///
+/// Undefined for `n < 2`.
+pub fn jackknife2(f: &FrequencyStatistics) -> CountEstimate {
+    if f.n() < 2 {
+        return CountEstimate::Undefined;
+    }
+    let n = f.n() as f64;
+    let c = f.c() as f64;
+    let f1 = f.singletons() as f64;
+    let f2 = f.doubletons() as f64;
+    let n_hat = c + f1 * (2.0 * n - 3.0) / n - f2 * (n - 2.0) * (n - 2.0) / (n * (n - 1.0));
+    CountEstimate::from_raw(n_hat, c)
+}
+
+/// The bootstrap richness estimator: `N̂ = c + Σ_j f_j (1 − j/n)^n`.
+pub fn bootstrap(f: &FrequencyStatistics) -> CountEstimate {
+    if f.is_empty() {
+        return CountEstimate::Undefined;
+    }
+    let n = f.n() as f64;
+    let c = f.c() as f64;
+    let extra: f64 = f
+        .iter()
+        .map(|(j, fj)| fj as f64 * (1.0 - j as f64 / n).powf(n))
+        .sum();
+    CountEstimate::from_raw(c + extra, c)
+}
+
+/// A named species estimator, for harnesses that sweep across baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeciesEstimator {
+    /// Chao & Lee 1992 coverage + CV estimator (the paper's default).
+    Chao92,
+    /// Pure Good–Turing coverage estimate `c/Ĉ`.
+    CoverageOnly,
+    /// Chao 1984 `f1²/2f2` lower bound.
+    Chao84,
+    /// First-order jackknife.
+    Jackknife1,
+    /// Second-order jackknife.
+    Jackknife2,
+    /// Smith & van Belle bootstrap.
+    Bootstrap,
+}
+
+impl SpeciesEstimator {
+    /// All implemented estimators, in presentation order.
+    pub const ALL: [SpeciesEstimator; 6] = [
+        SpeciesEstimator::Chao92,
+        SpeciesEstimator::CoverageOnly,
+        SpeciesEstimator::Chao84,
+        SpeciesEstimator::Jackknife1,
+        SpeciesEstimator::Jackknife2,
+        SpeciesEstimator::Bootstrap,
+    ];
+
+    /// Applies the estimator to a sample.
+    pub fn estimate(self, f: &FrequencyStatistics) -> CountEstimate {
+        match self {
+            SpeciesEstimator::Chao92 => chao92(f),
+            SpeciesEstimator::CoverageOnly => coverage_only(f),
+            SpeciesEstimator::Chao84 => chao84(f),
+            SpeciesEstimator::Jackknife1 => jackknife1(f),
+            SpeciesEstimator::Jackknife2 => jackknife2(f),
+            SpeciesEstimator::Bootstrap => bootstrap(f),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpeciesEstimator::Chao92 => "chao92",
+            SpeciesEstimator::CoverageOnly => "coverage",
+            SpeciesEstimator::Chao84 => "chao84",
+            SpeciesEstimator::Jackknife1 => "jackknife1",
+            SpeciesEstimator::Jackknife2 => "jackknife2",
+            SpeciesEstimator::Bootstrap => "bootstrap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toy_before() -> FrequencyStatistics {
+        FrequencyStatistics::from_multiplicities([1, 2, 4])
+    }
+
+    fn toy_after() -> FrequencyStatistics {
+        FrequencyStatistics::from_multiplicities([2, 2, 4, 1])
+    }
+
+    #[test]
+    fn chao92_toy_before_s5() {
+        // c/Ĉ = 3.5, correction = 7·(1/7)/(6/7)·(1/6) = (7/6)·(1/6) = 7/36.
+        let n_hat = chao92(&toy_before()).value().unwrap();
+        assert!((n_hat - (3.5 + 7.0 / 36.0)).abs() < 1e-9, "{n_hat}");
+    }
+
+    #[test]
+    fn chao92_toy_after_s5() {
+        // γ̂² = 0 ⇒ N̂ = c/Ĉ = 4/(8/9) = 4.5.
+        let n_hat = chao92(&toy_after()).value().unwrap();
+        assert!((n_hat - 4.5).abs() < 1e-9, "{n_hat}");
+    }
+
+    #[test]
+    fn chao92_undefined_for_all_singletons() {
+        let f = FrequencyStatistics::from_multiplicities([1, 1, 1, 1]);
+        assert_eq!(chao92(&f), CountEstimate::Undefined);
+        assert_eq!(chao92(&f).or_infinite(), f64::INFINITY);
+    }
+
+    #[test]
+    fn chao92_undefined_for_empty() {
+        let f = FrequencyStatistics::from_multiplicities(std::iter::empty());
+        assert_eq!(chao92(&f), CountEstimate::Undefined);
+    }
+
+    #[test]
+    fn complete_sample_estimates_close_to_c() {
+        // Every item seen 5 times: coverage 1, no singletons ⇒ N̂ = c exactly
+        // for the coverage-based estimators.
+        let f = FrequencyStatistics::from_multiplicities(vec![5u64; 40]);
+        assert!((chao92(&f).value().unwrap() - 40.0).abs() < 1e-9);
+        assert!((coverage_only(&f).value().unwrap() - 40.0).abs() < 1e-9);
+        assert!((chao84(&f).value().unwrap() - 40.0).abs() < 1e-9);
+        assert!((jackknife1(&f).value().unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chao84_bias_corrected_without_doubletons() {
+        // c=3, f1=2 (and one item seen 3 times), f2=0 ⇒ N̂ = 3 + 2·1/2 = 4.
+        let f = FrequencyStatistics::from_multiplicities([1, 1, 3]);
+        assert!((chao84(&f).value().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jackknife2_matches_hand_computation() {
+        // multiplicities [1,1,2]: n=4, c=3, f1=2, f2=1.
+        // N̂ = 3 + 2·5/4 − 1·4/(4·3) = 3 + 2.5 − 1/3.
+        let f = FrequencyStatistics::from_multiplicities([1, 1, 2]);
+        let expect = 3.0 + 2.5 - 1.0 / 3.0;
+        assert!((jackknife2(&f).value().unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bootstrap_matches_hand_computation() {
+        // multiplicities [1,3]: n=4, c=2.
+        // extra = (1−1/4)^4 + (1−3/4)^4 = 0.31640625 + 0.00390625.
+        let f = FrequencyStatistics::from_multiplicities([1, 3]);
+        let expect = 2.0 + 0.75f64.powi(4) + 0.25f64.powi(4);
+        assert!((bootstrap(&f).value().unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_estimators_enumerate_and_name() {
+        let f = toy_before();
+        for est in SpeciesEstimator::ALL {
+            let _ = est.estimate(&f);
+            assert!(!est.name().is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn estimates_are_at_least_c(ms in proptest::collection::vec(1u64..20, 1..150)) {
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            for est in SpeciesEstimator::ALL {
+                if let Some(v) = est.estimate(&f).value() {
+                    prop_assert!(v >= f.c() as f64 - 1e-9,
+                        "{} produced {} < c = {}", est.name(), v, f.c());
+                    prop_assert!(v.is_finite());
+                }
+            }
+        }
+
+        #[test]
+        fn chao92_defined_whenever_a_duplicate_exists(
+            ms in proptest::collection::vec(1u64..20, 1..100)
+        ) {
+            let has_dup = ms.iter().any(|&m| m >= 2);
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            prop_assert_eq!(chao92(&f).is_defined(), has_dup);
+        }
+    }
+}

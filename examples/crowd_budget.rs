@@ -1,0 +1,87 @@
+//! When can you stop paying for crowd answers?
+//!
+//! The paper's economics (Fig. 2: a near-perfect estimate "after only 350
+//! crowd-answers", at ~$0.10 per answer) imply a stopping problem. This
+//! example streams the tech-employment workload through an
+//! `EstimateMonitor`: the stopping rule fires once coverage clears 80% and
+//! the bucket estimate stabilises, and a bootstrap interval quantifies the
+//! remaining uncertainty at the stopping point.
+//!
+//! Run with: `cargo run --release -p uu-examples --bin crowd_budget`
+
+use uu_core::bootstrap::{bootstrap_interval, BootstrapConfig};
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::monitor::{EstimateMonitor, StoppingRule};
+use uu_datagen::scenario::figure6;
+
+fn main() {
+    // A synthetic crowd: 10 workers enumerate a 100-item universe
+    // (values 10..1000, true SUM = 50 500), 500 answers available in total.
+    let scenario = figure6(10, 1.0, 1.0, 2024);
+    let truth = scenario.population.ground_truth_sum();
+    let cost_per_answer = 0.10; // dollars, the paper's AMT ballpark
+
+    let rule = StoppingRule {
+        min_coverage: 0.85,
+        max_relative_change: 0.03,
+        stable_checkpoints: 3,
+    };
+    let mut monitor = EstimateMonitor::new(DynamicBucketEstimator::default(), 25, rule);
+
+    println!("== crowdsourcing budget: stop when the estimate stabilises ==");
+    println!("stopping rule: coverage >= 85%, estimate within 3% over 3 checkpoints");
+    println!();
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "answers", "observed", "estimate", "coverage"
+    );
+
+    let mut stopped = None;
+    for (item, value, source) in scenario.stream() {
+        if let Some(cp) = monitor.push(item, value, source) {
+            println!(
+                "{:>8} {:>12.0} {:>12} {:>9.0}%",
+                cp.n,
+                cp.observed,
+                cp.estimate
+                    .map(|e| format!("{e:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                cp.coverage.unwrap_or(0.0) * 100.0
+            );
+        }
+        if monitor.should_stop() {
+            stopped = Some(*monitor.latest().expect("checkpoint exists"));
+            break;
+        }
+    }
+
+    println!();
+    match stopped {
+        Some(cp) => {
+            let estimate = cp.estimate.expect("stopping requires an estimate");
+            println!(
+                "STOP at {} answers (${:.2} spent; the full stream would cost ${:.2})",
+                cp.n,
+                cp.n as f64 * cost_per_answer,
+                scenario.sample.len() as f64 * cost_per_answer
+            );
+            println!(
+                "estimate {estimate:.0} vs ground truth {truth:.0} ({:+.1}%)",
+                (estimate - truth) / truth * 100.0
+            );
+            // Quantify the remaining uncertainty at the stopping point.
+            let view = monitor.current_view();
+            if let Some(ci) = bootstrap_interval(
+                &view,
+                &DynamicBucketEstimator::default(),
+                BootstrapConfig::default(),
+            ) {
+                println!(
+                    "90% bootstrap interval at stop: [{:.0}, {:.0}] (median {:.0})",
+                    ci.lo, ci.hi, ci.median
+                );
+            }
+        }
+        None => println!("the stream ended before the stopping rule fired"),
+    }
+}

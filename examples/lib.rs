@@ -1,0 +1,47 @@
+//! Shared plumbing for the runnable examples.
+//!
+//! Each example binary replays a data-integration stream into the estimators
+//! and prints paper-style tables; the helpers here keep that replay logic in
+//! one place.
+
+pub use uu_core::sample::replay_checkpoints;
+
+/// Evenly spaced checkpoints `step, 2·step, …` up to `max`.
+pub fn even_checkpoints(step: usize, max: usize) -> Vec<usize> {
+    (1..=max / step).map(|i| i * step).collect()
+}
+
+/// Formats an `Option<f64>` for table output.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:>14.1}"),
+        None => format!("{:>14}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_hits_every_checkpoint() {
+        let stream = (0..10u64).map(|i| (i % 4, i as f64, (i % 3) as u32));
+        let views = replay_checkpoints(stream, &[2, 5, 10, 99]);
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[0].0, 2);
+        assert_eq!(views[0].1.n(), 2);
+        assert_eq!(views[2].1.n(), 10);
+    }
+
+    #[test]
+    fn even_checkpoints_shape() {
+        assert_eq!(even_checkpoints(50, 200), vec![50, 100, 150, 200]);
+        assert_eq!(even_checkpoints(50, 40), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fmt_opt_handles_none() {
+        assert!(fmt_opt(None).contains('-'));
+        assert!(fmt_opt(Some(1.0)).contains("1.0"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's running example (Figures 2 & 4): how many people does the US
+//! tech industry employ?
+//!
+//! Streams simulated crowd answers and prints the observed SUM next to every
+//! estimator's corrected SUM as answers accumulate. The shape to look for
+//! (paper §6.1.1): naive and frequency overshoot, Monte-Carlo falls back
+//! towards the observed curve, bucket lands closest to the ground truth.
+//!
+//! Run with: `cargo run --release -p uu-examples --bin tech_employment`
+
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::estimate::SumEstimator;
+use uu_core::frequency::FrequencyEstimator;
+use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
+use uu_core::naive::NaiveEstimator;
+use uu_datagen::realworld::tech_employment;
+use uu_examples::{even_checkpoints, fmt_opt, replay_checkpoints};
+
+fn main() {
+    let dataset = tech_employment(42);
+    let truth = dataset.ground_truth_sum();
+    println!("== {} ==", dataset.question);
+    println!(
+        "simulated ground truth: {:.0} employees across {} companies",
+        truth,
+        dataset.population.len()
+    );
+    println!();
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "answers", "observed", "naive", "freq", "bucket", "monte-carlo"
+    );
+
+    let naive = NaiveEstimator::default();
+    let freq = FrequencyEstimator::default();
+    let bucket = DynamicBucketEstimator::default();
+    let mc = MonteCarloEstimator::new(MonteCarloConfig::default());
+
+    let checkpoints = even_checkpoints(50, dataset.sample.len());
+    for (n, view) in replay_checkpoints(dataset.stream(), &checkpoints) {
+        println!(
+            "{:>8} {:>14.0} {} {} {} {}",
+            n,
+            view.observed_sum(),
+            fmt_opt(naive.estimate_sum(&view)),
+            fmt_opt(freq.estimate_sum(&view)),
+            fmt_opt(bucket.estimate_sum(&view)),
+            fmt_opt(mc.estimate_sum(&view)),
+        );
+    }
+    println!();
+    println!("ground truth: {truth:>37.0}");
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use uu_core::sample::SampleView;
+
+/// Signed estimation error of `estimate` against `truth`.
+pub fn signed_error(estimate: f64, truth: f64) -> f64 {
+    estimate - truth
+}
+
+/// Relative absolute error of `estimate` against `truth`.
+pub fn rel_error(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs() / truth.abs()
+}
+
+/// The paper's toy-example sample before source s5 (Appendix F):
+/// A (1000) ×1, B (2000) ×2, D (10 000) ×4.
+pub fn toy_before() -> SampleView {
+    SampleView::from_value_multiplicities([(1000.0, 1), (2000.0, 2), (10_000.0, 4)])
+}
+
+/// The toy-example sample after s5 = {A, E}: A ×2, B ×2, D ×4, E (300) ×1.
+pub fn toy_after() -> SampleView {
+    SampleView::from_value_multiplicities([(1000.0, 2), (2000.0, 2), (10_000.0, 4), (300.0, 1)])
+}

@@ -1,0 +1,140 @@
+//! Figure 7(c)–(f): the upper bound and the AVG/MIN/MAX strategies on the
+//! §6.4 synthetic workload (λ = 1, ρ = 1, 20 even sources).
+
+use uu_core::aggregates::{
+    avg_estimate, max_report, min_report, ExtremeReport, EXTREME_TRUST_THRESHOLD,
+};
+use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::estimate::SumEstimator;
+use uu_core::naive::NaiveEstimator;
+use uu_core::sample::replay_checkpoints;
+use uu_datagen::scenario::section64;
+
+/// Figure 7(c): the bound is loose but valid — above the truth and above
+/// every estimate — and tightens as observations accumulate.
+#[test]
+fn fig7c_upper_bound_is_valid_and_tightens() {
+    let mut holds = 0;
+    let mut total = 0;
+    let reps = 10;
+    for seed in 0..reps {
+        let s = section64(700 + seed);
+        let truth = s.population.ground_truth_sum();
+        let views = replay_checkpoints(s.stream(), &[300, 600, 1000]);
+        let mut last_bound = f64::INFINITY;
+        for (_, view) in &views {
+            let Some(b) = sum_upper_bound(view, UpperBoundConfig::default()) else {
+                continue;
+            };
+            total += 1;
+            if b.phi_d_bound >= truth {
+                holds += 1;
+            }
+            // Above the point estimates.
+            let naive = NaiveEstimator::default().estimate_sum_or_observed(view);
+            let bucket = DynamicBucketEstimator::default().estimate_sum_or_observed(view);
+            assert!(b.phi_d_bound >= naive.min(bucket), "bound below estimates");
+            assert!(
+                b.phi_d_bound <= last_bound * 1.05,
+                "bound grew materially with more data"
+            );
+            last_bound = b.phi_d_bound;
+        }
+    }
+    // 99%-confidence bound: allow one violation across all checkpoints.
+    assert!(
+        holds + 1 >= total,
+        "bound violated too often: {holds}/{total}"
+    );
+}
+
+/// Figure 7(d): the bucket-corrected AVG removes the publicity–value bias.
+/// With ρ = 1 popular items are large, so the observed mean overestimates
+/// the true mean; the corrected mean must sit closer.
+#[test]
+fn fig7d_avg_correction_reduces_bias() {
+    let reps = 10;
+    let mut improved = 0;
+    for seed in 0..reps {
+        let s = section64(800 + seed);
+        let truth = s.population.ground_truth_avg().unwrap();
+        let (_, view) = replay_checkpoints(s.stream(), &[400]).remove(0);
+        let avg = avg_estimate(&view, &DynamicBucketEstimator::default()).unwrap();
+        assert!(
+            avg.observed > truth,
+            "seed {seed}: observed mean should overestimate under rho=1"
+        );
+        if (avg.corrected - truth).abs() < (avg.observed - truth).abs() {
+            improved += 1;
+        }
+    }
+    assert!(improved >= reps - 2, "AVG corrected only {improved}/{reps}");
+}
+
+/// Figure 7(e)/(f): when the MIN/MAX strategy *does* endorse an extreme, it
+/// is almost always the true extreme. We measure precision over many seeds.
+#[test]
+fn fig7ef_trusted_extremes_are_correct() {
+    let reps = 40;
+    let mut reported = 0;
+    let mut correct = 0;
+    for seed in 0..reps {
+        let s = section64(900 + seed);
+        let true_max = s.population.ground_truth_max().unwrap();
+        let true_min = s.population.ground_truth_min().unwrap();
+        let (_, view) = replay_checkpoints(s.stream(), &[600]).remove(0);
+        let buckets = DynamicBucketEstimator::default();
+        if let Some(ExtremeReport::Trusted(v)) =
+            max_report(&view, &buckets, EXTREME_TRUST_THRESHOLD)
+        {
+            reported += 1;
+            if v == true_max {
+                correct += 1;
+            }
+        }
+        if let Some(ExtremeReport::Trusted(v)) =
+            min_report(&view, &buckets, EXTREME_TRUST_THRESHOLD)
+        {
+            reported += 1;
+            if v == true_min {
+                correct += 1;
+            }
+        }
+    }
+    assert!(reported > 0, "the strategy never endorsed an extreme");
+    let precision = correct as f64 / reported as f64;
+    assert!(
+        precision >= 0.9,
+        "trusted extremes wrong too often: {correct}/{reported}"
+    );
+}
+
+/// With ρ = 1 the *max* is popular (observed early, bucket complete, trusted
+/// quickly) while the *min* hides in the unpopular tail — MAX should be
+/// endorsed at least as often as MIN.
+#[test]
+fn fig7ef_max_is_trusted_earlier_than_min_under_positive_correlation() {
+    let reps = 20;
+    let mut max_trusted = 0;
+    let mut min_trusted = 0;
+    for seed in 0..reps {
+        let s = section64(950 + seed);
+        let (_, view) = replay_checkpoints(s.stream(), &[300]).remove(0);
+        let buckets = DynamicBucketEstimator::default();
+        if max_report(&view, &buckets, EXTREME_TRUST_THRESHOLD).is_some_and(|r| r.is_trusted()) {
+            max_trusted += 1;
+        }
+        if min_report(&view, &buckets, EXTREME_TRUST_THRESHOLD).is_some_and(|r| r.is_trusted()) {
+            min_trusted += 1;
+        }
+    }
+    assert!(
+        max_trusted >= min_trusted,
+        "max trusted {max_trusted} < min trusted {min_trusted}"
+    );
+    assert!(
+        max_trusted > reps / 2,
+        "max rarely trusted: {max_trusted}/{reps}"
+    );
+}

@@ -1,0 +1,256 @@
+//! Figure-shape assertions: the qualitative claims of the paper's
+//! evaluation (§6), checked against our simulated workloads.
+//!
+//! We do not assert absolute numbers (our data is simulated), but the
+//! *shape* of every headline result: who wins, in which regime, and in which
+//! direction the errors point.
+
+use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::estimate::SumEstimator;
+use uu_core::frequency::FrequencyEstimator;
+use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
+use uu_core::naive::NaiveEstimator;
+use uu_core::recommend::{diagnose, recommend, Recommendation};
+use uu_core::sample::{replay_checkpoints, SampleView};
+use uu_datagen::realworld;
+use uu_datagen::scenario;
+use uu_integration_tests::rel_error;
+
+fn view_at(s: &scenario::Scenario, n: usize) -> SampleView {
+    replay_checkpoints(s.stream(), &[n]).remove(0).1
+}
+
+/// §6.1.1 / Figure 4: on the tech-employment workload the naïve and
+/// frequency estimators overestimate, and bucket is the most accurate.
+#[test]
+fn fig4_bucket_wins_on_tech_employment() {
+    let mut bucket_better_than_naive = 0;
+    let mut naive_over = 0;
+    let reps = 5;
+    for seed in 0..reps {
+        let d = realworld::tech_employment(100 + seed);
+        let truth = d.ground_truth_sum();
+        let (_, view) = replay_checkpoints(d.stream(), &[500]).remove(0);
+        let naive = NaiveEstimator::default().estimate_sum(&view).unwrap();
+        let bucket = DynamicBucketEstimator::default()
+            .estimate_sum(&view)
+            .unwrap();
+        if naive > truth {
+            naive_over += 1;
+        }
+        if rel_error(bucket, truth) < rel_error(naive, truth) {
+            bucket_better_than_naive += 1;
+        }
+        // Bucket should be within ~25% of the truth at 500 answers.
+        assert!(
+            rel_error(bucket, truth) < 0.25,
+            "seed {seed}: bucket {bucket} vs truth {truth}"
+        );
+    }
+    assert!(naive_over >= reps - 1, "naive should overestimate");
+    assert!(
+        bucket_better_than_naive >= reps - 1,
+        "bucket should beat naive almost always"
+    );
+}
+
+/// §6.1.2 / Figure 5(a): with a stronger publicity–value correlation the
+/// naïve overshoot grows; the frequency estimator sits below naïve
+/// (singleton values are smaller than the global mean).
+#[test]
+fn fig5a_frequency_below_naive_under_correlation() {
+    for seed in 0..5 {
+        let d = realworld::tech_revenue(200 + seed);
+        let (_, view) = replay_checkpoints(d.stream(), &[400]).remove(0);
+        let naive = NaiveEstimator::default().estimate_sum(&view).unwrap();
+        let freq = FrequencyEstimator::default().estimate_sum(&view).unwrap();
+        assert!(
+            freq < naive,
+            "seed {seed}: freq ({freq}) should undercut naive ({naive})"
+        );
+    }
+}
+
+/// §6.1.3 / Figure 5(b): under the GDP streaker, Monte-Carlo is the only
+/// reasonable estimator right after the streaker block.
+#[test]
+fn fig5b_monte_carlo_survives_the_streaker() {
+    let mut mc_wins = 0;
+    let reps = 3;
+    for seed in 0..reps {
+        let d = realworld::us_gdp(300 + seed);
+        let truth = d.ground_truth_sum();
+        // n = 60: the streaker's 45 answers plus a few normal ones.
+        let (_, view) = replay_checkpoints(d.stream(), &[60]).remove(0);
+        let naive = NaiveEstimator::default().estimate_sum(&view).unwrap();
+        let mc = MonteCarloEstimator::new(MonteCarloConfig::default())
+            .estimate_sum(&view)
+            .unwrap();
+        if rel_error(mc, truth) < rel_error(naive, truth) {
+            mc_wins += 1;
+        }
+    }
+    assert!(mc_wins >= reps - 1, "MC won only {mc_wins}/{reps} runs");
+}
+
+/// §6.1.3: all estimators converge once the full GDP stream is in
+/// (the paper: "all estimators converge after 60 samples (for N = 50)").
+#[test]
+fn fig5b_everything_converges_at_the_end() {
+    let d = realworld::us_gdp(9);
+    let truth = d.ground_truth_sum();
+    let n = d.sample.len();
+    let (_, view) = replay_checkpoints(d.stream(), &[n]).remove(0);
+    for est in [
+        Box::new(NaiveEstimator::default()) as Box<dyn SumEstimator>,
+        Box::new(FrequencyEstimator::default()),
+        Box::new(DynamicBucketEstimator::default()),
+    ] {
+        let e = est.estimate_sum(&view).unwrap();
+        assert!(
+            rel_error(e, truth) < 0.25,
+            "{} off by {:.0}% at full stream",
+            est.name(),
+            rel_error(e, truth) * 100.0
+        );
+    }
+}
+
+/// §6.2 / Figure 6 top-left: in the ideal regime (uniform publicity, no
+/// correlation, many workers) every estimator is accurate early.
+#[test]
+fn fig6_ideal_regime_everyone_is_accurate() {
+    let mut errs = [0.0f64; 3];
+    let reps = 5;
+    for seed in 0..reps {
+        let s = scenario::figure6(100, 0.0, 0.0, 400 + seed);
+        let truth = s.population.ground_truth_sum();
+        let view = view_at(&s, 300);
+        let ests: [Box<dyn SumEstimator>; 3] = [
+            Box::new(NaiveEstimator::default()),
+            Box::new(FrequencyEstimator::default()),
+            Box::new(DynamicBucketEstimator::default()),
+        ];
+        for (i, est) in ests.iter().enumerate() {
+            errs[i] += rel_error(est.estimate_sum_or_observed(&view), truth);
+        }
+    }
+    for (i, e) in errs.iter().enumerate() {
+        let mean = e / reps as f64;
+        assert!(
+            mean < 0.10,
+            "estimator {i} mean error {mean:.3} in ideal regime"
+        );
+    }
+}
+
+/// §6.2 / Figure 6 middle row: realistic regime (λ=4, ρ=1) — the bucket
+/// estimator beats naïve and does not overestimate on average.
+#[test]
+fn fig6_realistic_regime_bucket_beats_naive() {
+    let reps = 8;
+    let mut naive_err = 0.0;
+    let mut bucket_err = 0.0;
+    let mut bucket_signed = 0.0;
+    for seed in 0..reps {
+        let s = scenario::figure6(10, 4.0, 1.0, 500 + seed);
+        let truth = s.population.ground_truth_sum();
+        let view = view_at(&s, 400);
+        let naive = NaiveEstimator::default().estimate_sum_or_observed(&view);
+        let bucket = DynamicBucketEstimator::default().estimate_sum_or_observed(&view);
+        naive_err += rel_error(naive, truth);
+        bucket_err += rel_error(bucket, truth);
+        bucket_signed += bucket - truth;
+    }
+    assert!(
+        bucket_err < naive_err,
+        "bucket mean err {bucket_err} vs naive {naive_err}"
+    );
+    // "the bucket estimator performs the best and does not over-estimate":
+    // allow a small positive residue but require it far below naive's bias.
+    assert!(
+        bucket_signed / reps as f64 <= 2_000.0,
+        "bucket bias {bucket_signed}"
+    );
+}
+
+/// §6.2 / Figure 6 bottom row: rare-event regime (λ=4, ρ=0) — *every*
+/// estimator underestimates; black swans are unpredictable.
+#[test]
+fn fig6_rare_event_regime_everyone_underestimates() {
+    let reps: usize = 8;
+    let mut under = [0usize; 4];
+    for seed in 0..reps as u64 {
+        let s = scenario::figure6(10, 4.0, 0.0, 600 + seed);
+        let truth = s.population.ground_truth_sum();
+        let view = view_at(&s, 400);
+        let ests: [Box<dyn SumEstimator>; 4] = [
+            Box::new(NaiveEstimator::default()),
+            Box::new(FrequencyEstimator::default()),
+            Box::new(DynamicBucketEstimator::default()),
+            Box::new(MonteCarloEstimator::new(MonteCarloConfig::fast())),
+        ];
+        for (i, est) in ests.iter().enumerate() {
+            if est.estimate_sum_or_observed(&view) < truth {
+                under[i] += 1;
+            }
+        }
+    }
+    for (i, &u) in under.iter().enumerate() {
+        assert!(
+            u >= reps - 2,
+            "estimator {i} underestimated only {u}/{reps} times"
+        );
+    }
+}
+
+/// §6.3 / Figure 7(a): with streakers-only sources, the Chao92-based
+/// estimators blow up while Monte-Carlo stays close to the observed sum.
+#[test]
+fn fig7a_streakers_only() {
+    let s = scenario::streakers_only(3, 11);
+    let truth = s.population.ground_truth_sum();
+    // Mid-second-streaker: n = 150.
+    let view = view_at(&s, 150);
+    let naive = NaiveEstimator::default().estimate_sum(&view).unwrap();
+    let mc = MonteCarloEstimator::new(MonteCarloConfig::default())
+        .estimate_sum(&view)
+        .unwrap();
+    assert!(
+        rel_error(mc, truth) < rel_error(naive, truth),
+        "MC ({mc}) should beat naive ({naive}) under streakers (truth {truth})"
+    );
+    // The policy detects it, too.
+    assert!(diagnose(&view).has_streaker());
+    assert_eq!(recommend(&view), Recommendation::MonteCarlo);
+}
+
+/// §6.3 / Figure 7(b): a streaker injected at n = 160 throws off the
+/// Chao92-based estimators; MC absorbs it.
+#[test]
+fn fig7b_injected_streaker() {
+    let s = scenario::streaker_injected(13);
+    let truth = s.population.ground_truth_sum();
+    // Right after the streaker: n = 280 (160 + 100 streaker + some tail).
+    let view = view_at(&s, 280);
+    let naive = NaiveEstimator::default().estimate_sum(&view).unwrap();
+    let mc = MonteCarloEstimator::new(MonteCarloConfig::default())
+        .estimate_sum(&view)
+        .unwrap();
+    assert!(
+        rel_error(mc, truth) < rel_error(naive, truth),
+        "MC ({mc}) vs naive ({naive}), truth {truth}"
+    );
+}
+
+/// §6.5: the recommendation policy routes healthy multi-source samples to
+/// bucket and starved ones to more data.
+#[test]
+fn recommendation_policy_on_scenarios() {
+    let healthy = scenario::figure6(20, 1.0, 1.0, 21);
+    let view = view_at(&healthy, 400);
+    assert_eq!(recommend(&view), Recommendation::Bucket);
+
+    let early = view_at(&healthy, 20); // mostly singletons early on
+    assert_eq!(recommend(&early), Recommendation::CollectMoreData);
+}
