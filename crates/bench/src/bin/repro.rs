@@ -20,12 +20,11 @@ use std::time::Instant;
 use uu_bench::{cell, mean_series, print_series, run_from_stream, standard_estimators};
 use uu_core::aggregates::{avg_estimate, max_report, min_report, EXTREME_TRUST_THRESHOLD};
 use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
-use uu_core::bucket::{DynamicBucketEstimator, StaticBucketEstimator, StaticStrategy};
+use uu_core::bucket::{StaticBucketEstimator, StaticStrategy};
 use uu_core::combined::{frequency_in_bucket, monte_carlo_in_bucket};
+use uu_core::engine::{self, EstimatorKind};
 use uu_core::estimate::SumEstimator;
-use uu_core::frequency::FrequencyEstimator;
-use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
-use uu_core::naive::NaiveEstimator;
+use uu_core::montecarlo::MonteCarloConfig;
 use uu_core::sample::replay_checkpoints;
 use uu_datagen::realworld;
 use uu_datagen::scenario;
@@ -341,7 +340,7 @@ fn fig7c(opts: &Opts) {
         "n", "observed", "bucket", "upper-bound", "truth"
     );
     let cps = checkpoints(100, 1000);
-    let bucket = DynamicBucketEstimator::default();
+    let bucket = EstimatorKind::Bucket.build();
     let mut truth_acc = 0.0;
     let mut rows: Vec<(f64, f64, f64, u64)> = vec![(0.0, 0.0, 0.0, 0); cps.len()];
     for rep in 0..reps {
@@ -385,7 +384,7 @@ fn fig7d(opts: &Opts) {
         "n", "observed-avg", "bucket-avg", "truth"
     );
     let cps = checkpoints(100, 1000);
-    let bucket = DynamicBucketEstimator::default();
+    let bucket = engine::bucket_estimator();
     let mut rows: Vec<(f64, f64)> = vec![(0.0, 0.0); cps.len()];
     let mut truth_acc = 0.0;
     for rep in 0..reps {
@@ -425,7 +424,7 @@ fn fig7ef(opts: &Opts, take_max: bool) {
         "n", "reported%", "correct%", "avg-reported", "true-extreme"
     );
     let cps = checkpoints(100, 1000);
-    let bucket = DynamicBucketEstimator::default();
+    let bucket = engine::bucket_estimator();
     let mut reported = vec![0u64; cps.len()];
     let mut correct = vec![0u64; cps.len()];
     let mut value_acc = vec![0.0f64; cps.len()];
@@ -484,8 +483,8 @@ fn fig7ef(opts: &Opts, take_max: bool) {
 
 fn static_bucket_estimators() -> Vec<uu_bench::NamedEstimator> {
     vec![
-        ("naive(1bkt)", Box::new(NaiveEstimator::default())),
-        ("dynamic", Box::new(DynamicBucketEstimator::default())),
+        ("naive(1bkt)", EstimatorKind::Naive.build()),
+        ("dynamic", EstimatorKind::Bucket.build()),
         (
             "eqw-2",
             Box::new(StaticBucketEstimator::new(StaticStrategy::EquiWidth, 2)),
@@ -556,11 +555,11 @@ fn fig10(opts: &Opts) {
     let reps = reps_or(opts, 3);
     println!("(mean over {reps} seeded runs)");
     let estimators: Vec<uu_bench::NamedEstimator> = vec![
-        ("bucket", Box::new(DynamicBucketEstimator::default())),
+        ("bucket", EstimatorKind::Bucket.build()),
         ("freq-in-bkt", Box::new(frequency_in_bucket())),
         ("mc-in-bkt", Box::new(monte_carlo_in_bucket(opts.mc()))),
-        ("mc", Box::new(MonteCarloEstimator::new(opts.mc()))),
-        ("freq", Box::new(FrequencyEstimator::default())),
+        ("mc", EstimatorKind::MonteCarlo(opts.mc()).build()),
+        ("freq", EstimatorKind::Frequency.build()),
     ];
     let series = mean_series(
         reps,
@@ -627,30 +626,16 @@ fn table2() {
         after.observed_sum(),
         "13300"
     );
-    let rows: Vec<(&str, Box<dyn SumEstimator>, &str, &str)> = vec![
-        (
-            "naive",
-            Box::new(NaiveEstimator::default()),
-            "~16009",
-            "~14962",
-        ),
-        (
-            "freq",
-            Box::new(FrequencyEstimator::default()),
-            "~13694",
-            "13450",
-        ),
-        (
-            "bucket",
-            Box::new(DynamicBucketEstimator::default()),
-            "14500",
-            "13950",
-        ),
+    let rows: Vec<(EstimatorKind, &str, &str)> = vec![
+        (EstimatorKind::Naive, "~16009", "~14962"),
+        (EstimatorKind::Frequency, "~13694", "13450"),
+        (EstimatorKind::Bucket, "14500", "13950"),
     ];
-    for (name, est, paper_before, paper_after) in rows {
+    for (kind, paper_before, paper_after) in rows {
+        let est = kind.build();
         println!(
             "{:<10} {:>16.1} {:>12} {:>16.1} {:>12}",
-            name,
+            kind.name(),
             est.estimate_sum(&before).unwrap(),
             paper_before,
             est.estimate_sum(&after).unwrap(),
@@ -664,7 +649,6 @@ fn table2() {
 /// work — against the true N under three publicity regimes.
 fn count_ablation(opts: &Opts) {
     use uu_core::capture::{lincoln_petersen, schnabel};
-    use uu_core::montecarlo::MonteCarloEstimator;
     use uu_stats::species::SpeciesEstimator;
 
     println!("== COUNT ablation: N-hat vs true N = 100 (w = 20 sources, n = 400) ==");
@@ -674,7 +658,7 @@ fn count_ablation(opts: &Opts) {
         "{:>28} {:>9} {:>9} {:>9}",
         "estimator", "lam=0", "lam=2", "lam=4"
     );
-    let mc = MonteCarloEstimator::new(opts.mc());
+    let mc = EstimatorKind::MonteCarlo(opts.mc());
     let mut rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
     for est in SpeciesEstimator::ALL {
         rows.push((est.name().to_string(), Vec::new()));

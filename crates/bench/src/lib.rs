@@ -6,24 +6,22 @@
 //! of estimators and [`print_series`] renders it as the aligned text table
 //! the harness prints in place of the paper's plots.
 
-use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::engine::{BoxedEstimator, EstimatorKind};
 use uu_core::estimate::SumEstimator;
-use uu_core::frequency::FrequencyEstimator;
-use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
-use uu_core::naive::NaiveEstimator;
+use uu_core::montecarlo::MonteCarloConfig;
 use uu_core::sample::{replay_checkpoints, SampleView};
 
 /// A named boxed estimator.
-pub type NamedEstimator = (&'static str, Box<dyn SumEstimator + Send + Sync>);
+pub type NamedEstimator = (&'static str, BoxedEstimator);
+
+/// Turns registry kinds into named harness estimators.
+pub fn named_estimators(kinds: impl IntoIterator<Item = EstimatorKind>) -> Vec<NamedEstimator> {
+    kinds.into_iter().map(|k| (k.name(), k.build())).collect()
+}
 
 /// The four estimators the paper's figures compare, in presentation order.
 pub fn standard_estimators(mc: MonteCarloConfig) -> Vec<NamedEstimator> {
-    vec![
-        ("naive", Box::new(NaiveEstimator::default())),
-        ("freq", Box::new(FrequencyEstimator::default())),
-        ("bucket", Box::new(DynamicBucketEstimator::default())),
-        ("mc", Box::new(MonteCarloEstimator::new(mc))),
-    ]
+    named_estimators(EstimatorKind::standard(mc))
 }
 
 /// One repetition of a workload: its ground truth and checkpointed views.
@@ -218,7 +216,7 @@ mod tests {
             &estimators,
         );
         assert_eq!(series.checkpoints, vec![100, 300]);
-        assert_eq!(series.names, vec!["naive", "freq", "bucket", "mc"]);
+        assert_eq!(series.names, vec!["naive", "freq", "bucket", "monte-carlo"]);
         assert!((series.truth - 50_500.0).abs() < 1e-9);
         assert!(series.observed[0] > 0.0);
         // At n=300 of a healthy workload every estimator should be defined.

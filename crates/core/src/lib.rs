@@ -18,6 +18,7 @@
 //! | [`bound`] | §4 | the SUM estimation-error upper bound (Eq. 19) |
 //! | [`aggregates`] | §5 | COUNT, AVG, MIN/MAX strategies |
 //! | [`combined`] | §3.5, App. D | frequency-in-bucket, Monte-Carlo-in-bucket |
+//! | [`engine`] | infrastructure | the estimator registry: [`engine::EstimatorKind`], [`engine::EstimationSession`] |
 //! | [`recommend`] | §6.5 | estimator-selection policy (coverage gate, streaker detection) |
 //! | [`policy`] | §6.5 (extension) | the policy packaged as a self-selecting estimator |
 //! | [`capture`] | related work | capture–recapture COUNT baselines over source lineage |
@@ -53,6 +54,7 @@ pub mod bound;
 pub mod bucket;
 pub mod capture;
 pub mod combined;
+pub mod engine;
 pub mod estimate;
 pub mod frequency;
 pub mod monitor;
@@ -64,6 +66,7 @@ pub mod sample;
 pub mod sensitivity;
 
 pub use bucket::DynamicBucketEstimator;
+pub use engine::{EstimationSession, EstimatorKind};
 pub use estimate::{DeltaEstimate, SumEstimator};
 pub use frequency::FrequencyEstimator;
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimator};

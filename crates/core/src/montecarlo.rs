@@ -12,9 +12,8 @@
 //! count (§3.4.2: "we use our naïve estimation technique with N̂_MC").
 //!
 //! The grid search is embarrassingly parallel; with the `parallel` feature
-//! (default) cells are scored on crossbeam scoped threads, with per-cell
-//! seeds derived deterministically so results are identical to the serial
-//! path.
+//! (default) cells are scored on std scoped threads, with per-cell seeds
+//! derived deterministically so results are identical to the serial path.
 
 use crate::estimate::{DeltaEstimate, SumEstimator};
 use crate::naive::NaiveEstimator;
@@ -202,16 +201,15 @@ impl MonteCarloEstimator {
             if threads > 1 {
                 let mut scores = vec![0.0f64; cells.len()];
                 let chunk = cells.len().div_ceil(threads);
-                crossbeam::scope(|scope| {
+                std::thread::scope(|scope| {
                     for (slot, work) in scores.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             for (out, &(tn, tl)) in slot.iter_mut().zip(work) {
                                 *out = self.average_distance(tn, tl, observed_ranks, source_sizes);
                             }
                         });
                     }
-                })
-                .expect("monte-carlo worker panicked");
+                });
                 return scores;
             }
         }

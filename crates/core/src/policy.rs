@@ -36,6 +36,9 @@ use crate::sample::SampleView;
 /// ```
 #[derive(Debug, Default)]
 pub struct PolicyEstimator {
+    // The same concrete estimators the engine registry builds
+    // (`EstimatorKind::Bucket` / `EstimatorKind::MonteCarlo`), held directly
+    // so routing adds no per-estimate boxing.
     bucket: DynamicBucketEstimator,
     monte_carlo_config: MonteCarloConfig,
     /// When true (default false), compute an estimate even below the 40%
@@ -47,9 +50,8 @@ impl PolicyEstimator {
     /// Policy estimator with an explicit Monte-Carlo configuration.
     pub fn new(mc: MonteCarloConfig) -> Self {
         PolicyEstimator {
-            bucket: DynamicBucketEstimator::default(),
             monte_carlo_config: mc,
-            estimate_below_coverage_gate: false,
+            ..Default::default()
         }
     }
 

@@ -13,17 +13,13 @@ use crate::query::{AggregateFunction, AggregateQuery};
 use crate::sql::{parse, ParseError};
 use crate::table::{IntegratedTable, TableError};
 use uu_core::aggregates::{
-    avg_estimate, count_estimate, max_report, min_report, ExtremeReport, EXTREME_TRUST_THRESHOLD,
+    avg_estimate, max_report, min_report, ExtremeReport, EXTREME_TRUST_THRESHOLD,
 };
 use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
-use uu_core::bucket::DynamicBucketEstimator;
-use uu_core::estimate::SumEstimator;
-use uu_core::frequency::FrequencyEstimator;
-use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
-use uu_core::naive::NaiveEstimator;
+use uu_core::engine::{self, EstimatorKind};
+use uu_core::montecarlo::MonteCarloConfig;
 use uu_core::recommend::{diagnose, recommend, Diagnostics, Recommendation};
 use uu_core::sample::SampleView;
-use uu_stats::species::SpeciesEstimator;
 
 /// Which unknown-unknowns correction to apply.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,25 +119,35 @@ pub struct QueryResult {
     pub recommendation: Recommendation,
 }
 
-fn sum_estimator(method: CorrectionMethod) -> Option<Box<dyn SumEstimator + Send + Sync>> {
-    match method {
-        CorrectionMethod::None => None,
-        CorrectionMethod::Naive => Some(Box::new(NaiveEstimator::default())),
-        CorrectionMethod::Frequency => Some(Box::new(FrequencyEstimator::default())),
-        CorrectionMethod::Bucket => Some(Box::new(DynamicBucketEstimator::default())),
-        CorrectionMethod::MonteCarlo(cfg) => Some(Box::new(MonteCarloEstimator::new(cfg))),
-        CorrectionMethod::Auto => unreachable!("Auto is resolved before this point"),
+impl CorrectionMethod {
+    /// Lowers the method onto the engine registry: the [`EstimatorKind`] to
+    /// build, or `None` for no correction. [`CorrectionMethod::Auto`] must be
+    /// resolved through [`CorrectionMethod::resolve_auto`] first.
+    fn kind(self) -> Option<EstimatorKind> {
+        match self {
+            CorrectionMethod::None => None,
+            CorrectionMethod::Naive => Some(EstimatorKind::Naive),
+            CorrectionMethod::Frequency => Some(EstimatorKind::Frequency),
+            CorrectionMethod::Bucket => Some(EstimatorKind::Bucket),
+            CorrectionMethod::MonteCarlo(cfg) => Some(EstimatorKind::MonteCarlo(cfg)),
+            CorrectionMethod::Auto => unreachable!("Auto is resolved before this point"),
+        }
     }
-}
 
-fn resolve_auto(view: &SampleView) -> (CorrectionMethod, bool) {
-    match recommend(view) {
-        Recommendation::Bucket => (CorrectionMethod::Bucket, false),
-        Recommendation::MonteCarlo => (
-            CorrectionMethod::MonteCarlo(MonteCarloConfig::default()),
-            false,
-        ),
-        Recommendation::CollectMoreData => (CorrectionMethod::None, true),
+    /// Resolves `Auto` against the §6.5 recommendation; the flag reports
+    /// whether the estimate was withheld by the coverage gate.
+    fn resolve_auto(self, view: &SampleView) -> (CorrectionMethod, bool) {
+        match self {
+            CorrectionMethod::Auto => match recommend(view) {
+                Recommendation::Bucket => (CorrectionMethod::Bucket, false),
+                Recommendation::MonteCarlo => (
+                    CorrectionMethod::MonteCarlo(MonteCarloConfig::default()),
+                    false,
+                ),
+                Recommendation::CollectMoreData => (CorrectionMethod::None, true),
+            },
+            m => (m, false),
+        }
     }
 }
 
@@ -232,12 +238,9 @@ fn compute(
     let diagnostics = diagnose(&view);
     let recommendation = recommend(&view);
 
-    let (method, withheld) = match method {
-        CorrectionMethod::Auto => resolve_auto(&view),
-        m => (m, false),
-    };
+    let (method, withheld) = method.resolve_auto(&view);
 
-    let buckets = DynamicBucketEstimator::default();
+    let buckets = engine::bucket_estimator();
     let mut result = QueryResult {
         query: query_display,
         observed: f64::NAN,
@@ -259,7 +262,8 @@ fn compute(
             result.observed = view.observed_sum();
             result.upper_bound =
                 sum_upper_bound(&view, UpperBoundConfig::default()).map(|b| b.phi_d_bound);
-            if let Some(est) = sum_estimator(method) {
+            if let Some(kind) = method.kind() {
+                let est = kind.build();
                 let d = est.estimate_delta(&view);
                 result.corrected = d.delta.map(|delta| view.observed_sum() + delta);
                 result.n_hat = d.n_hat;
@@ -268,23 +272,10 @@ fn compute(
         }
         AggregateFunction::Count => {
             result.observed = view.c() as f64;
-            let n_hat = match method {
-                CorrectionMethod::None => None,
-                CorrectionMethod::MonteCarlo(cfg) => {
-                    result.method = "monte-carlo";
-                    MonteCarloEstimator::new(cfg).estimate_count(&view)
-                }
-                CorrectionMethod::Bucket => {
-                    result.method = "bucket";
-                    DynamicBucketEstimator::default()
-                        .estimate_delta(&view)
-                        .n_hat
-                }
-                _ => {
-                    result.method = "chao92";
-                    count_estimate(&view, SpeciesEstimator::Chao92)
-                }
-            };
+            let n_hat = method.kind().and_then(|kind| {
+                result.method = kind.count_method_name();
+                kind.estimate_count(&view)
+            });
             result.corrected = n_hat;
             result.n_hat = n_hat;
         }

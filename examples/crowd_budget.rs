@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p uu-examples --bin crowd_budget`
 
 use uu_core::bootstrap::{bootstrap_interval, BootstrapConfig};
-use uu_core::bucket::DynamicBucketEstimator;
+use uu_core::engine;
 use uu_core::monitor::{EstimateMonitor, StoppingRule};
 use uu_datagen::scenario::figure6;
 
@@ -26,7 +26,7 @@ fn main() {
         max_relative_change: 0.03,
         stable_checkpoints: 3,
     };
-    let mut monitor = EstimateMonitor::new(DynamicBucketEstimator::default(), 25, rule);
+    let mut monitor = EstimateMonitor::new(engine::bucket_estimator(), 25, rule);
 
     println!("== crowdsourcing budget: stop when the estimate stabilises ==");
     println!("stopping rule: coverage >= 85%, estimate within 3% over 3 checkpoints");
@@ -73,7 +73,7 @@ fn main() {
             let view = monitor.current_view();
             if let Some(ci) = bootstrap_interval(
                 &view,
-                &DynamicBucketEstimator::default(),
+                &engine::bucket_estimator(),
                 BootstrapConfig::default(),
             ) {
                 println!(

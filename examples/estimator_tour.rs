@@ -8,11 +8,8 @@
 //!
 //! Run with: `cargo run --release -p uu-examples --bin estimator_tour`
 
-use uu_core::bucket::DynamicBucketEstimator;
-use uu_core::estimate::SumEstimator;
-use uu_core::frequency::FrequencyEstimator;
-use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
-use uu_core::naive::NaiveEstimator;
+use uu_core::engine::EstimationSession;
+use uu_core::montecarlo::MonteCarloConfig;
 use uu_datagen::scenario::figure6;
 use uu_examples::replay_checkpoints;
 
@@ -25,35 +22,29 @@ fn main() {
     let repetitions = 10;
     let w = 10; // ten crowd workers
 
-    let naive = NaiveEstimator::default();
-    let freq = FrequencyEstimator::default();
-    let bucket = DynamicBucketEstimator::default();
-    let mc = MonteCarloEstimator::new(MonteCarloConfig::default());
+    let session = EstimationSession::standard(MonteCarloConfig::default());
+    let names = session.names();
 
     println!("== estimator tour: mean signed error vs ground truth (N=100, sum=50500) ==");
     println!("averaged over {repetitions} seeded runs, evaluated at 400 answers");
     println!();
-    println!(
-        "{:<30} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "regime", "observed", "naive", "freq", "bucket", "mc"
-    );
+    print!("{:<30} {:>12}", "regime", "observed");
+    for name in &names {
+        print!(" {name:>12}");
+    }
+    println!();
 
     for (label, lambda, rho) in regimes {
-        let mut err = [0.0f64; 5]; // observed, naive, freq, bucket, mc
-        let mut defined = [0usize; 5];
+        let mut err = vec![0.0f64; 1 + names.len()]; // observed + estimators
+        let mut defined = vec![0usize; 1 + names.len()];
         for rep in 0..repetitions {
             let scenario = figure6(w, lambda, rho, 1000 + rep);
             let truth = scenario.population.ground_truth_sum();
             let views = replay_checkpoints(scenario.stream(), &[400]);
             let (_, view) = &views[0];
-            let estimates = [
-                Some(view.observed_sum()),
-                naive.estimate_sum(view),
-                freq.estimate_sum(view),
-                bucket.estimate_sum(view),
-                mc.estimate_sum(view),
-            ];
-            for (i, est) in estimates.iter().enumerate() {
+            let estimates = std::iter::once(Some(view.observed_sum()))
+                .chain(session.run(view).into_iter().map(|r| r.corrected));
+            for (i, est) in estimates.enumerate() {
                 if let Some(e) = est {
                     err[i] += e - truth;
                     defined[i] += 1;
@@ -61,11 +52,11 @@ fn main() {
             }
         }
         print!("{label:<30}");
-        for i in 0..5 {
+        for i in 0..err.len() {
             if defined[i] > 0 {
-                print!(" {:>+10.0}", err[i] / defined[i] as f64);
+                print!(" {:>+12.0}", err[i] / defined[i] as f64);
             } else {
-                print!(" {:>10}", "-");
+                print!(" {:>12}", "-");
             }
         }
         println!();

@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --release -p uu-examples --bin gdp_streaker`
 
-use uu_core::bucket::DynamicBucketEstimator;
-use uu_core::estimate::SumEstimator;
-use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
-use uu_core::naive::NaiveEstimator;
+use uu_core::engine::{EstimationSession, EstimatorKind};
+use uu_core::montecarlo::MonteCarloConfig;
 use uu_core::recommend::{diagnose, recommend};
 use uu_datagen::realworld::us_gdp;
 use uu_examples::{fmt_opt, replay_checkpoints};
@@ -26,26 +24,26 @@ fn main() {
     );
     println!("the first source reports 45 states before anyone else says a word");
     println!();
-    println!(
-        "{:>8} {:>14} {:>14} {:>14} {:>14}",
-        "answers", "observed", "naive", "bucket", "monte-carlo"
-    );
 
-    let naive = NaiveEstimator::default();
-    let bucket = DynamicBucketEstimator::default();
-    let mc = MonteCarloEstimator::new(MonteCarloConfig::default());
+    let session = EstimationSession::new([
+        EstimatorKind::Naive,
+        EstimatorKind::Bucket,
+        EstimatorKind::MonteCarlo(MonteCarloConfig::default()),
+    ]);
+    print!("{:>8} {:>14}", "answers", "observed");
+    for name in session.names() {
+        print!(" {name:>14}");
+    }
+    println!();
 
     let checkpoints: Vec<usize> = vec![20, 45, 60, 80, 100, 120];
     let views = replay_checkpoints(dataset.stream(), &checkpoints);
     for (n, view) in &views {
-        println!(
-            "{:>8} {:>14.0} {} {} {}",
-            n,
-            view.observed_sum(),
-            fmt_opt(naive.estimate_sum(view)),
-            fmt_opt(bucket.estimate_sum(view)),
-            fmt_opt(mc.estimate_sum(view)),
-        );
+        print!("{:>8} {:>14.0}", n, view.observed_sum());
+        for result in session.run(view) {
+            print!(" {}", fmt_opt(result.corrected));
+        }
+        println!();
     }
 
     println!();

@@ -8,11 +8,8 @@
 //!
 //! Run with: `cargo run --release -p uu-examples --bin tech_employment`
 
-use uu_core::bucket::DynamicBucketEstimator;
-use uu_core::estimate::SumEstimator;
-use uu_core::frequency::FrequencyEstimator;
-use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
-use uu_core::naive::NaiveEstimator;
+use uu_core::engine::EstimationSession;
+use uu_core::montecarlo::MonteCarloConfig;
 use uu_datagen::realworld::tech_employment;
 use uu_examples::{even_checkpoints, fmt_opt, replay_checkpoints};
 
@@ -26,27 +23,21 @@ fn main() {
         dataset.population.len()
     );
     println!();
-    println!(
-        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>14}",
-        "answers", "observed", "naive", "freq", "bucket", "monte-carlo"
-    );
 
-    let naive = NaiveEstimator::default();
-    let freq = FrequencyEstimator::default();
-    let bucket = DynamicBucketEstimator::default();
-    let mc = MonteCarloEstimator::new(MonteCarloConfig::default());
+    let session = EstimationSession::standard(MonteCarloConfig::default());
+    print!("{:>8} {:>14}", "answers", "observed");
+    for name in session.names() {
+        print!(" {name:>14}");
+    }
+    println!();
 
     let checkpoints = even_checkpoints(50, dataset.sample.len());
     for (n, view) in replay_checkpoints(dataset.stream(), &checkpoints) {
-        println!(
-            "{:>8} {:>14.0} {} {} {} {}",
-            n,
-            view.observed_sum(),
-            fmt_opt(naive.estimate_sum(&view)),
-            fmt_opt(freq.estimate_sum(&view)),
-            fmt_opt(bucket.estimate_sum(&view)),
-            fmt_opt(mc.estimate_sum(&view)),
-        );
+        print!("{:>8} {:>14.0}", n, view.observed_sum());
+        for result in session.run(&view) {
+            print!(" {}", fmt_opt(result.corrected));
+        }
+        println!();
     }
     println!();
     println!("ground truth: {truth:>37.0}");

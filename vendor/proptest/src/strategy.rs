@@ -1,0 +1,325 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+}
+
+/// Uniform `bool` (see [`crate::bool::ANY`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Anything accepted as the size argument of [`vec`]: a `usize` for an exact
+/// length or a `Range<usize>` for a drawn one.
+pub trait IntoSizeRange {
+    /// The half-open length range.
+    fn into_size_range(self) -> Range<usize>;
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+/// Generates vectors of `element` values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+    let len = len.into_size_range();
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.len.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+/// A string literal is a strategy over a character-class subset of regex:
+/// sequences of literal characters or classes `[a-z0-9_]`, each optionally
+/// quantified with `*`, `+`, `?`, `{n}` or `{m,n}`. Unbounded quantifiers are
+/// capped at 16 repetitions.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let reps = *lo + rng.below((*hi - *lo + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// One parsed atom: candidate characters and repetition bounds.
+type Atom = (Vec<char>, usize, usize);
+
+const UNBOUNDED_CAP: usize = 16;
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                i += 1;
+                vec![unescape(c)]
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => unsupported(pattern, "regex operator"),
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push((candidates, lo, hi));
+    }
+    atoms
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash in class")),
+            )
+        } else {
+            chars[i]
+        };
+        // `a-z` range (a `-` that isn't followed by a class member is literal).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "inverted class range in {pattern:?}");
+            set.extend(c..=hi);
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        unsupported(pattern, "unterminated character class");
+    }
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern, "unterminated quantifier"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted quantifier in {pattern:?}");
+            (lo, hi)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("pattern {pattern:?}: {what} is not supported by the proptest shim")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let f = (1.0f64..10.0).generate(&mut rng);
+            assert!((1.0..10.0).contains(&f));
+            let u = (1u64..6).generate(&mut rng);
+            assert!((1..6).contains(&u));
+            let i = (-1000i64..1000).generate(&mut rng);
+            assert!((-1000..1000).contains(&i));
+        }
+    }
+
+    #[test]
+    fn tuples_and_vecs_compose() {
+        let mut rng = rng();
+        let v = vec((1.0f64..100.0, 1u64..6), 2..40).generate(&mut rng);
+        assert!((2..40).contains(&v.len()));
+        for (x, m) in v {
+            assert!((1.0..100.0).contains(&x));
+            assert!((1..6).contains(&m));
+        }
+    }
+
+    #[test]
+    fn identifier_pattern_shape() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escapes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[ -~\n\"]*".generate(&mut rng);
+            assert!(s.len() <= UNBOUNDED_CAP);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn literal_and_counted_quantifiers() {
+        let mut rng = rng();
+        let s = "ab{3}c?".generate(&mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s.len() == 4 || s.len() == 5);
+    }
+
+    #[test]
+    fn bool_any_produces_both() {
+        let mut rng = rng();
+        let vals: Vec<bool> = (0..100).map(|_| BoolAny.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}
