@@ -190,7 +190,7 @@ fn fig2(opts: &Opts) {
 
 fn real_dataset_figure(
     title: &str,
-    make: impl Fn(u64) -> realworld::RealWorldDataset,
+    make: impl Fn(u64) -> realworld::RealWorldDataset + Sync,
     step: usize,
     opts: &Opts,
     csv_name: &str,

@@ -65,12 +65,91 @@ pub struct MeanSeries {
     pub spreads: Vec<Vec<Option<f64>>>,
 }
 
+/// One repetition's evaluated results: the ground truth and, per checkpoint,
+/// `(n, observed, corrected sums per estimator)`.
+struct RepOutcome {
+    truth: f64,
+    points: Vec<(usize, f64, Vec<Option<f64>>)>,
+}
+
+/// Evaluates one seeded repetition. Each checkpoint view gets one
+/// [`uu_core::profile::ViewProfile`], shared across every estimator of the
+/// harness.
+fn run_rep(
+    seed: u64,
+    make: &(impl Fn(u64) -> Run + Sync),
+    estimators: &[NamedEstimator],
+) -> RepOutcome {
+    let run = make(seed);
+    let points = run
+        .views
+        .iter()
+        .map(|&(n, ref view)| {
+            let profile = uu_core::profile::ViewProfile::new(view);
+            let sums = estimators
+                .iter()
+                .map(|(_, est)| est.estimate_sum_profiled(&profile))
+                .collect();
+            (n, view.observed_sum(), sums)
+        })
+        .collect();
+    RepOutcome {
+        truth: run.truth,
+        points,
+    }
+}
+
+/// Evaluates all repetitions, on scoped threads under the `parallel` feature
+/// (each repetition keeps its deterministic seed `base_seed + rep`, and the
+/// results are folded in repetition order, so the output is bit-identical to
+/// the serial path).
+fn run_reps(
+    reps: u64,
+    base_seed: u64,
+    make: &(impl Fn(u64) -> Run + Sync),
+    estimators: &[NamedEstimator],
+) -> Vec<RepOutcome> {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(reps.max(1) as usize);
+        if threads > 1 && reps > 1 {
+            let mut outcomes: Vec<Option<RepOutcome>> = Vec::new();
+            outcomes.resize_with(reps as usize, || None);
+            let chunk = (reps as usize).div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (batch_idx, slots) in outcomes.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let rep = (batch_idx * chunk + off) as u64;
+                            *slot = Some(run_rep(base_seed + rep, make, estimators));
+                        }
+                    });
+                }
+            });
+            return outcomes
+                .into_iter()
+                .map(|o| o.expect("every repetition evaluated"))
+                .collect();
+        }
+    }
+    (0..reps)
+        .map(|rep| run_rep(base_seed + rep, make, estimators))
+        .collect()
+}
+
 /// Runs `reps` seeded repetitions of a workload and averages the corrected
 /// sums of every estimator at every checkpoint.
+///
+/// Repetition `rep` always uses seed `base_seed + rep`; under the `parallel`
+/// feature the repetitions run on scoped threads and are folded in
+/// repetition order, so the series is identical either way.
 pub fn mean_series(
     reps: u64,
     base_seed: u64,
-    make: impl Fn(u64) -> Run,
+    make: impl Fn(u64) -> Run + Sync,
     estimators: &[NamedEstimator],
 ) -> MeanSeries {
     let mut checkpoints: Vec<usize> = Vec::new();
@@ -79,20 +158,19 @@ pub fn mean_series(
     let mut est_acc: Vec<Vec<(f64, f64, u64)>> = vec![Vec::new(); estimators.len()];
     let mut truth_acc = 0.0;
 
-    for rep in 0..reps {
-        let run = make(base_seed + rep);
-        truth_acc += run.truth;
+    for outcome in run_reps(reps, base_seed, &make, estimators) {
+        truth_acc += outcome.truth;
         if checkpoints.is_empty() {
-            checkpoints = run.views.iter().map(|&(n, _)| n).collect();
+            checkpoints = outcome.points.iter().map(|&(n, _, _)| n).collect();
             observed_acc = vec![0.0; checkpoints.len()];
             for acc in &mut est_acc {
                 acc.resize(checkpoints.len(), (0.0, 0.0, 0));
             }
         }
-        for (k, (_, view)) in run.views.iter().enumerate() {
-            observed_acc[k] += view.observed_sum();
-            for (e, (_, est)) in estimators.iter().enumerate() {
-                if let Some(v) = est.estimate_sum(view) {
+        for (k, (_, observed, sums)) in outcome.points.iter().enumerate() {
+            observed_acc[k] += observed;
+            for (e, v) in sums.iter().enumerate() {
+                if let Some(v) = *v {
                     est_acc[e][k].0 += v;
                     est_acc[e][k].1 += v * v;
                     est_acc[e][k].2 += 1;
@@ -225,6 +303,26 @@ mod tests {
         }
         // Two distinct seeds ⇒ nonzero spread for a defined estimator.
         assert!(series.spreads[0][1].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mean_series_is_deterministic_across_runs() {
+        // Under the `parallel` feature repetitions run on scoped threads;
+        // per-repetition seeds and the in-order fold must make scheduling
+        // irrelevant, so two runs agree bit-for-bit.
+        let estimators = standard_estimators(MonteCarloConfig::fast());
+        let make = |seed: u64| {
+            let s = figure6(10, 1.0, 1.0, seed);
+            let truth = s.population.ground_truth_sum();
+            run_from_stream(truth, s.stream(), &[100, 200, 300])
+        };
+        let a = mean_series(4, 42, make, &estimators);
+        let b = mean_series(4, 42, make, &estimators);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.observed, b.observed);
+        assert_eq!(a.estimates, b.estimates);
+        assert_eq!(a.spreads, b.spreads);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!   complete (unknown count ≈ 0), the observed extreme is reported as
 //!   trustworthy.
 
-use crate::bucket::DynamicBucketEstimator;
+use crate::bucket::{BucketReport, DynamicBucketEstimator};
 use crate::montecarlo::MonteCarloEstimator;
+use crate::profile::ViewProfile;
 use crate::sample::SampleView;
 use uu_stats::species::SpeciesEstimator;
 
@@ -54,10 +55,21 @@ pub struct AvgEstimate {
 /// back to their observed unique count (no extrapolation for that range).
 pub fn avg_estimate(sample: &SampleView, buckets: &DynamicBucketEstimator) -> Option<AvgEstimate> {
     let observed = sample.mean_value()?;
-    let reports = buckets.bucketize(sample);
+    avg_from_reports(observed, &buckets.bucketize(sample))
+}
+
+/// [`avg_estimate`] consuming the shared statistics of a [`ViewProfile`]
+/// (the memoized default bucket partition). Bit-for-bit identical to the
+/// direct path with [`DynamicBucketEstimator::default`].
+pub fn avg_estimate_profiled(profile: &ViewProfile<'_>) -> Option<AvgEstimate> {
+    let observed = profile.view().mean_value()?;
+    avg_from_reports(observed, profile.bucket_reports())
+}
+
+fn avg_from_reports(observed: f64, reports: &[BucketReport]) -> Option<AvgEstimate> {
     let mut weighted = 0.0;
     let mut weight = 0.0;
-    for b in &reports {
+    for b in reports {
         debug_assert!(b.c > 0, "dynamic buckets never come back empty");
         let bucket_mean = b.observed_sum / b.c as f64;
         let n_hat = b.estimate.n_hat.unwrap_or(b.c as f64);
@@ -120,7 +132,15 @@ fn extreme_report(
     threshold: f64,
     take_max: bool,
 ) -> Option<ExtremeReport> {
-    let reports = buckets.bucketize(sample);
+    extreme_from_reports(sample, &buckets.bucketize(sample), threshold, take_max)
+}
+
+fn extreme_from_reports(
+    sample: &SampleView,
+    reports: &[BucketReport],
+    threshold: f64,
+    take_max: bool,
+) -> Option<ExtremeReport> {
     let bucket = if take_max {
         reports.last()?
     } else {
@@ -162,6 +182,16 @@ pub fn min_report(
     threshold: f64,
 ) -> Option<ExtremeReport> {
     extreme_report(sample, buckets, threshold, false)
+}
+
+/// [`max_report`] consuming the shared statistics of a [`ViewProfile`].
+pub fn max_report_profiled(profile: &ViewProfile<'_>, threshold: f64) -> Option<ExtremeReport> {
+    extreme_from_reports(profile.view(), profile.bucket_reports(), threshold, true)
+}
+
+/// [`min_report`] consuming the shared statistics of a [`ViewProfile`].
+pub fn min_report_profiled(profile: &ViewProfile<'_>, threshold: f64) -> Option<ExtremeReport> {
+    extreme_from_reports(profile.view(), profile.bucket_reports(), threshold, false)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 
 use crate::estimate::{DeltaEstimate, SumEstimator};
 use crate::naive::NaiveEstimator;
+use crate::profile::ViewProfile;
 use crate::sample::{ObservedItem, SampleView};
 
 /// Per-bucket diagnostics produced by [`DynamicBucketEstimator::bucketize`]
@@ -56,6 +57,30 @@ impl BucketReport {
 /// Builds a sub-sample from a sorted slice of items.
 fn subview(items: &[&ObservedItem]) -> SampleView {
     SampleView::from_observed_items(items.iter().map(|&i| i.clone()).collect())
+}
+
+/// Sums per-bucket estimates into the total `Δ_bucket = Σ_b Δ(b)` (Eq. 11).
+///
+/// Any undefined bucket — or an empty partition — makes the total undefined,
+/// matching [`DynamicBucketEstimator::estimate_delta`]'s semantics. Shared by
+/// the direct path and [`ViewProfile::bucket_delta`], so the two agree
+/// bit-for-bit by construction.
+pub fn delta_over_buckets(buckets: &[BucketReport]) -> DeltaEstimate {
+    if buckets.is_empty() {
+        return DeltaEstimate::UNDEFINED;
+    }
+    let mut delta = 0.0;
+    let mut n_hat = 0.0;
+    for b in buckets {
+        match (b.estimate.delta, b.estimate.n_hat) {
+            (Some(d), Some(nh)) => {
+                delta += d;
+                n_hat += nh;
+            }
+            _ => return DeltaEstimate::UNDEFINED,
+        }
+    }
+    DeltaEstimate::new(delta, n_hat)
 }
 
 fn report_for(items: &[&ObservedItem], estimate: DeltaEstimate) -> BucketReport {
@@ -100,12 +125,17 @@ fn report_for(items: &[&ObservedItem], estimate: DeltaEstimate) -> BucketReport 
 /// ```
 pub struct DynamicBucketEstimator {
     inner: Box<dyn SumEstimator + Send + Sync>,
+    /// True when `inner` is the stock [`NaiveEstimator`] — the configuration
+    /// whose partition [`ViewProfile`] memoizes, letting the profiled path
+    /// reuse it instead of re-splitting.
+    inner_is_default: bool,
 }
 
 impl Default for DynamicBucketEstimator {
     fn default() -> Self {
         DynamicBucketEstimator {
             inner: Box::new(NaiveEstimator::default()),
+            inner_is_default: true,
         }
     }
 }
@@ -123,6 +153,7 @@ impl DynamicBucketEstimator {
     pub fn with_inner(inner: impl SumEstimator + Send + Sync + 'static) -> Self {
         DynamicBucketEstimator {
             inner: Box::new(inner),
+            inner_is_default: false,
         }
     }
 
@@ -132,8 +163,17 @@ impl DynamicBucketEstimator {
         if sample.is_empty() {
             return Vec::new();
         }
-        let sorted = sample.items_sorted_by_value();
-        let ranges = self.split_ranges(&sorted);
+        self.bucketize_sorted(&sample.items_sorted_by_value())
+    }
+
+    /// [`Self::bucketize`] over an externally sorted item list (ascending by
+    /// value) — the entry point for callers holding a memoized sort, such as
+    /// [`ViewProfile::bucket_reports`].
+    pub fn bucketize_sorted(&self, sorted: &[&ObservedItem]) -> Vec<BucketReport> {
+        if sorted.is_empty() {
+            return Vec::new();
+        }
+        let ranges = self.split_ranges(sorted);
         ranges
             .into_iter()
             .map(|(lo, hi, est)| report_for(&sorted[lo..hi], est))
@@ -205,19 +245,20 @@ impl SumEstimator for DynamicBucketEstimator {
         if sample.is_empty() {
             return DeltaEstimate::UNDEFINED;
         }
-        let buckets = self.bucketize(sample);
-        let mut delta = 0.0;
-        let mut n_hat = 0.0;
-        for b in &buckets {
-            match (b.estimate.delta, b.estimate.n_hat) {
-                (Some(d), Some(nh)) => {
-                    delta += d;
-                    n_hat += nh;
-                }
-                _ => return DeltaEstimate::UNDEFINED,
-            }
+        delta_over_buckets(&self.bucketize(sample))
+    }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        if self.inner_is_default {
+            // The profile memoizes exactly this partition.
+            return profile.bucket_delta();
         }
-        DeltaEstimate::new(delta, n_hat)
+        // Custom inner estimator: the partition differs, but the sort is
+        // still shareable.
+        if profile.view().is_empty() {
+            return DeltaEstimate::UNDEFINED;
+        }
+        delta_over_buckets(&self.bucketize_sorted(profile.sorted_items()))
     }
 }
 
@@ -332,18 +373,7 @@ impl SumEstimator for StaticBucketEstimator {
         if sample.is_empty() {
             return DeltaEstimate::UNDEFINED;
         }
-        let mut delta = 0.0;
-        let mut n_hat = 0.0;
-        for b in self.bucketize(sample) {
-            match (b.estimate.delta, b.estimate.n_hat) {
-                (Some(d), Some(nh)) => {
-                    delta += d;
-                    n_hat += nh;
-                }
-                _ => return DeltaEstimate::UNDEFINED,
-            }
-        }
-        DeltaEstimate::new(delta, n_hat)
+        delta_over_buckets(&self.bucketize(sample))
     }
 }
 

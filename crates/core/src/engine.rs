@@ -14,7 +14,10 @@
 //! * [`EstimatorKind::by_name`] / [`EstimatorKind::name`] — a stable
 //!   name↔kind registry (with the historical aliases accepted on input).
 //! * [`EstimationSession`] — builds a set of kinds once and runs sample
-//!   views through all of them, returning named [`DeltaEstimate`]s.
+//!   views through all of them, returning named [`DeltaEstimate`]s. Each run
+//!   builds one [`ViewProfile`] and fans every estimator out over its shared
+//!   statistics (in parallel under the `parallel` feature), so a session of
+//!   `K` estimators costs one statistics pass per view instead of `K`.
 //!
 //! ```
 //! use uu_core::engine::{EstimationSession, EstimatorKind};
@@ -40,7 +43,8 @@ use crate::frequency::FrequencyEstimator;
 use crate::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
 use crate::naive::NaiveEstimator;
 use crate::policy::PolicyEstimator;
-use crate::recommend::{recommend, Recommendation};
+use crate::profile::ViewProfile;
+use crate::recommend::Recommendation;
 use crate::sample::SampleView;
 use uu_stats::species::SpeciesEstimator;
 
@@ -149,22 +153,32 @@ impl EstimatorKind {
 
     /// COUNT dispatch: the population-count estimate `N̂` this kind backs a
     /// `SELECT COUNT(*)` correction with (§5). `None` when undefined.
+    ///
+    /// Delegates to [`Self::estimate_count_profiled`] over a fresh profile —
+    /// one dispatch body serves both paths, so they cannot diverge.
     pub fn estimate_count(&self, sample: &SampleView) -> Option<f64> {
+        self.estimate_count_profiled(&ViewProfile::new(sample))
+    }
+
+    /// [`Self::estimate_count`] consuming the shared statistics of a
+    /// [`ViewProfile`] — the memoized Chao92 estimate, bucket partition,
+    /// rank multiplicities and §6.5 recommendation. Bit-for-bit identical to
+    /// the direct path.
+    pub fn estimate_count_profiled(&self, profile: &ViewProfile<'_>) -> Option<f64> {
         match *self {
             // The closed-form value estimators share the Chao92 count.
             EstimatorKind::Naive | EstimatorKind::Frequency => {
-                SpeciesEstimator::Chao92.estimate(sample.freq()).value()
+                profile.species(SpeciesEstimator::Chao92).value()
             }
-            EstimatorKind::Bucket => {
-                DynamicBucketEstimator::default()
-                    .estimate_delta(sample)
-                    .n_hat
+            EstimatorKind::Bucket => profile.bucket_delta().n_hat,
+            EstimatorKind::MonteCarlo(cfg) => {
+                MonteCarloEstimator::new(cfg).estimate_count_profiled(profile)
             }
-            EstimatorKind::MonteCarlo(cfg) => MonteCarloEstimator::new(cfg).estimate_count(sample),
-            EstimatorKind::Policy => match recommend(sample) {
-                Recommendation::Bucket => EstimatorKind::Bucket.estimate_count(sample),
+            EstimatorKind::Policy => match profile.recommendation() {
+                Recommendation::Bucket => EstimatorKind::Bucket.estimate_count_profiled(profile),
                 Recommendation::MonteCarlo => {
-                    EstimatorKind::MonteCarlo(MonteCarloConfig::default()).estimate_count(sample)
+                    EstimatorKind::MonteCarlo(MonteCarloConfig::default())
+                        .estimate_count_profiled(profile)
                 }
                 Recommendation::CollectMoreData => None,
             },
@@ -238,19 +252,51 @@ impl EstimationSession {
     }
 
     /// Runs the sample through every estimator of the session.
+    ///
+    /// Builds one [`ViewProfile`] for the view and shares it across all
+    /// estimators — the frequency ladder's species estimates, the value sort
+    /// and the bucket partition are each computed at most once, no matter how
+    /// many estimators the session holds. Results are identical to running
+    /// each estimator directly (pinned by the registry parity tests).
     pub fn run(&self, sample: &SampleView) -> Vec<NamedEstimate> {
-        let observed = sample.observed_sum();
+        self.run_profiled(&ViewProfile::new(sample))
+    }
+
+    /// [`Self::run`] over a caller-supplied profile, so repeated sessions (or
+    /// other consumers, e.g. the query executor) can share one statistics
+    /// pass per view. Under the `parallel` feature the estimators are fanned
+    /// out on scoped threads; results are in session order either way.
+    pub fn run_profiled(&self, profile: &ViewProfile<'_>) -> Vec<NamedEstimate> {
+        let observed = profile.view().observed_sum();
         self.entries
             .iter()
-            .map(|(kind, est)| {
-                let delta = est.estimate_delta(sample);
-                NamedEstimate {
-                    kind: *kind,
-                    name: kind.name(),
-                    delta,
-                    corrected: delta.delta.map(|d| observed + d),
-                }
+            .zip(self.deltas_profiled(profile))
+            .map(|(&(kind, _), delta)| NamedEstimate {
+                kind,
+                name: kind.name(),
+                delta,
+                corrected: delta.delta.map(|d| observed + d),
             })
+            .collect()
+    }
+
+    /// Each session estimator's Δ over the shared profile, in session order;
+    /// the fan-out point the `parallel` feature parallelises.
+    fn deltas_profiled(&self, profile: &ViewProfile<'_>) -> Vec<DeltaEstimate> {
+        #[cfg(feature = "parallel")]
+        if self.entries.len() > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
+        {
+            let mut deltas = vec![DeltaEstimate::UNDEFINED; self.entries.len()];
+            std::thread::scope(|scope| {
+                for (slot, (_, est)) in deltas.iter_mut().zip(&self.entries) {
+                    scope.spawn(move || *slot = est.estimate_delta_profiled(profile));
+                }
+            });
+            return deltas;
+        }
+        self.entries
+            .iter()
+            .map(|(_, est)| est.estimate_delta_profiled(profile))
             .collect()
     }
 }

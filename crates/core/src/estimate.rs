@@ -19,6 +19,7 @@
 //! | `γ` | coefficient of variation (skew) | [`uu_stats::cv`] |
 //! | `C` | sample coverage (`1 − M0`) | [`uu_stats::coverage`] |
 
+use crate::profile::ViewProfile;
 use crate::sample::SampleView;
 
 /// Result of a SUM-impact estimation.
@@ -88,6 +89,27 @@ pub trait SumEstimator {
         self.estimate_sum(sample)
             .unwrap_or_else(|| sample.observed_sum())
     }
+
+    /// Estimates `Δ̂` consuming the shared statistics of a [`ViewProfile`].
+    ///
+    /// The default implementation ignores the memo and runs the direct path;
+    /// estimators whose statistics the profile caches (naïve, frequency,
+    /// bucket, Monte-Carlo, policy) override it to reuse them. Overrides MUST
+    /// return bit-for-bit the same result as
+    /// `self.estimate_delta(profile.view())` — the profile memoizes, it never
+    /// approximates.
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        self.estimate_delta(profile.view())
+    }
+
+    /// Profile-aware convenience: the corrected answer `φ̂_D = φ_K + Δ̂`
+    /// computed from shared statistics. `None` when the estimator is
+    /// undefined for the profiled view.
+    fn estimate_sum_profiled(&self, profile: &ViewProfile<'_>) -> Option<f64> {
+        self.estimate_delta_profiled(profile)
+            .delta
+            .map(|d| profile.view().observed_sum() + d)
+    }
 }
 
 impl<T: SumEstimator + ?Sized> SumEstimator for &T {
@@ -98,6 +120,10 @@ impl<T: SumEstimator + ?Sized> SumEstimator for &T {
     fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
         (**self).estimate_delta(sample)
     }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        (**self).estimate_delta_profiled(profile)
+    }
 }
 
 impl<T: SumEstimator + ?Sized> SumEstimator for Box<T> {
@@ -107,6 +133,10 @@ impl<T: SumEstimator + ?Sized> SumEstimator for Box<T> {
 
     fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
         (**self).estimate_delta(sample)
+    }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        (**self).estimate_delta_profiled(profile)
     }
 }
 

@@ -14,8 +14,9 @@
 //! [`FrequencyEstimator::good_turing`].
 
 use crate::estimate::{DeltaEstimate, SumEstimator};
+use crate::profile::ViewProfile;
 use crate::sample::SampleView;
-use uu_stats::species::{chao92, coverage_only};
+use uu_stats::species::{chao92, coverage_only, CountEstimate, SpeciesEstimator};
 
 /// Singleton-mean estimator.
 ///
@@ -46,6 +47,31 @@ impl FrequencyEstimator {
             assume_zero_skew: true,
         }
     }
+
+    /// Which species estimator backs this variant's count.
+    const fn count_estimator(&self) -> SpeciesEstimator {
+        if self.assume_zero_skew {
+            SpeciesEstimator::CoverageOnly
+        } else {
+            SpeciesEstimator::Chao92
+        }
+    }
+
+    /// Eq. 9 given an already-computed count estimate.
+    fn delta_with_count(sample: &SampleView, count: CountEstimate) -> DeltaEstimate {
+        let Some(n_hat) = count.value() else {
+            return DeltaEstimate::UNDEFINED;
+        };
+        let f1 = sample.freq().singletons() as f64;
+        if f1 == 0.0 {
+            // No singletons: nothing indicates missing data; Eq. 9 gives 0
+            // because φ_f1 = 0 (and indeed N̂ = c when coverage is 1).
+            return DeltaEstimate::new(0.0, n_hat);
+        }
+        let missing = (n_hat - sample.c() as f64).max(0.0);
+        let singleton_mean = sample.singleton_sum() / f1;
+        DeltaEstimate::new(singleton_mean * missing, n_hat)
+    }
 }
 
 impl SumEstimator for FrequencyEstimator {
@@ -64,18 +90,12 @@ impl SumEstimator for FrequencyEstimator {
         } else {
             chao92(f)
         };
-        let Some(n_hat) = count.value() else {
-            return DeltaEstimate::UNDEFINED;
-        };
-        let f1 = f.singletons() as f64;
-        if f1 == 0.0 {
-            // No singletons: nothing indicates missing data; Eq. 9 gives 0
-            // because φ_f1 = 0 (and indeed N̂ = c when coverage is 1).
-            return DeltaEstimate::new(0.0, n_hat);
-        }
-        let missing = (n_hat - sample.c() as f64).max(0.0);
-        let singleton_mean = sample.singleton_sum() / f1;
-        DeltaEstimate::new(singleton_mean * missing, n_hat)
+        FrequencyEstimator::delta_with_count(sample, count)
+    }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        let count = profile.species(self.count_estimator());
+        FrequencyEstimator::delta_with_count(profile.view(), count)
     }
 }
 

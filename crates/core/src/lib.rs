@@ -19,6 +19,7 @@
 //! | [`aggregates`] | §5 | COUNT, AVG, MIN/MAX strategies |
 //! | [`combined`] | §3.5, App. D | frequency-in-bucket, Monte-Carlo-in-bucket |
 //! | [`engine`] | infrastructure | the estimator registry: [`engine::EstimatorKind`], [`engine::EstimationSession`] |
+//! | [`profile`] | infrastructure | [`profile::ViewProfile`]: shared, lazily-memoized per-view statistics for batched estimation |
 //! | [`recommend`] | §6.5 | estimator-selection policy (coverage gate, streaker detection) |
 //! | [`policy`] | §6.5 (extension) | the policy packaged as a self-selecting estimator |
 //! | [`capture`] | related work | capture–recapture COUNT baselines over source lineage |
@@ -61,6 +62,7 @@ pub mod monitor;
 pub mod montecarlo;
 pub mod naive;
 pub mod policy;
+pub mod profile;
 pub mod recommend;
 pub mod sample;
 pub mod sensitivity;
@@ -72,4 +74,5 @@ pub use frequency::FrequencyEstimator;
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimator};
 pub use naive::NaiveEstimator;
 pub use policy::PolicyEstimator;
+pub use profile::ViewProfile;
 pub use sample::SampleView;

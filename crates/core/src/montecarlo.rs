@@ -17,11 +17,12 @@
 
 use crate::estimate::{DeltaEstimate, SumEstimator};
 use crate::naive::NaiveEstimator;
+use crate::profile::ViewProfile;
 use crate::sample::SampleView;
 use uu_stats::kl::smoothed_rank_divergence;
 use uu_stats::rng::Rng;
 use uu_stats::sampling::FenwickSampler;
-use uu_stats::species::chao92;
+use uu_stats::species::{chao92, SpeciesEstimator};
 use uu_stats::surface::QuadraticSurface;
 
 /// Tunable parameters of the Monte-Carlo estimator. `Default` reproduces the
@@ -131,8 +132,26 @@ impl MonteCarloEstimator {
         if sample.is_empty() || !sample.has_lineage() {
             return None;
         }
-        let c = sample.c() as f64;
         let n_chao = chao92(sample.freq()).value()?;
+        self.grid_search(sample, n_chao, &sample.rank_multiplicities())
+    }
+
+    /// [`Self::estimate_count`] consuming the shared statistics of a
+    /// [`ViewProfile`] (memoized Chao92 and rank multiplicities). Bit-for-bit
+    /// identical to the direct path.
+    pub fn estimate_count_profiled(&self, profile: &ViewProfile<'_>) -> Option<f64> {
+        let sample = profile.view();
+        if sample.is_empty() || !sample.has_lineage() {
+            return None;
+        }
+        let n_chao = profile.species(SpeciesEstimator::Chao92).value()?;
+        self.grid_search(sample, n_chao, profile.rank_multiplicities())
+    }
+
+    /// Algorithm 3's grid search, given the Chao92 search-box bound and the
+    /// observed rank statistics.
+    fn grid_search(&self, sample: &SampleView, n_chao: f64, observed_ranks: &[u64]) -> Option<f64> {
+        let c = sample.c() as f64;
         if n_chao - c < 1.0 {
             // Search box collapses: the sample already looks complete.
             return Some(c);
@@ -144,7 +163,6 @@ impl MonteCarloEstimator {
             .collect();
         let theta_lambda = self.config.lambda_grid();
 
-        let observed_ranks = sample.rank_multiplicities();
         let source_sizes: Vec<usize> = sample
             .source_sizes()
             .iter()
@@ -158,7 +176,7 @@ impl MonteCarloEstimator {
             .iter()
             .flat_map(|&tn| theta_lambda.iter().map(move |&tl| (tn, tl)))
             .collect();
-        let scores = self.score_cells(&cells, &observed_ranks, &source_sizes);
+        let scores = self.score_cells(&cells, observed_ranks, &source_sizes);
 
         let points: Vec<(f64, f64, f64)> = cells
             .iter()
@@ -278,6 +296,13 @@ impl SumEstimator for MonteCarloEstimator {
     fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
         match self.estimate_count(sample) {
             Some(n_mc) => NaiveEstimator::delta_for_count(sample, n_mc),
+            None => DeltaEstimate::UNDEFINED,
+        }
+    }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        match self.estimate_count_profiled(profile) {
+            Some(n_mc) => NaiveEstimator::delta_for_count(profile.view(), n_mc),
             None => DeltaEstimate::UNDEFINED,
         }
     }

@@ -14,6 +14,7 @@
 //! large (§6.1) — exactly the failure mode the later estimators address.
 
 use crate::estimate::{DeltaEstimate, SumEstimator};
+use crate::profile::ViewProfile;
 use crate::sample::SampleView;
 use uu_stats::species::SpeciesEstimator;
 
@@ -76,6 +77,13 @@ impl SumEstimator for NaiveEstimator {
     fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
         match self.species.estimate(sample.freq()).value() {
             Some(n_hat) => NaiveEstimator::delta_for_count(sample, n_hat),
+            None => DeltaEstimate::UNDEFINED,
+        }
+    }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        match profile.species(self.species).value() {
+            Some(n_hat) => NaiveEstimator::delta_for_count(profile.view(), n_hat),
             None => DeltaEstimate::UNDEFINED,
         }
     }

@@ -12,6 +12,7 @@
 use crate::bucket::DynamicBucketEstimator;
 use crate::estimate::{DeltaEstimate, SumEstimator};
 use crate::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
+use crate::profile::ViewProfile;
 use crate::recommend::{recommend, Recommendation};
 use crate::sample::SampleView;
 
@@ -67,22 +68,28 @@ impl SumEstimator for PolicyEstimator {
     }
 
     fn estimate_delta(&self, sample: &SampleView) -> DeltaEstimate {
-        match recommend(sample) {
-            Recommendation::Bucket => self.bucket.estimate_delta(sample),
+        // One routing body serves both paths (so they cannot diverge): the
+        // direct path is the profiled path over a fresh profile.
+        self.estimate_delta_profiled(&ViewProfile::new(sample))
+    }
+
+    fn estimate_delta_profiled(&self, profile: &ViewProfile<'_>) -> DeltaEstimate {
+        match profile.recommendation() {
+            Recommendation::Bucket => self.bucket.estimate_delta_profiled(profile),
             Recommendation::MonteCarlo => {
                 let mc = MonteCarloEstimator::new(self.monte_carlo_config);
-                let d = mc.estimate_delta(sample);
+                let d = mc.estimate_delta_profiled(profile);
                 if d.is_defined() {
                     d
                 } else {
                     // MC needs lineage; without it fall back to the bucket
                     // estimator rather than silently giving up.
-                    self.bucket.estimate_delta(sample)
+                    self.bucket.estimate_delta_profiled(profile)
                 }
             }
             Recommendation::CollectMoreData => {
                 if self.estimate_below_coverage_gate {
-                    self.bucket.estimate_delta(sample)
+                    self.bucket.estimate_delta_profiled(profile)
                 } else {
                     DeltaEstimate::UNDEFINED
                 }

@@ -1,0 +1,346 @@
+//! Shared per-view derived statistics ([`ViewProfile`]).
+//!
+//! Every estimator in the suite derives its answer from the same handful of
+//! per-sample statistics: the frequency ladder's species estimates (naïve,
+//! frequency, Monte-Carlo's search box), the value-sorted item list and the
+//! bucket partition (bucket, policy, AVG/MIN/MAX), the §6.5 diagnostics and
+//! recommendation (policy, the query executor), and the rank-aligned
+//! multiplicities (Monte-Carlo). Before this module each consumer recomputed
+//! them independently — a session over `K` estimators paid `K` sorts, `K`
+//! Chao92 evaluations and up to `K` bucket splits per view.
+//!
+//! A [`ViewProfile`] is a lazily-memoized, thread-safe bundle of those
+//! statistics, computed **at most once per [`SampleView`]** and shared by
+//! every estimator through [`crate::estimate::SumEstimator`]'s `*_profiled`
+//! methods. [`crate::engine::EstimationSession::run`] builds one profile per
+//! view and fans all estimator kinds out over it (in parallel under the
+//! `parallel` feature); the query executor builds one profile per estimation
+//! universe (per group in a `GROUP BY`).
+//!
+//! Profiled and direct paths are **bit-for-bit identical** — the profile only
+//! memoizes, it never approximates. Parity is pinned for every registry kind
+//! by `tests/tests/engine_registry.rs` and a property test.
+//!
+//! [`ViewProfile::metrics`] exposes instrumentation counters (how many times
+//! each statistic was *built* versus *read*), which is how the grouped-batch
+//! benchmark demonstrates that `K` estimators × `G` groups now cost `G`
+//! statistics passes instead of `K × G`.
+//!
+//! # Examples
+//!
+//! ```
+//! use uu_core::engine::EstimationSession;
+//! use uu_core::profile::ViewProfile;
+//! use uu_core::sample::SampleView;
+//!
+//! let sample = SampleView::from_value_multiplicities([
+//!     (1000.0, 1), (2000.0, 2), (10_000.0, 4),
+//! ]);
+//! let profile = ViewProfile::new(&sample);
+//! let results = EstimationSession::all().run_profiled(&profile);
+//! assert_eq!(results.len(), 5);
+//! // All five estimators shared ONE sort and ONE bucket split.
+//! let m = profile.metrics();
+//! assert_eq!(m.sort_builds, 1);
+//! assert_eq!(m.bucket_builds, 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::bucket::{delta_over_buckets, BucketReport, DynamicBucketEstimator};
+use crate::estimate::DeltaEstimate;
+use crate::recommend::{diagnose, recommendation_for, Diagnostics, Recommendation};
+use crate::sample::{ObservedItem, SampleView};
+use uu_stats::species::{CountEstimate, SpeciesCache, SpeciesEstimator};
+
+/// A point-in-time snapshot of a profile's instrumentation counters.
+///
+/// `*_builds` count how many times the corresponding statistic was actually
+/// computed (at most 1 each, by construction); `species_computations` counts
+/// distinct species estimators evaluated (at most 6); `reads` counts every
+/// accessor call. `reads ≫ builds` is the signature of successful sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileMetrics {
+    /// Value-sorts of the item list performed (0 or 1).
+    pub sort_builds: u64,
+    /// Dynamic bucket partitions computed (0 or 1).
+    pub bucket_builds: u64,
+    /// §6.5 diagnostics extractions performed (0 or 1).
+    pub diagnostics_builds: u64,
+    /// Rank-multiplicity vectors materialised (0 or 1).
+    pub rank_builds: u64,
+    /// Species estimators evaluated on the ladder (≤ 6).
+    pub species_computations: u64,
+    /// Total accessor calls served (builds + cache hits).
+    pub reads: u64,
+}
+
+impl ProfileMetrics {
+    /// Total statistics builds across all kinds (sorts + buckets +
+    /// diagnostics + ranks + species evaluations).
+    pub fn total_builds(&self) -> u64 {
+        self.sort_builds
+            + self.bucket_builds
+            + self.diagnostics_builds
+            + self.rank_builds
+            + self.species_computations
+    }
+}
+
+/// Lazily-memoized, thread-safe bundle of derived statistics for one
+/// [`SampleView`].
+///
+/// Construction is free; each statistic is computed on first access (from any
+/// thread — initialisation is serialised per statistic) and memoized for the
+/// profile's lifetime. The profile borrows the view, so it is naturally
+/// invalidated when the view changes: build a new profile per materialised
+/// view.
+#[derive(Debug)]
+pub struct ViewProfile<'a> {
+    view: &'a SampleView,
+    species: SpeciesCache<'a>,
+    sorted: OnceLock<Vec<&'a ObservedItem>>,
+    buckets: OnceLock<Vec<BucketReport>>,
+    bucket_delta: OnceLock<DeltaEstimate>,
+    diagnostics: OnceLock<Diagnostics>,
+    recommendation: OnceLock<Recommendation>,
+    ranks: OnceLock<Vec<u64>>,
+    sort_builds: AtomicU64,
+    bucket_builds: AtomicU64,
+    diagnostics_builds: AtomicU64,
+    rank_builds: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl<'a> ViewProfile<'a> {
+    /// An empty profile over `view`; nothing is computed yet.
+    pub fn new(view: &'a SampleView) -> Self {
+        ViewProfile {
+            view,
+            species: SpeciesCache::new(view.freq()),
+            sorted: OnceLock::new(),
+            buckets: OnceLock::new(),
+            bucket_delta: OnceLock::new(),
+            diagnostics: OnceLock::new(),
+            recommendation: OnceLock::new(),
+            ranks: OnceLock::new(),
+            sort_builds: AtomicU64::new(0),
+            bucket_builds: AtomicU64::new(0),
+            diagnostics_builds: AtomicU64::new(0),
+            rank_builds: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    /// The profiled view.
+    pub fn view(&self) -> &'a SampleView {
+        self.view
+    }
+
+    fn read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The memoized estimate of `estimator` over the view's frequency ladder
+    /// (identical to `estimator.estimate(view.freq())`).
+    pub fn species(&self, estimator: SpeciesEstimator) -> CountEstimate {
+        self.read();
+        self.species.estimate(estimator)
+    }
+
+    /// Items sorted ascending by value — the working order of the bucket
+    /// estimators; sorted at most once per profile.
+    pub fn sorted_items(&self) -> &[&'a ObservedItem] {
+        self.read();
+        self.sorted.get_or_init(|| {
+            self.sort_builds.fetch_add(1, Ordering::Relaxed);
+            self.view.items_sorted_by_value()
+        })
+    }
+
+    /// The default dynamic bucket partition (Algorithm 1 with the naïve inner
+    /// estimator — exactly what [`DynamicBucketEstimator::default`]
+    /// produces), computed at most once per profile.
+    pub fn bucket_reports(&self) -> &[BucketReport] {
+        self.read();
+        self.buckets.get_or_init(|| {
+            self.bucket_builds.fetch_add(1, Ordering::Relaxed);
+            if self.view.is_empty() {
+                Vec::new()
+            } else {
+                DynamicBucketEstimator::default().bucketize_sorted(self.sorted_items())
+            }
+        })
+    }
+
+    /// The default bucket estimator's Δ (identical to
+    /// `DynamicBucketEstimator::default().estimate_delta(view)`), derived
+    /// from the memoized partition.
+    pub fn bucket_delta(&self) -> DeltaEstimate {
+        self.read();
+        *self.bucket_delta.get_or_init(|| {
+            if self.view.is_empty() {
+                DeltaEstimate::UNDEFINED
+            } else {
+                delta_over_buckets(self.bucket_reports())
+            }
+        })
+    }
+
+    /// Memoized §6.5 selection signals (identical to `diagnose(view)`).
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.read();
+        *self.diagnostics.get_or_init(|| {
+            self.diagnostics_builds.fetch_add(1, Ordering::Relaxed);
+            diagnose(self.view)
+        })
+    }
+
+    /// Memoized §6.5 estimator recommendation (identical to
+    /// `recommend(view)`), derived from the memoized diagnostics.
+    pub fn recommendation(&self) -> Recommendation {
+        self.read();
+        *self
+            .recommendation
+            .get_or_init(|| recommendation_for(self.view, &self.diagnostics()))
+    }
+
+    /// Memoized rank-aligned multiplicities (descending), the Monte-Carlo
+    /// indexing of the observed sample.
+    pub fn rank_multiplicities(&self) -> &[u64] {
+        self.read();
+        self.ranks.get_or_init(|| {
+            self.rank_builds.fetch_add(1, Ordering::Relaxed);
+            self.view.rank_multiplicities()
+        })
+    }
+
+    /// A snapshot of the instrumentation counters.
+    pub fn metrics(&self) -> ProfileMetrics {
+        ProfileMetrics {
+            sort_builds: self.sort_builds.load(Ordering::Relaxed),
+            bucket_builds: self.bucket_builds.load(Ordering::Relaxed),
+            diagnostics_builds: self.diagnostics_builds.load(Ordering::Relaxed),
+            rank_builds: self.rank_builds.load(Ordering::Relaxed),
+            species_computations: self.species.computations(),
+            reads: self.reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::SumEstimator;
+    use crate::recommend::recommend;
+    use crate::sample::StreamAccumulator;
+
+    fn toy() -> SampleView {
+        SampleView::from_value_multiplicities([(300.0, 1), (1000.0, 2), (2000.0, 2), (10_000.0, 4)])
+    }
+
+    fn lineage_sample() -> SampleView {
+        let mut acc = StreamAccumulator::new();
+        for source in 0..8u32 {
+            for item in 0..10u64 {
+                acc.push(item % 7, (item + 1) as f64 * 10.0, source);
+            }
+        }
+        acc.view()
+    }
+
+    #[test]
+    fn statistics_match_their_direct_counterparts() {
+        let v = lineage_sample();
+        let p = ViewProfile::new(&v);
+        for est in SpeciesEstimator::ALL {
+            assert_eq!(p.species(est), est.estimate(v.freq()), "{}", est.name());
+        }
+        let direct_sorted: Vec<f64> = v.items_sorted_by_value().iter().map(|i| i.value).collect();
+        let cached_sorted: Vec<f64> = p.sorted_items().iter().map(|i| i.value).collect();
+        assert_eq!(direct_sorted, cached_sorted);
+        assert_eq!(
+            p.bucket_reports(),
+            DynamicBucketEstimator::default().bucketize(&v).as_slice()
+        );
+        assert_eq!(
+            p.bucket_delta(),
+            DynamicBucketEstimator::default().estimate_delta(&v)
+        );
+        assert_eq!(p.diagnostics(), diagnose(&v));
+        assert_eq!(p.recommendation(), recommend(&v));
+        assert_eq!(p.rank_multiplicities(), v.rank_multiplicities().as_slice());
+    }
+
+    #[test]
+    fn each_statistic_builds_at_most_once() {
+        let v = toy();
+        let p = ViewProfile::new(&v);
+        for _ in 0..3 {
+            let _ = p.sorted_items();
+            let _ = p.bucket_reports();
+            let _ = p.bucket_delta();
+            let _ = p.diagnostics();
+            let _ = p.recommendation();
+            let _ = p.rank_multiplicities();
+            let _ = p.species(SpeciesEstimator::Chao92);
+        }
+        let m = p.metrics();
+        assert_eq!(m.sort_builds, 1);
+        assert_eq!(m.bucket_builds, 1);
+        assert_eq!(m.diagnostics_builds, 1);
+        assert_eq!(m.rank_builds, 1);
+        assert_eq!(m.species_computations, 1);
+        assert!(m.reads > m.total_builds());
+    }
+
+    #[test]
+    fn repeated_reads_return_identical_values() {
+        let v = toy();
+        let p = ViewProfile::new(&v);
+        assert_eq!(p.bucket_delta(), p.bucket_delta());
+        assert_eq!(p.recommendation(), p.recommendation());
+        assert_eq!(
+            p.species(SpeciesEstimator::Chao92),
+            p.species(SpeciesEstimator::Chao92)
+        );
+        // Slice accessors hand out the same memoized allocation.
+        assert!(std::ptr::eq(p.bucket_reports(), p.bucket_reports()));
+        assert!(std::ptr::eq(
+            p.rank_multiplicities(),
+            p.rank_multiplicities()
+        ));
+    }
+
+    #[test]
+    fn empty_view_profile_is_well_defined() {
+        let v = SampleView::from_value_multiplicities(std::iter::empty());
+        let p = ViewProfile::new(&v);
+        assert!(p.bucket_reports().is_empty());
+        assert_eq!(p.bucket_delta(), DeltaEstimate::UNDEFINED);
+        assert_eq!(p.recommendation(), Recommendation::CollectMoreData);
+        assert!(p.rank_multiplicities().is_empty());
+        assert!(p.sorted_items().is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_builds_each_statistic_once() {
+        let v = lineage_sample();
+        let p = ViewProfile::new(&v);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _ = p.bucket_delta();
+                    let _ = p.species(SpeciesEstimator::Chao92);
+                    let _ = p.recommendation();
+                    let _ = p.rank_multiplicities();
+                });
+            }
+        });
+        let m = p.metrics();
+        assert_eq!(m.sort_builds, 1);
+        assert_eq!(m.bucket_builds, 1);
+        assert_eq!(m.species_computations, 1);
+    }
+}

@@ -99,7 +99,13 @@ pub fn diagnose(sample: &SampleView) -> Diagnostics {
 /// recommended by default (it does not need lineage), trusting the caller to
 /// know their sources are independent and even.
 pub fn recommend(sample: &SampleView) -> Recommendation {
-    let d = diagnose(sample);
+    recommendation_for(sample, &diagnose(sample))
+}
+
+/// The §6.5 policy applied to already-extracted diagnostics of `sample` —
+/// the entry point for callers holding memoized diagnostics, such as
+/// [`crate::profile::ViewProfile::recommendation`].
+pub fn recommendation_for(sample: &SampleView, d: &Diagnostics) -> Recommendation {
     if !d.coverage_ok() {
         return Recommendation::CollectMoreData;
     }

@@ -6,6 +6,14 @@
 //! estimator selected by [`CorrectionMethod`]. SUM queries additionally carry
 //! the §4 upper bound, MIN/MAX queries carry the §5 trust report, and every
 //! result carries the §6.5 diagnostics and recommendation.
+//!
+//! Each estimation universe (the whole selection, or one group of a
+//! `GROUP BY`) gets exactly one [`ViewProfile`]: the diagnostics, the
+//! recommendation, the species estimates and the bucket partition behind the
+//! corrected answer are computed once and shared between the correction, the
+//! AVG/MIN/MAX strategies and the result metadata. Grouped queries evaluate
+//! their groups in parallel batches under the `parallel` feature (results are
+//! identical and in the same group order either way).
 
 use std::fmt;
 
@@ -13,12 +21,14 @@ use crate::query::{AggregateFunction, AggregateQuery};
 use crate::sql::{parse, ParseError};
 use crate::table::{IntegratedTable, TableError};
 use uu_core::aggregates::{
-    avg_estimate, max_report, min_report, ExtremeReport, EXTREME_TRUST_THRESHOLD,
+    avg_estimate_profiled, max_report_profiled, min_report_profiled, ExtremeReport,
+    EXTREME_TRUST_THRESHOLD,
 };
 use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
-use uu_core::engine::{self, EstimatorKind};
+use uu_core::engine::EstimatorKind;
 use uu_core::montecarlo::MonteCarloConfig;
-use uu_core::recommend::{diagnose, recommend, Diagnostics, Recommendation};
+use uu_core::profile::ViewProfile;
+use uu_core::recommend::{Diagnostics, Recommendation};
 use uu_core::sample::SampleView;
 
 /// Which unknown-unknowns correction to apply.
@@ -134,11 +144,12 @@ impl CorrectionMethod {
         }
     }
 
-    /// Resolves `Auto` against the §6.5 recommendation; the flag reports
-    /// whether the estimate was withheld by the coverage gate.
-    fn resolve_auto(self, view: &SampleView) -> (CorrectionMethod, bool) {
+    /// Resolves `Auto` against the §6.5 recommendation (memoized in the
+    /// universe's profile); the flag reports whether the estimate was
+    /// withheld by the coverage gate.
+    fn resolve_auto(self, profile: &ViewProfile<'_>) -> (CorrectionMethod, bool) {
         match self {
-            CorrectionMethod::Auto => match recommend(view) {
+            CorrectionMethod::Auto => match profile.recommendation() {
                 Recommendation::Bucket => (CorrectionMethod::Bucket, false),
                 Recommendation::MonteCarlo => (
                     CorrectionMethod::MonteCarlo(MonteCarloConfig::default()),
@@ -207,14 +218,53 @@ pub fn execute_grouped(
     };
     let groups =
         table.grouped_sample_views(query.column.as_deref(), &query.predicate, group_column)?;
-    Ok(groups
-        .into_iter()
-        .map(|(key, view)| {
-            let label = format!("{query} [{group_column} = {key}]");
-            let result = compute(label, query.agg, &view, method);
-            GroupResult { key, result }
-        })
-        .collect())
+    Ok(compute_groups(query, group_column, groups, method))
+}
+
+/// Evaluates every group as its own estimation universe (one profile each).
+/// Under the `parallel` feature the groups are computed in parallel batches;
+/// results are identical and in the same group order either way.
+fn compute_groups(
+    query: &AggregateQuery,
+    group_column: &str,
+    groups: Vec<(crate::value::Value, SampleView)>,
+    method: CorrectionMethod,
+) -> Vec<GroupResult> {
+    let one = |(key, view): (crate::value::Value, SampleView)| {
+        let label = format!("{query} [{group_column} = {key}]");
+        let result = compute(label, query.agg, &view, method);
+        GroupResult { key, result }
+    };
+
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(groups.len().max(1));
+        if threads > 1 {
+            let mut work: Vec<Option<(crate::value::Value, SampleView)>> =
+                groups.into_iter().map(Some).collect();
+            let mut results: Vec<Option<GroupResult>> = Vec::new();
+            results.resize_with(work.len(), || None);
+            let chunk = work.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (slots, batch) in results.chunks_mut(chunk).zip(work.chunks_mut(chunk)) {
+                    scope.spawn(|| {
+                        for (slot, group) in slots.iter_mut().zip(batch) {
+                            *slot = Some(one(group.take().expect("each group computed once")));
+                        }
+                    });
+                }
+            });
+            return results
+                .into_iter()
+                .map(|r| r.expect("every batch completed"))
+                .collect();
+        }
+    }
+
+    groups.into_iter().map(one).collect()
 }
 
 /// Parses and executes a `GROUP BY` SQL string.
@@ -227,20 +277,21 @@ pub fn execute_sql_grouped(
     execute_grouped(table, &query, method)
 }
 
-/// Computes the dual answer for one estimation universe.
+/// Computes the dual answer for one estimation universe, sharing one
+/// [`ViewProfile`] between the correction, the §5 strategies and the result
+/// metadata.
 fn compute(
     query_display: String,
     agg: AggregateFunction,
     view: &SampleView,
     method: CorrectionMethod,
 ) -> QueryResult {
-    let view = view.clone();
-    let diagnostics = diagnose(&view);
-    let recommendation = recommend(&view);
+    let profile = ViewProfile::new(view);
+    let diagnostics = profile.diagnostics();
+    let recommendation = profile.recommendation();
 
-    let (method, withheld) = method.resolve_auto(&view);
+    let (method, withheld) = method.resolve_auto(&profile);
 
-    let buckets = engine::bucket_estimator();
     let mut result = QueryResult {
         query: query_display,
         observed: f64::NAN,
@@ -261,10 +312,10 @@ fn compute(
         AggregateFunction::Sum => {
             result.observed = view.observed_sum();
             result.upper_bound =
-                sum_upper_bound(&view, UpperBoundConfig::default()).map(|b| b.phi_d_bound);
+                sum_upper_bound(view, UpperBoundConfig::default()).map(|b| b.phi_d_bound);
             if let Some(kind) = method.kind() {
                 let est = kind.build();
-                let d = est.estimate_delta(&view);
+                let d = est.estimate_delta_profiled(&profile);
                 result.corrected = d.delta.map(|delta| view.observed_sum() + delta);
                 result.n_hat = d.n_hat;
                 result.method = est.name();
@@ -274,7 +325,7 @@ fn compute(
             result.observed = view.c() as f64;
             let n_hat = method.kind().and_then(|kind| {
                 result.method = kind.count_method_name();
-                kind.estimate_count(&view)
+                kind.estimate_count_profiled(&profile)
             });
             result.corrected = n_hat;
             result.n_hat = n_hat;
@@ -284,7 +335,7 @@ fn compute(
             if method != CorrectionMethod::None {
                 // Only the bucket approach moves AVG off the observed value
                 // (§5); all other estimators reproduce the observed mean.
-                if let Some(avg) = avg_estimate(&view, &buckets) {
+                if let Some(avg) = avg_estimate_profiled(&profile) {
                     result.corrected = Some(avg.corrected);
                     result.method = "bucket-avg";
                 }
@@ -299,9 +350,9 @@ fn compute(
             };
             if method != CorrectionMethod::None {
                 let report = if is_max {
-                    max_report(&view, &buckets, EXTREME_TRUST_THRESHOLD)
+                    max_report_profiled(&profile, EXTREME_TRUST_THRESHOLD)
                 } else {
-                    min_report(&view, &buckets, EXTREME_TRUST_THRESHOLD)
+                    min_report_profiled(&profile, EXTREME_TRUST_THRESHOLD)
                 };
                 if let Some(r) = report {
                     // An endorsed extreme is the corrected answer; an

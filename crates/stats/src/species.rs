@@ -195,6 +195,19 @@ impl SpeciesEstimator {
         SpeciesEstimator::Bootstrap,
     ];
 
+    /// Stable dense index of this estimator within [`Self::ALL`], used as the
+    /// slot key by [`SpeciesCache`].
+    pub const fn index(self) -> usize {
+        match self {
+            SpeciesEstimator::Chao92 => 0,
+            SpeciesEstimator::CoverageOnly => 1,
+            SpeciesEstimator::Chao84 => 2,
+            SpeciesEstimator::Jackknife1 => 3,
+            SpeciesEstimator::Jackknife2 => 4,
+            SpeciesEstimator::Bootstrap => 5,
+        }
+    }
+
     /// Applies the estimator to a sample.
     pub fn estimate(self, f: &FrequencyStatistics) -> CountEstimate {
         match self {
@@ -217,6 +230,67 @@ impl SpeciesEstimator {
             SpeciesEstimator::Jackknife2 => "jackknife2",
             SpeciesEstimator::Bootstrap => "bootstrap",
         }
+    }
+}
+
+/// A thread-safe, lazily filled memo of species estimates over one frequency
+/// ladder.
+///
+/// Every estimator in the paper's suite ultimately asks the same question —
+/// "what does Chao92 (or a baseline) say about this ladder?" — and a batched
+/// session asks it once per estimator per view. The cache borrows the ladder,
+/// computes each requested [`SpeciesEstimator`] at most once, and returns the
+/// memoized [`CountEstimate`] (a `Copy` value) on every subsequent call, so
+/// repeated estimation over a shared view is free after the first pass.
+///
+/// # Examples
+///
+/// ```
+/// use uu_stats::freq::FrequencyStatistics;
+/// use uu_stats::species::{SpeciesCache, SpeciesEstimator};
+///
+/// let f = FrequencyStatistics::from_multiplicities([1u64, 2, 4]);
+/// let cache = SpeciesCache::new(&f);
+/// let a = cache.estimate(SpeciesEstimator::Chao92);
+/// let b = cache.estimate(SpeciesEstimator::Chao92);
+/// assert_eq!(a, b);
+/// assert_eq!(cache.computations(), 1); // second call was a cache hit
+/// ```
+#[derive(Debug)]
+pub struct SpeciesCache<'a> {
+    freq: &'a FrequencyStatistics,
+    slots: [std::sync::OnceLock<CountEstimate>; 6],
+    computations: std::sync::atomic::AtomicU64,
+}
+
+impl<'a> SpeciesCache<'a> {
+    /// An empty cache over `freq`.
+    pub fn new(freq: &'a FrequencyStatistics) -> Self {
+        SpeciesCache {
+            freq,
+            slots: Default::default(),
+            computations: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The ladder this cache memoizes over.
+    pub fn freq(&self) -> &'a FrequencyStatistics {
+        self.freq
+    }
+
+    /// The memoized estimate of `estimator` over the ladder, computed on
+    /// first use.
+    pub fn estimate(&self, estimator: SpeciesEstimator) -> CountEstimate {
+        *self.slots[estimator.index()].get_or_init(|| {
+            self.computations
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            estimator.estimate(self.freq)
+        })
+    }
+
+    /// How many estimates were actually computed (cache misses) so far.
+    pub fn computations(&self) -> u64 {
+        self.computations.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -303,6 +377,46 @@ mod tests {
             let _ = est.estimate(&f);
             assert!(!est.name().is_empty());
         }
+    }
+
+    #[test]
+    fn index_is_dense_and_matches_all_order() {
+        for (i, est) in SpeciesEstimator::ALL.iter().enumerate() {
+            assert_eq!(est.index(), i);
+        }
+    }
+
+    #[test]
+    fn cache_matches_direct_estimates_and_counts_misses() {
+        let f = toy_before();
+        let cache = SpeciesCache::new(&f);
+        for est in SpeciesEstimator::ALL {
+            assert_eq!(cache.estimate(est), est.estimate(&f), "{}", est.name());
+        }
+        assert_eq!(cache.computations(), 6);
+        // Every repeated read is a hit.
+        for est in SpeciesEstimator::ALL {
+            let _ = cache.estimate(est);
+        }
+        assert_eq!(cache.computations(), 6);
+        assert_eq!(cache.freq().n(), 7);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let f = FrequencyStatistics::from_multiplicities([1, 2, 2, 4, 5]);
+        let cache = SpeciesCache::new(&f);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for est in SpeciesEstimator::ALL {
+                        assert_eq!(cache.estimate(est), est.estimate(cache.freq()));
+                    }
+                });
+            }
+        });
+        // OnceLock guarantees each slot initialises exactly once.
+        assert_eq!(cache.computations(), 6);
     }
 
     proptest! {

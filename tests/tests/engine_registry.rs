@@ -11,6 +11,7 @@ use uu_core::frequency::FrequencyEstimator;
 use uu_core::montecarlo::{MonteCarloConfig, MonteCarloEstimator};
 use uu_core::naive::NaiveEstimator;
 use uu_core::policy::PolicyEstimator;
+use uu_core::profile::ViewProfile;
 use uu_core::recommend::{recommend, Recommendation};
 use uu_core::sample::{replay_checkpoints, SampleView};
 use uu_datagen::realworld;
@@ -85,6 +86,89 @@ fn session_reports_the_same_estimates_as_standalone_builds() {
                 standalone.delta.map(|d| view.observed_sum() + d)
             );
         }
+    }
+}
+
+/// Every registry kind, with both Monte-Carlo configurations that appear in
+/// practice (fast for tests, default for the policy's internal routing).
+fn all_parity_kinds() -> Vec<EstimatorKind> {
+    let mut kinds = EstimatorKind::standard(MonteCarloConfig::fast());
+    kinds.push(EstimatorKind::MonteCarlo(MonteCarloConfig::default()));
+    kinds.push(EstimatorKind::Policy);
+    kinds
+}
+
+/// The tentpole guarantee: for every `EstimatorKind`, the profile path —
+/// shared, memoized statistics — produces bit-for-bit the same Δ and SUM as
+/// the direct path, whether the profile is cold (per estimator) or warm
+/// (shared by all of them).
+#[test]
+fn profiled_estimates_match_direct_for_every_kind() {
+    let views = parity_views();
+    for (i, view) in views.iter().enumerate() {
+        // Warm profile: shared across all kinds, statistics memoized by
+        // whichever estimator touches them first.
+        let shared = ViewProfile::new(view);
+        for kind in all_parity_kinds() {
+            let est = kind.build();
+            let direct: DeltaEstimate = est.estimate_delta(view);
+            let cold_profile = ViewProfile::new(view);
+            assert_eq!(
+                est.estimate_delta_profiled(&cold_profile),
+                direct,
+                "{kind:?} cold-profile divergence on view {i}"
+            );
+            assert_eq!(
+                est.estimate_delta_profiled(&shared),
+                direct,
+                "{kind:?} warm-profile divergence on view {i}"
+            );
+            assert_eq!(
+                est.estimate_sum_profiled(&shared),
+                est.estimate_sum(view),
+                "{kind:?} SUM divergence on view {i}"
+            );
+        }
+    }
+}
+
+/// COUNT parity: the profiled count dispatch equals the direct dispatch for
+/// every kind on every seeded view.
+#[test]
+fn profiled_counts_match_direct_for_every_kind() {
+    let views = parity_views();
+    for (i, view) in views.iter().enumerate() {
+        let shared = ViewProfile::new(view);
+        for kind in all_parity_kinds() {
+            assert_eq!(
+                kind.estimate_count_profiled(&shared),
+                kind.estimate_count(view),
+                "{kind:?} COUNT divergence on view {i}"
+            );
+        }
+    }
+}
+
+/// A session over the full registry shares one statistics pass per view: one
+/// sort, one bucket split, and each species estimator at most once.
+#[test]
+fn session_shares_one_statistics_pass_per_view() {
+    for (i, view) in parity_views().iter().enumerate() {
+        let profile = ViewProfile::new(view);
+        let results = EstimationSession::new(all_parity_kinds()).run_profiled(&profile);
+        assert_eq!(results.len(), all_parity_kinds().len());
+        let m = profile.metrics();
+        assert!(m.sort_builds <= 1, "view {i}: {} sorts", m.sort_builds);
+        assert!(m.bucket_builds <= 1, "view {i}: {} splits", m.bucket_builds);
+        assert!(
+            m.species_computations <= 1,
+            "view {i}: {} species passes (only Chao92 is needed)",
+            m.species_computations
+        );
+        assert!(
+            m.reads > m.total_builds(),
+            "view {i}: sharing not exercised"
+        );
     }
 }
 
