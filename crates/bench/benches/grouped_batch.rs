@@ -9,6 +9,14 @@
 //! `ViewProfile` instrumentation counters to report exactly how many
 //! statistics builds the shared pass performed versus the unshared
 //! equivalent.
+//!
+//! Beyond the printed tables, the bench re-times every variant explicitly
+//! (including the cross-query `ProfileCache` hit path) and writes the
+//! results as machine-readable JSON to `BENCH_grouped_batch.json` (in
+//! `$BENCH_JSON_DIR` when set, the working directory otherwise), so the perf
+//! trajectory across PRs is recorded, not just eyeballed.
+
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use uu_core::engine::{EstimationSession, EstimatorKind};
@@ -16,8 +24,11 @@ use uu_core::estimate::SumEstimator;
 use uu_core::montecarlo::MonteCarloConfig;
 use uu_core::profile::ViewProfile;
 use uu_core::sample::{SampleView, StreamAccumulator};
-use uu_query::exec::{execute_sql_grouped, CorrectionMethod};
+use uu_query::exec::{
+    execute_grouped_cached, execute_sql_grouped, CorrectionMethod, QueryProfileCache,
+};
 use uu_query::schema::{ColumnType, Schema};
+use uu_query::sql::parse;
 use uu_query::table::IntegratedTable;
 use uu_query::value::Value;
 use uu_stats::rng::Rng;
@@ -125,6 +136,20 @@ fn bench_grouped(c: &mut Criterion) {
             })
         });
     }
+    // The cross-query hit path: the selection's profiles are frozen once,
+    // repeated queries thaw them instead of rebuilding views + statistics.
+    let cache = QueryProfileCache::new(8);
+    let grouped_query = parse("SELECT SUM(v) FROM t GROUP BY g").unwrap();
+    let _ = execute_grouped_cached(&table, &grouped_query, CorrectionMethod::Bucket, &cache)
+        .expect("warm the cache");
+    group.bench_function("bucket_cached", |b| {
+        b.iter(|| {
+            let rows =
+                execute_grouped_cached(&table, &grouped_query, CorrectionMethod::Bucket, &cache)
+                    .unwrap();
+            black_box(rows.len())
+        })
+    });
     group.finish();
 
     // Statistics-pass accounting via the profile instrumentation counters:
@@ -158,6 +183,120 @@ fn bench_grouped(c: &mut Criterion) {
         "sharing must at least halve the statistics passes \
          (shared {shared_passes}, unshared {unshared_passes})"
     );
+
+    // Machine-readable record: explicit timed runs of every variant (the
+    // stand-in criterion only prints), plus the accounting counters.
+    let samples = 10;
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    let mut record = |name: &str, mut run: Box<dyn FnMut() + '_>| {
+        run(); // warm-up
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            run();
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            best = best.min(ns);
+            total += ns;
+        }
+        results.push((name.to_string(), total / samples as f64, best));
+    };
+    record(
+        "direct_per_estimator",
+        Box::new(|| {
+            let mut acc = 0.0;
+            for view in &views {
+                for kind in &kinds {
+                    if let Some(s) = kind.build().estimate_sum(black_box(view)) {
+                        acc += s;
+                    }
+                }
+            }
+            black_box(acc);
+        }),
+    );
+    record(
+        "shared_profile_session",
+        Box::new(|| {
+            let mut acc = 0.0;
+            for view in &views {
+                let profile = ViewProfile::new(view);
+                for r in session.run_profiled(&profile) {
+                    if let Some(s) = r.corrected {
+                        acc += s;
+                    }
+                }
+            }
+            black_box(acc);
+        }),
+    );
+    record(
+        "sql_group_by_bucket",
+        Box::new(|| {
+            let rows = execute_sql_grouped(
+                &table,
+                "SELECT SUM(v) FROM t GROUP BY g",
+                CorrectionMethod::Bucket,
+            )
+            .unwrap();
+            black_box(rows.len());
+        }),
+    );
+    record(
+        "sql_group_by_auto",
+        Box::new(|| {
+            let rows = execute_sql_grouped(
+                &table,
+                "SELECT SUM(v) FROM t GROUP BY g",
+                CorrectionMethod::Auto,
+            )
+            .unwrap();
+            black_box(rows.len());
+        }),
+    );
+    record(
+        "sql_group_by_bucket_cached",
+        Box::new(|| {
+            let rows =
+                execute_grouped_cached(&table, &grouped_query, CorrectionMethod::Bucket, &cache)
+                    .unwrap();
+            black_box(rows.len());
+        }),
+    );
+
+    let cache_metrics = cache.metrics();
+    let pool = uu_core::exec::global().metrics();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"grouped_batch\",\n  \"groups\": {GROUPS},\n  \"per_group\": {PER_GROUP},\n  \"estimators\": {},\n  \"samples\": {samples},\n",
+        kinds.len()
+    ));
+    json.push_str(&format!(
+        "  \"threads\": {},\n  \"parallel_regions\": {},\n  \"steals\": {},\n  \"peak_workers\": {},\n",
+        pool.threads, pool.parallel_regions, pool.steals, pool.peak_workers
+    ));
+    json.push_str(&format!(
+        "  \"statistics_passes\": {{ \"shared\": {shared_passes}, \"unshared\": {unshared_passes} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"profile_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }},\n",
+        cache_metrics.hits, cache_metrics.misses, cache_metrics.evictions
+    ));
+    json.push_str("  \"timings_ns\": {\n");
+    for (i, (name, mean, min)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"mean\": {mean:.0}, \"min\": {min:.0} }}{sep}\n"
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_grouped_batch.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\ngrouped_batch: wrote {}", path.display()),
+        Err(e) => println!("\ngrouped_batch: could not write {}: {e}", path.display()),
+    }
 }
 
 criterion_group!(benches, bench_grouped);

@@ -1,0 +1,98 @@
+//! Executor scheduling overhead: what a region costs beyond the work itself.
+//!
+//! Three probes over trivial and non-trivial task bodies:
+//!
+//! * `serial_loop` vs `executor_map` on the same workload — the region
+//!   set-up cost (token acquisition, queue split, scoped spawn, slot
+//!   locking) amortised over the tasks.
+//! * `nested_inline` — a region issued from inside another region, which
+//!   must degrade to a plain loop (the recursion-aware fast path).
+//! * `join_pair` — the two-closure fork/join primitive.
+//!
+//! A busy-work body (`spin`) keeps the compiler from collapsing the tasks
+//! and gives the overhead a realistic denominator (a few microseconds per
+//! task, comparable to one Monte-Carlo cell).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uu_core::exec;
+
+/// A deterministic ~µs-scale busy-work unit.
+fn spin(seed: u64, rounds: u64) -> u64 {
+    let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..rounds {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    }
+    h
+}
+
+const TASKS: usize = 64;
+const ROUNDS: u64 = 2_000;
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let pool = exec::global();
+    let inputs: Vec<u64> = (0..TASKS as u64).collect();
+
+    let mut group = c.benchmark_group(format!("pool_overhead/t{}_n{TASKS}", pool.threads()));
+    group.sample_size(20);
+
+    group.bench_function("serial_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &seed in &inputs {
+                acc ^= spin(black_box(seed), ROUNDS);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("executor_map", |b| {
+        b.iter(|| {
+            let out = pool.map_indexed(inputs.clone(), |_, seed| spin(black_box(seed), ROUNDS));
+            black_box(out.iter().fold(0u64, |a, &x| a ^ x))
+        })
+    });
+
+    group.bench_function("executor_map_trivial_tasks", |b| {
+        // Near-empty bodies: worst case for per-task overhead.
+        b.iter(|| {
+            let out = pool.map_indexed(inputs.clone(), |i, seed| seed.wrapping_add(i as u64));
+            black_box(out.len())
+        })
+    });
+
+    group.bench_function("nested_inline", |b| {
+        // The outer region owns the workers; inner regions must cost a plain
+        // loop, not a second spawn wave.
+        b.iter(|| {
+            let out = pool.map_indexed(inputs.clone(), |_, seed| {
+                pool.map_indexed((0..8u64).collect(), |_, j| spin(seed ^ j, ROUNDS / 8))
+                    .iter()
+                    .fold(0u64, |a, &x| a ^ x)
+            });
+            black_box(out.len())
+        })
+    });
+
+    group.bench_function("join_pair", |b| {
+        b.iter(|| {
+            let (a, bb) = pool.join(|| spin(1, ROUNDS * 8), || spin(2, ROUNDS * 8));
+            black_box(a ^ bb)
+        })
+    });
+
+    group.finish();
+
+    let m = pool.metrics();
+    println!(
+        "pool_overhead/executor_metrics: threads {} regions {} parallel {} tasks {} steals {} peak {}",
+        m.threads, m.regions, m.parallel_regions, m.tasks, m.steals, m.peak_workers
+    );
+    assert!(
+        m.peak_workers <= m.threads,
+        "executor exceeded its worker budget"
+    );
+}
+
+criterion_group!(benches, bench_pool_overhead);
+criterion_main!(benches);

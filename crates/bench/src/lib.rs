@@ -99,52 +99,25 @@ fn run_rep(
     }
 }
 
-/// Evaluates all repetitions, on scoped threads under the `parallel` feature
-/// (each repetition keeps its deterministic seed `base_seed + rep`, and the
-/// results are folded in repetition order, so the output is bit-identical to
-/// the serial path).
+/// Evaluates all repetitions on the shared work-stealing executor
+/// (`uu_core::exec`). Each repetition keeps its deterministic seed
+/// `base_seed + rep` and writes its own output slot, so the result is
+/// bit-identical to the serial path regardless of scheduling.
 fn run_reps(
     reps: u64,
     base_seed: u64,
     make: &(impl Fn(u64) -> Run + Sync),
     estimators: &[NamedEstimator],
 ) -> Vec<RepOutcome> {
-    #[cfg(feature = "parallel")]
-    {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(reps.max(1) as usize);
-        if threads > 1 && reps > 1 {
-            let mut outcomes: Vec<Option<RepOutcome>> = Vec::new();
-            outcomes.resize_with(reps as usize, || None);
-            let chunk = (reps as usize).div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (batch_idx, slots) in outcomes.chunks_mut(chunk).enumerate() {
-                    scope.spawn(move || {
-                        for (off, slot) in slots.iter_mut().enumerate() {
-                            let rep = (batch_idx * chunk + off) as u64;
-                            *slot = Some(run_rep(base_seed + rep, make, estimators));
-                        }
-                    });
-                }
-            });
-            return outcomes
-                .into_iter()
-                .map(|o| o.expect("every repetition evaluated"))
-                .collect();
-        }
-    }
-    (0..reps)
-        .map(|rep| run_rep(base_seed + rep, make, estimators))
-        .collect()
+    let seeds: Vec<u64> = (0..reps).map(|rep| base_seed + rep).collect();
+    uu_core::exec::global().map_indexed(seeds, |_, seed| run_rep(seed, make, estimators))
 }
 
 /// Runs `reps` seeded repetitions of a workload and averages the corrected
 /// sums of every estimator at every checkpoint.
 ///
 /// Repetition `rep` always uses seed `base_seed + rep`; under the `parallel`
-/// feature the repetitions run on scoped threads and are folded in
+/// feature the repetitions run on the shared executor and are folded in
 /// repetition order, so the series is identical either way.
 pub fn mean_series(
     reps: u64,

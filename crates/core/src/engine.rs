@@ -265,7 +265,7 @@ impl EstimationSession {
     /// [`Self::run`] over a caller-supplied profile, so repeated sessions (or
     /// other consumers, e.g. the query executor) can share one statistics
     /// pass per view. Under the `parallel` feature the estimators are fanned
-    /// out on scoped threads; results are in session order either way.
+    /// out on the shared executor; results are in session order either way.
     pub fn run_profiled(&self, profile: &ViewProfile<'_>) -> Vec<NamedEstimate> {
         let observed = profile.view().observed_sum();
         self.entries
@@ -281,23 +281,15 @@ impl EstimationSession {
     }
 
     /// Each session estimator's Δ over the shared profile, in session order;
-    /// the fan-out point the `parallel` feature parallelises.
+    /// the fan-out point the shared executor ([`crate::exec`]) parallelises.
+    /// Inside another parallel region (e.g. a grouped batch) the fan-out runs
+    /// inline on the owning worker, so nesting never oversubscribes.
     fn deltas_profiled(&self, profile: &ViewProfile<'_>) -> Vec<DeltaEstimate> {
-        #[cfg(feature = "parallel")]
-        if self.entries.len() > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
-        {
-            let mut deltas = vec![DeltaEstimate::UNDEFINED; self.entries.len()];
-            std::thread::scope(|scope| {
-                for (slot, (_, est)) in deltas.iter_mut().zip(&self.entries) {
-                    scope.spawn(move || *slot = est.estimate_delta_profiled(profile));
-                }
-            });
-            return deltas;
-        }
-        self.entries
-            .iter()
-            .map(|(_, est)| est.estimate_delta_profiled(profile))
-            .collect()
+        let mut deltas = vec![DeltaEstimate::UNDEFINED; self.entries.len()];
+        crate::exec::global().for_each_indexed(&mut deltas, |i, slot| {
+            *slot = self.entries[i].1.estimate_delta_profiled(profile);
+        });
+        deltas
     }
 }
 

@@ -12,8 +12,9 @@
 //! count (§3.4.2: "we use our naïve estimation technique with N̂_MC").
 //!
 //! The grid search is embarrassingly parallel; with the `parallel` feature
-//! (default) cells are scored on std scoped threads, with per-cell seeds
-//! derived deterministically so results are identical to the serial path.
+//! (default) cells are scored on the shared work-stealing executor
+//! ([`crate::exec`]), with per-cell seeds derived deterministically so
+//! results are identical to the serial path.
 
 use crate::estimate::{DeltaEstimate, SumEstimator};
 use crate::naive::NaiveEstimator;
@@ -46,9 +47,10 @@ pub struct MonteCarloConfig {
     pub surface_resolution: usize,
     /// Seed for the simulation streams (the estimator is deterministic).
     pub seed: u64,
-    /// Score grid cells on multiple threads (no-op unless the crate's
-    /// `parallel` feature is enabled). Results are identical either way —
-    /// per-cell seeds are derived from the cell coordinates.
+    /// Score grid cells on the shared executor (a no-op unless the crate's
+    /// `parallel` feature is enabled and a pool worker is free). Results are
+    /// identical either way — per-cell seeds are derived from the cell
+    /// coordinates.
     pub parallel: bool,
 }
 
@@ -203,33 +205,22 @@ impl MonteCarloEstimator {
         }
     }
 
-    /// Scores cells, in parallel when the `parallel` feature is enabled.
+    /// Scores cells on the shared executor ([`crate::exec`]) when
+    /// `config.parallel` is set; serially otherwise. Per-cell deterministic
+    /// seeding makes both paths bit-for-bit identical.
     fn score_cells(
         &self,
         cells: &[(f64, f64)],
         observed_ranks: &[u64],
         source_sizes: &[usize],
     ) -> Vec<f64> {
-        #[cfg(feature = "parallel")]
         if self.config.parallel {
-            let threads = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(cells.len().max(1));
-            if threads > 1 {
-                let mut scores = vec![0.0f64; cells.len()];
-                let chunk = cells.len().div_ceil(threads);
-                std::thread::scope(|scope| {
-                    for (slot, work) in scores.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-                        scope.spawn(move || {
-                            for (out, &(tn, tl)) in slot.iter_mut().zip(work) {
-                                *out = self.average_distance(tn, tl, observed_ranks, source_sizes);
-                            }
-                        });
-                    }
-                });
-                return scores;
-            }
+            let mut scores = vec![0.0f64; cells.len()];
+            crate::exec::global().for_each_indexed(&mut scores, |i, out| {
+                let (tn, tl) = cells[i];
+                *out = self.average_distance(tn, tl, observed_ranks, source_sizes);
+            });
+            return scores;
         }
         cells
             .iter()

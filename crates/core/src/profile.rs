@@ -26,6 +26,21 @@
 //! benchmark demonstrates that `K` estimators × `G` groups now cost `G`
 //! statistics passes instead of `K × G`.
 //!
+//! # Cross-query reuse
+//!
+//! A `ViewProfile` borrows its view, so it cannot outlive one query. For the
+//! repeated-query workloads of a server frontend, [`ProfileSnapshot`] freezes
+//! a fully-warmed profile together with an owned copy of its view
+//! ([`ViewProfile::warm`] computes every statistic eagerly, fanning out on
+//! the shared executor), and [`ProfileCache`] is the bounded LRU map the
+//! query executor consults — keyed by [`ProfileKey`] (table version,
+//! predicate fingerprint, group key) — before building a profile from
+//! scratch. Thawing a snapshot ([`ProfileSnapshot::profile`]) pre-fills every
+//! memo slot, so a cache hit performs **zero** statistics builds
+//! (counter-asserted by the cache tests). Entries are invalidated naturally
+//! by the table version in the key and explicitly via
+//! [`ProfileCache::invalidate_table`] on catalog mutation.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,14 +60,18 @@
 //! assert_eq!(m.bucket_builds, 1);
 //! ```
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use crate::bucket::{delta_over_buckets, BucketReport, DynamicBucketEstimator};
 use crate::estimate::DeltaEstimate;
 use crate::recommend::{diagnose, recommendation_for, Diagnostics, Recommendation};
 use crate::sample::{ObservedItem, SampleView};
 use uu_stats::species::{CountEstimate, SpeciesCache, SpeciesEstimator};
+
+/// Number of species estimators a profile memoizes.
+const LADDER: usize = SpeciesEstimator::ALL.len();
 
 /// A point-in-time snapshot of a profile's instrumentation counters.
 ///
@@ -227,6 +246,310 @@ impl<'a> ViewProfile<'a> {
             reads: self.reads.load(Ordering::Relaxed),
         }
     }
+
+    /// Eagerly computes **every** statistic of the profile, fanning the four
+    /// independent groups (sort + buckets, diagnostics + recommendation, rank
+    /// multiplicities, the species ladder) out on the shared executor
+    /// ([`crate::exec`]). Inside another parallel region the warm-up runs
+    /// inline. Values are identical to lazy computation — warming only moves
+    /// the cost; it is the preparation step for [`ProfileSnapshot::capture`]
+    /// and for server-style pre-materialisation.
+    pub fn warm(&self) -> &Self {
+        let buckets = || {
+            let _ = self.bucket_delta();
+        };
+        let recommendation = || {
+            let _ = self.recommendation();
+        };
+        let ranks = || {
+            let _ = self.rank_multiplicities();
+        };
+        let ladder = || self.species.warm();
+        let mut stages: [&(dyn Fn() + Sync); 4] = [&buckets, &recommendation, &ranks, &ladder];
+        crate::exec::global().for_each_indexed(&mut stages, |_, stage| stage());
+        self
+    }
+
+    /// Rebuilds a profile over a snapshot's view with every memo slot
+    /// pre-filled: no statistic is ever rebuilt (`total_builds` stays 0).
+    fn thaw(snapshot: &'a ProfileSnapshot) -> Self {
+        let profile = ViewProfile::new(&snapshot.view);
+        for (est, value) in SpeciesEstimator::ALL.iter().zip(snapshot.species) {
+            profile.species.preload(*est, value);
+        }
+        let items = snapshot.view.items();
+        let _ = profile.sorted.set(
+            snapshot
+                .sorted_idx
+                .iter()
+                .map(|&i| &items[i as usize])
+                .collect(),
+        );
+        let _ = profile.buckets.set(snapshot.buckets.clone());
+        let _ = profile.bucket_delta.set(snapshot.bucket_delta);
+        let _ = profile.diagnostics.set(snapshot.diagnostics);
+        let _ = profile.recommendation.set(snapshot.recommendation);
+        let _ = profile.ranks.set(snapshot.ranks.clone());
+        profile
+    }
+}
+
+/// A fully-warmed, owned freeze of a [`ViewProfile`] — the unit the
+/// cross-query [`ProfileCache`] stores.
+///
+/// Unlike `ViewProfile` it owns its [`SampleView`], so it can outlive the
+/// query that built it. [`ProfileSnapshot::profile`] thaws it back into a
+/// `ViewProfile` whose memo slots are all pre-filled; estimators consuming a
+/// thawed profile perform zero statistics builds and return bit-for-bit the
+/// results they would compute from scratch.
+#[derive(Debug, Clone)]
+pub struct ProfileSnapshot {
+    view: SampleView,
+    species: [CountEstimate; LADDER],
+    /// Indices into `view.items()` in ascending-value order (the memoized
+    /// sort, stored positionally so the snapshot stays self-contained).
+    sorted_idx: Vec<u32>,
+    buckets: Vec<BucketReport>,
+    bucket_delta: DeltaEstimate,
+    diagnostics: Diagnostics,
+    recommendation: Recommendation,
+    ranks: Vec<u64>,
+}
+
+impl ProfileSnapshot {
+    /// Consumes a view, computes every profile statistic (eagerly, on the
+    /// shared executor) and freezes the result.
+    pub fn capture(view: SampleView) -> Self {
+        let (species, sorted_idx, buckets, bucket_delta, diagnostics, recommendation, ranks) = {
+            let profile = ViewProfile::new(&view);
+            profile.warm();
+            let items = view.items();
+            // Recover the sorted permutation positionally: stable-sorting
+            // indices with the same `total_cmp` comparator reproduces
+            // `items_sorted_by_value`'s order exactly.
+            let mut sorted_idx: Vec<u32> = (0..items.len() as u32).collect();
+            sorted_idx
+                .sort_by(|&a, &b| items[a as usize].value.total_cmp(&items[b as usize].value));
+            (
+                profile.species.all_estimates(),
+                sorted_idx,
+                profile.bucket_reports().to_vec(),
+                profile.bucket_delta(),
+                profile.diagnostics(),
+                profile.recommendation(),
+                profile.rank_multiplicities().to_vec(),
+            )
+        };
+        ProfileSnapshot {
+            view,
+            species,
+            sorted_idx,
+            buckets,
+            bucket_delta,
+            diagnostics,
+            recommendation,
+            ranks,
+        }
+    }
+
+    /// The frozen view.
+    pub fn view(&self) -> &SampleView {
+        &self.view
+    }
+
+    /// Thaws the snapshot into a fully pre-filled [`ViewProfile`] borrowing
+    /// it.
+    pub fn profile(&self) -> ViewProfile<'_> {
+        ViewProfile::thaw(self)
+    }
+}
+
+/// Cache key for cross-query profile reuse: one estimation-universe identity.
+///
+/// The profiled statistics depend only on which entities enter the view —
+/// the table's contents (pinned by `version`), the aggregate attribute
+/// column, the predicate and the grouping — never on the aggregate function
+/// or correction method, so one entry serves SUM/COUNT/AVG/MIN/MAX and every
+/// estimator alike.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// Table name (canonicalised by the caller, e.g. lower-cased).
+    pub table: String,
+    /// Process-unique identity of the table *object*: two distinct tables
+    /// that share a name (and coincidentally a version) must not serve each
+    /// other's entries.
+    pub instance: u64,
+    /// Table mutation counter; any insert bumps it, so stale entries can
+    /// never be returned even before explicit invalidation evicts them.
+    pub version: u64,
+    /// Aggregate attribute column (`None` for `COUNT(*)`).
+    pub column: Option<String>,
+    /// Canonical fingerprint of the `WHERE` predicate.
+    pub predicate: String,
+    /// `GROUP BY` column, when the entry holds per-group universes.
+    pub group_by: Option<String>,
+}
+
+/// A point-in-time snapshot of a [`ProfileCache`]'s instrumentation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then builds and inserts).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the capacity bound (least recently used first).
+    pub evictions: u64,
+    /// Entries dropped by [`ProfileCache::invalidate_table`] /
+    /// [`ProfileCache::clear`].
+    pub invalidations: u64,
+    /// Current number of live entries.
+    pub len: usize,
+}
+
+/// A bounded, thread-safe LRU cache for cross-query profile reuse.
+///
+/// Generic over the stored value so the query layer can cache whole
+/// selections (e.g. `Arc<Vec<(group key, ProfileSnapshot)>>`) while this
+/// crate stays oblivious to SQL types; values are cloned out on hit, so `V`
+/// should be an `Arc` (or otherwise cheap to clone).
+#[derive(Debug)]
+pub struct ProfileCache<V> {
+    capacity: usize,
+    inner: Mutex<CacheInner<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheInner<V> {
+    /// key → (value, last-used tick); the tick orders LRU eviction.
+    map: HashMap<ProfileKey, (V, u64)>,
+    tick: u64,
+}
+
+/// Default capacity of [`ProfileCache::default`].
+pub const DEFAULT_PROFILE_CACHE_CAPACITY: usize = 128;
+
+impl<V> Default for ProfileCache<V> {
+    fn default() -> Self {
+        ProfileCache::new(DEFAULT_PROFILE_CACHE_CAPACITY)
+    }
+}
+
+impl<V> ProfileCache<V> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ProfileCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a universe, refreshing its recency on hit.
+    pub fn get(&self, key: &ProfileKey) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut inner = self.inner.lock().expect("profile cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least recently used one
+    /// when the capacity bound is exceeded.
+    pub fn insert(&self, key: ProfileKey, value: V) {
+        let mut inner = self.inner.lock().expect("profile cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (value, tick));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while inner.map.len() > self.capacity {
+            let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, used))| used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry belonging to `table` (same canonical form as the
+    /// keys), returning how many were removed. Called on catalog mutation;
+    /// the version field of [`ProfileKey`] already guarantees stale entries
+    /// are unreachable, so this is about reclaiming memory promptly.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        let mut inner = self.inner.lock().expect("profile cache lock");
+        let before = inner.map.len();
+        inner.map.retain(|key, _| key.table != table);
+        let removed = before - inner.map.len();
+        self.invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("profile cache lock");
+        let removed = inner.map.len();
+        inner.map.clear();
+        self.invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("profile cache lock").map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the instrumentation counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -328,19 +651,127 @@ mod tests {
     fn concurrent_access_builds_each_statistic_once() {
         let v = lineage_sample();
         let p = ViewProfile::new(&v);
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    let _ = p.bucket_delta();
-                    let _ = p.species(SpeciesEstimator::Chao92);
-                    let _ = p.recommendation();
-                    let _ = p.rank_multiplicities();
-                });
-            }
+        let exec = crate::exec::Executor::with_threads(4);
+        let mut lanes = [0u8; 4];
+        exec.for_each_indexed(&mut lanes, |_, _| {
+            let _ = p.bucket_delta();
+            let _ = p.species(SpeciesEstimator::Chao92);
+            let _ = p.recommendation();
+            let _ = p.rank_multiplicities();
         });
         let m = p.metrics();
         assert_eq!(m.sort_builds, 1);
         assert_eq!(m.bucket_builds, 1);
         assert_eq!(m.species_computations, 1);
+    }
+
+    #[test]
+    fn warm_builds_everything_once_and_changes_nothing() {
+        let v = lineage_sample();
+        let lazy = ViewProfile::new(&v);
+        let warmed = ViewProfile::new(&v);
+        warmed.warm();
+        let m = warmed.metrics();
+        assert_eq!(m.sort_builds, 1);
+        assert_eq!(m.bucket_builds, 1);
+        assert_eq!(m.diagnostics_builds, 1);
+        assert_eq!(m.rank_builds, 1);
+        assert_eq!(m.species_computations, SpeciesEstimator::ALL.len() as u64);
+        // Warming is transparent: every statistic equals the lazy value.
+        assert_eq!(warmed.bucket_delta(), lazy.bucket_delta());
+        assert_eq!(warmed.diagnostics(), lazy.diagnostics());
+        assert_eq!(warmed.recommendation(), lazy.recommendation());
+        assert_eq!(warmed.rank_multiplicities(), lazy.rank_multiplicities());
+        for est in SpeciesEstimator::ALL {
+            assert_eq!(warmed.species(est), lazy.species(est));
+        }
+        // Re-warming is free.
+        let builds = warmed.metrics().total_builds();
+        warmed.warm();
+        assert_eq!(warmed.metrics().total_builds(), builds);
+    }
+
+    #[test]
+    fn snapshot_thaw_is_bit_for_bit_and_build_free() {
+        let v = lineage_sample();
+        let direct = ViewProfile::new(&v);
+        let snapshot = ProfileSnapshot::capture(v.clone());
+        let thawed = snapshot.profile();
+        assert_eq!(snapshot.view(), &v);
+        for est in SpeciesEstimator::ALL {
+            assert_eq!(thawed.species(est), direct.species(est));
+        }
+        assert_eq!(thawed.bucket_reports(), direct.bucket_reports());
+        assert_eq!(thawed.bucket_delta(), direct.bucket_delta());
+        assert_eq!(thawed.diagnostics(), direct.diagnostics());
+        assert_eq!(thawed.recommendation(), direct.recommendation());
+        assert_eq!(thawed.rank_multiplicities(), direct.rank_multiplicities());
+        let thawed_sorted: Vec<f64> = thawed.sorted_items().iter().map(|i| i.value).collect();
+        let direct_sorted: Vec<f64> = direct.sorted_items().iter().map(|i| i.value).collect();
+        assert_eq!(thawed_sorted, direct_sorted);
+        // The hit path never rebuilds a statistic.
+        assert_eq!(thawed.metrics().total_builds(), 0);
+    }
+
+    #[test]
+    fn snapshot_of_empty_view_is_well_defined() {
+        let snapshot =
+            ProfileSnapshot::capture(SampleView::from_value_multiplicities(std::iter::empty()));
+        let p = snapshot.profile();
+        assert_eq!(p.bucket_delta(), DeltaEstimate::UNDEFINED);
+        assert_eq!(p.recommendation(), Recommendation::CollectMoreData);
+        assert!(p.sorted_items().is_empty());
+    }
+
+    fn key(table: &str, version: u64, predicate: &str) -> ProfileKey {
+        ProfileKey {
+            table: table.to_string(),
+            instance: 0,
+            version,
+            column: Some("v".to_string()),
+            predicate: predicate.to_string(),
+            group_by: None,
+        }
+    }
+
+    #[test]
+    fn cache_hits_misses_and_counts() {
+        let cache: ProfileCache<u32> = ProfileCache::new(4);
+        assert_eq!(cache.get(&key("t", 0, "p")), None);
+        cache.insert(key("t", 0, "p"), 7);
+        assert_eq!(cache.get(&key("t", 0, "p")), Some(7));
+        // A different version is a different universe.
+        assert_eq!(cache.get(&key("t", 1, "p")), None);
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses, m.insertions, m.len), (1, 2, 1, 1));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let cache: ProfileCache<u32> = ProfileCache::new(2);
+        cache.insert(key("t", 0, "a"), 1);
+        cache.insert(key("t", 0, "b"), 2);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(cache.get(&key("t", 0, "a")), Some(1));
+        cache.insert(key("t", 0, "c"), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("t", 0, "b")), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key("t", 0, "a")), Some(1));
+        assert_eq!(cache.get(&key("t", 0, "c")), Some(3));
+        assert_eq!(cache.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn cache_invalidation_is_per_table() {
+        let cache: ProfileCache<u32> = ProfileCache::new(8);
+        cache.insert(key("t", 0, "a"), 1);
+        cache.insert(key("t", 0, "b"), 2);
+        cache.insert(key("u", 0, "a"), 3);
+        assert_eq!(cache.invalidate_table("t"), 2);
+        assert_eq!(cache.get(&key("t", 0, "a")), None);
+        assert_eq!(cache.get(&key("u", 0, "a")), Some(3));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.metrics().invalidations, 3);
     }
 }

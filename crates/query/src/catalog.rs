@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use crate::exec::{
-    execute_grouped, execute_sql as exec_one, CorrectionMethod, ExecError, GroupResult, QueryResult,
+    execute_cached, execute_grouped, execute_grouped_cached, execute_sql as exec_one,
+    CorrectionMethod, ExecError, GroupResult, QueryProfileCache, QueryResult,
 };
 use crate::sql::parse;
 use crate::table::IntegratedTable;
@@ -51,6 +52,10 @@ impl std::error::Error for CatalogError {}
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, IntegratedTable>,
+    /// Cross-query profile cache behind the `*_cached` execution methods.
+    /// Keys carry the table version, and [`Catalog::get_mut`] invalidates a
+    /// table's entries eagerly, so the cache can never serve a stale state.
+    cache: QueryProfileCache,
 }
 
 impl Catalog {
@@ -74,9 +79,20 @@ impl Catalog {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
-    /// Mutable lookup (e.g. to keep inserting observations).
+    /// Mutable lookup (e.g. to keep inserting observations). Invalidates the
+    /// table's cached profiles — the caller may mutate it, and the version
+    /// bump would strand the old entries in the cache anyway.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut IntegratedTable> {
-        self.tables.get_mut(&name.to_ascii_lowercase())
+        let key = name.to_ascii_lowercase();
+        let table = self.tables.get_mut(&key)?;
+        self.cache.invalidate_table(&key);
+        Some(table)
+    }
+
+    /// The embedded cross-query profile cache (for instrumentation; the
+    /// `*_cached` methods consult it automatically).
+    pub fn cache(&self) -> &QueryProfileCache {
+        &self.cache
     }
 
     /// Number of registered tables.
@@ -121,6 +137,35 @@ impl Catalog {
             .get(&query.table)
             .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
         execute_grouped(table, &query, method)
+    }
+
+    /// [`Catalog::execute_sql`] through the embedded profile cache: repeated
+    /// identical queries (the server-frontend workload) reuse the selection's
+    /// frozen statistics instead of re-deriving them. Bit-for-bit identical
+    /// results.
+    pub fn execute_sql_cached(
+        &self,
+        sql: &str,
+        method: CorrectionMethod,
+    ) -> Result<QueryResult, ExecError> {
+        let query = parse(sql)?;
+        let table = self
+            .get(&query.table)
+            .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
+        execute_cached(table, &query, method, &self.cache)
+    }
+
+    /// [`Catalog::execute_sql_grouped`] through the embedded profile cache.
+    pub fn execute_sql_grouped_cached(
+        &self,
+        sql: &str,
+        method: CorrectionMethod,
+    ) -> Result<Vec<GroupResult>, ExecError> {
+        let query = parse(sql)?;
+        let table = self
+            .get(&query.table)
+            .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
+        execute_grouped_cached(table, &query, method, &self.cache)
     }
 }
 

@@ -12,10 +12,22 @@
 //! recommendation, the species estimates and the bucket partition behind the
 //! corrected answer are computed once and shared between the correction, the
 //! AVG/MIN/MAX strategies and the result metadata. Grouped queries evaluate
-//! their groups in parallel batches under the `parallel` feature (results are
-//! identical and in the same group order either way).
+//! their groups on the shared work-stealing executor (`uu_core::exec`) under
+//! the `parallel` feature (results are identical and in the same group order
+//! either way); nested parallel work inside a group — the session fan-out,
+//! the Monte-Carlo grid — runs inline on the group's worker, so a grouped
+//! Monte-Carlo workload never exceeds the executor's thread budget.
+//!
+//! For repeated-query workloads, [`execute_cached`] /
+//! [`execute_grouped_cached`] consult a [`QueryProfileCache`] before building
+//! anything: on a hit the selection's [`ProfileSnapshot`]s (frozen, fully
+//! warmed per-universe statistics, keyed by table version + predicate
+//! fingerprint + group key) are thawed instead of re-deriving the views and
+//! their statistics from the table. Results are bit-for-bit identical to the
+//! uncached paths.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::query::{AggregateFunction, AggregateQuery};
 use crate::sql::{parse, ParseError};
@@ -27,9 +39,18 @@ use uu_core::aggregates::{
 use uu_core::bound::{sum_upper_bound, UpperBoundConfig};
 use uu_core::engine::EstimatorKind;
 use uu_core::montecarlo::MonteCarloConfig;
-use uu_core::profile::ViewProfile;
+use uu_core::profile::{ProfileCache, ProfileKey, ProfileSnapshot, ViewProfile};
 use uu_core::recommend::{Diagnostics, Recommendation};
 use uu_core::sample::SampleView;
+
+/// One cached selection: every estimation universe of a (table state,
+/// column, predicate, grouping) combination — a single `(Null, snapshot)`
+/// pair for ungrouped queries, one pair per group value otherwise.
+pub type SelectionSnapshots = Arc<Vec<(crate::value::Value, ProfileSnapshot)>>;
+
+/// The cross-query profile cache consulted by [`execute_cached`] and
+/// [`execute_grouped_cached`] (embedded in `Catalog`).
+pub type QueryProfileCache = ProfileCache<SelectionSnapshots>;
 
 /// Which unknown-unknowns correction to apply.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -221,50 +242,20 @@ pub fn execute_grouped(
     Ok(compute_groups(query, group_column, groups, method))
 }
 
-/// Evaluates every group as its own estimation universe (one profile each).
-/// Under the `parallel` feature the groups are computed in parallel batches;
-/// results are identical and in the same group order either way.
+/// Evaluates every group as its own estimation universe (one profile each)
+/// on the shared executor — work-stealing balances skewed group sizes, and
+/// results come back in group order regardless of scheduling.
 fn compute_groups(
     query: &AggregateQuery,
     group_column: &str,
     groups: Vec<(crate::value::Value, SampleView)>,
     method: CorrectionMethod,
 ) -> Vec<GroupResult> {
-    let one = |(key, view): (crate::value::Value, SampleView)| {
+    uu_core::exec::global().map_indexed(groups, |_, (key, view)| {
         let label = format!("{query} [{group_column} = {key}]");
         let result = compute(label, query.agg, &view, method);
         GroupResult { key, result }
-    };
-
-    #[cfg(feature = "parallel")]
-    {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(groups.len().max(1));
-        if threads > 1 {
-            let mut work: Vec<Option<(crate::value::Value, SampleView)>> =
-                groups.into_iter().map(Some).collect();
-            let mut results: Vec<Option<GroupResult>> = Vec::new();
-            results.resize_with(work.len(), || None);
-            let chunk = work.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (slots, batch) in results.chunks_mut(chunk).zip(work.chunks_mut(chunk)) {
-                    scope.spawn(|| {
-                        for (slot, group) in slots.iter_mut().zip(batch) {
-                            *slot = Some(one(group.take().expect("each group computed once")));
-                        }
-                    });
-                }
-            });
-            return results
-                .into_iter()
-                .map(|r| r.expect("every batch completed"))
-                .collect();
-        }
-    }
-
-    groups.into_iter().map(one).collect()
+    })
 }
 
 /// Parses and executes a `GROUP BY` SQL string.
@@ -277,6 +268,133 @@ pub fn execute_sql_grouped(
     execute_grouped(table, &query, method)
 }
 
+/// Canonical predicate fingerprint for cache keys: column names are
+/// lower-cased (predicate evaluation is case-insensitive on columns, so
+/// `WHERE X = 1` and `WHERE x = 1` denote the same universe), literals and
+/// operators render explicitly. Unlike a `Debug` dump, the format is owned
+/// by this function, so derive-output churn can't silently change cache
+/// identities.
+fn predicate_fingerprint(p: &crate::predicate::Predicate) -> String {
+    use crate::predicate::Predicate;
+    match p {
+        Predicate::True => "true".to_string(),
+        Predicate::Cmp { column, op, value } => {
+            format!("({} {op} {value:?})", column.to_ascii_lowercase())
+        }
+        Predicate::And(a, b) => format!(
+            "(and {} {})",
+            predicate_fingerprint(a),
+            predicate_fingerprint(b)
+        ),
+        Predicate::Or(a, b) => format!(
+            "(or {} {})",
+            predicate_fingerprint(a),
+            predicate_fingerprint(b)
+        ),
+        Predicate::Not(inner) => format!("(not {})", predicate_fingerprint(inner)),
+    }
+}
+
+/// The cache identity of a query's estimation universes over one table
+/// state. Everything that shapes the [`SampleView`]s enters the key; the
+/// aggregate function and the correction method don't (they consume the
+/// cached statistics, they don't change them).
+fn profile_key(table: &IntegratedTable, query: &AggregateQuery) -> ProfileKey {
+    ProfileKey {
+        table: table.name().to_ascii_lowercase(),
+        instance: table.instance(),
+        version: table.version(),
+        column: query.column.as_deref().map(str::to_ascii_lowercase),
+        predicate: predicate_fingerprint(&query.predicate),
+        group_by: query.group_by.as_deref().map(str::to_ascii_lowercase),
+    }
+}
+
+/// The query's estimation universes as cached snapshots: returned straight
+/// from `cache` on a hit; built from the table, frozen (one fully-warmed
+/// [`ProfileSnapshot`] per universe, captured on the shared executor) and
+/// inserted on a miss.
+fn cached_selection(
+    table: &IntegratedTable,
+    query: &AggregateQuery,
+    cache: &QueryProfileCache,
+) -> Result<SelectionSnapshots, ExecError> {
+    let key = profile_key(table, query);
+    if let Some(hit) = cache.get(&key) {
+        return Ok(hit);
+    }
+    let universes = match query.group_by.as_deref() {
+        Some(group_column) => {
+            table.grouped_sample_views(query.column.as_deref(), &query.predicate, group_column)?
+        }
+        None => vec![(
+            crate::value::Value::Null,
+            table.sample_view(query.column.as_deref(), &query.predicate)?,
+        )],
+    };
+    let snapshots = Arc::new(
+        uu_core::exec::global().map_indexed(universes, |_, (group, view)| {
+            (group, ProfileSnapshot::capture(view))
+        }),
+    );
+    cache.insert(key, Arc::clone(&snapshots));
+    Ok(snapshots)
+}
+
+/// [`execute`] through a cross-query [`QueryProfileCache`]: a repeated query
+/// against an unchanged table skips the view extraction and every statistics
+/// build, thawing the cached [`ProfileSnapshot`] instead. Results are
+/// bit-for-bit identical to [`execute`].
+pub fn execute_cached(
+    table: &IntegratedTable,
+    query: &AggregateQuery,
+    method: CorrectionMethod,
+    cache: &QueryProfileCache,
+) -> Result<QueryResult, ExecError> {
+    check_table(table, query)?;
+    if query.group_by.is_some() {
+        return Err(ExecError::GroupedQuery);
+    }
+    let snapshots = cached_selection(table, query, cache)?;
+    let (_, snapshot) = &snapshots[0];
+    Ok(compute_profiled(
+        query.to_string(),
+        query.agg,
+        &snapshot.profile(),
+        method,
+    ))
+}
+
+/// [`execute_grouped`] through a cross-query [`QueryProfileCache`]; groups
+/// are evaluated from their cached snapshots on the shared executor. Results
+/// are bit-for-bit identical to [`execute_grouped`].
+pub fn execute_grouped_cached(
+    table: &IntegratedTable,
+    query: &AggregateQuery,
+    method: CorrectionMethod,
+    cache: &QueryProfileCache,
+) -> Result<Vec<GroupResult>, ExecError> {
+    check_table(table, query)?;
+    let Some(group_column) = query.group_by.as_deref() else {
+        let result = execute_cached(table, query, method, cache)?;
+        return Ok(vec![GroupResult {
+            key: crate::value::Value::Null,
+            result,
+        }]);
+    };
+    let snapshots = cached_selection(table, query, cache)?;
+    let indices: Vec<usize> = (0..snapshots.len()).collect();
+    Ok(uu_core::exec::global().map_indexed(indices, |_, i| {
+        let (key, snapshot) = &snapshots[i];
+        let label = format!("{query} [{group_column} = {key}]");
+        let result = compute_profiled(label, query.agg, &snapshot.profile(), method);
+        GroupResult {
+            key: key.clone(),
+            result,
+        }
+    }))
+}
+
 /// Computes the dual answer for one estimation universe, sharing one
 /// [`ViewProfile`] between the correction, the §5 strategies and the result
 /// metadata.
@@ -286,11 +404,23 @@ fn compute(
     view: &SampleView,
     method: CorrectionMethod,
 ) -> QueryResult {
-    let profile = ViewProfile::new(view);
+    compute_profiled(query_display, agg, &ViewProfile::new(view), method)
+}
+
+/// [`compute`] over a caller-supplied profile — the entry point for cached
+/// execution, where the profile is thawed from a [`ProfileSnapshot`] instead
+/// of built from a fresh view.
+fn compute_profiled(
+    query_display: String,
+    agg: AggregateFunction,
+    profile: &ViewProfile<'_>,
+    method: CorrectionMethod,
+) -> QueryResult {
+    let view = profile.view();
     let diagnostics = profile.diagnostics();
     let recommendation = profile.recommendation();
 
-    let (method, withheld) = method.resolve_auto(&profile);
+    let (method, withheld) = method.resolve_auto(profile);
 
     let mut result = QueryResult {
         query: query_display,
@@ -315,7 +445,7 @@ fn compute(
                 sum_upper_bound(view, UpperBoundConfig::default()).map(|b| b.phi_d_bound);
             if let Some(kind) = method.kind() {
                 let est = kind.build();
-                let d = est.estimate_delta_profiled(&profile);
+                let d = est.estimate_delta_profiled(profile);
                 result.corrected = d.delta.map(|delta| view.observed_sum() + delta);
                 result.n_hat = d.n_hat;
                 result.method = est.name();
@@ -325,7 +455,7 @@ fn compute(
             result.observed = view.c() as f64;
             let n_hat = method.kind().and_then(|kind| {
                 result.method = kind.count_method_name();
-                kind.estimate_count_profiled(&profile)
+                kind.estimate_count_profiled(profile)
             });
             result.corrected = n_hat;
             result.n_hat = n_hat;
@@ -335,7 +465,7 @@ fn compute(
             if method != CorrectionMethod::None {
                 // Only the bucket approach moves AVG off the observed value
                 // (§5); all other estimators reproduce the observed mean.
-                if let Some(avg) = avg_estimate_profiled(&profile) {
+                if let Some(avg) = avg_estimate_profiled(profile) {
                     result.corrected = Some(avg.corrected);
                     result.method = "bucket-avg";
                 }
@@ -350,9 +480,9 @@ fn compute(
             };
             if method != CorrectionMethod::None {
                 let report = if is_max {
-                    max_report_profiled(&profile, EXTREME_TRUST_THRESHOLD)
+                    max_report_profiled(profile, EXTREME_TRUST_THRESHOLD)
                 } else {
-                    min_report_profiled(&profile, EXTREME_TRUST_THRESHOLD)
+                    min_report_profiled(profile, EXTREME_TRUST_THRESHOLD)
                 };
                 if let Some(r) = report {
                     // An endorsed extreme is the corrected answer; an

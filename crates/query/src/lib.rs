@@ -61,8 +61,9 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use exec::{
-    execute, execute_grouped, execute_sql, execute_sql_grouped, CorrectionMethod, GroupResult,
-    QueryResult,
+    execute, execute_cached, execute_grouped, execute_grouped_cached, execute_sql,
+    execute_sql_grouped, CorrectionMethod, GroupResult, QueryProfileCache, QueryResult,
+    SelectionSnapshots,
 };
 pub use predicate::{CmpOp, Predicate};
 pub use query::{AggregateFunction, AggregateQuery};

@@ -79,14 +79,48 @@ impl Entity {
     }
 }
 
+/// Process-unique table-instance ids, so profile-cache keys can tell two
+/// same-named tables apart (a per-instance insert counter alone could
+/// coincide).
+static TABLE_INSTANCES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_instance() -> u64 {
+    TABLE_INSTANCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// An integrated, entity-deduplicated table with lineage.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IntegratedTable {
     name: String,
     schema: Schema,
     key_col: usize,
     entities: Vec<Entity>,
     index: HashMap<String, usize>,
+    /// Mutation counter: bumped by every accepted observation. Part of the
+    /// cross-query [`uu_core::profile::ProfileKey`], so cached profiles of an
+    /// older table state can never be returned.
+    version: u64,
+    /// Process-unique identity (fresh per constructor call *and* per clone),
+    /// also part of the cache key: two distinct tables that happen to share a
+    /// name and a version can never serve each other's cached profiles.
+    instance: u64,
+}
+
+impl Clone for IntegratedTable {
+    /// Clones the contents but assigns a **fresh instance id**: the clone is
+    /// a different table that may diverge from the original, so it must not
+    /// share cached profiles with it.
+    fn clone(&self) -> Self {
+        IntegratedTable {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            key_col: self.key_col,
+            entities: self.entities.clone(),
+            index: self.index.clone(),
+            version: self.version,
+            instance: next_instance(),
+        }
+    }
 }
 
 impl IntegratedTable {
@@ -106,12 +140,27 @@ impl IntegratedTable {
             key_col,
             entities: Vec::new(),
             index: HashMap::new(),
+            version: 0,
+            instance: next_instance(),
         })
     }
 
     /// Table name (matched case-insensitively by the executor).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The mutation counter: 0 for a fresh table, +1 per accepted
+    /// observation. Together with [`IntegratedTable::instance`] it identifies
+    /// a table *state* in profile-cache keys.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Process-unique identity of this table object (fresh per construction
+    /// and per clone).
+    pub fn instance(&self) -> u64 {
+        self.instance
     }
 
     /// The table schema.
@@ -155,6 +204,7 @@ impl IntegratedTable {
             Ok(pos) => entity.source_counts[pos].1 += 1,
             Err(pos) => entity.source_counts.insert(pos, (source_id, 1)),
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -318,6 +368,21 @@ mod tests {
             .unwrap();
         }
         t
+    }
+
+    #[test]
+    fn version_counts_accepted_observations_only() {
+        let schema = Schema::new([("k", ColumnType::Str), ("x", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        assert_eq!(t.version(), 0);
+        t.insert_observation(0, vec![Value::from("a"), Value::from(1.0)])
+            .unwrap();
+        t.insert_observation(1, vec![Value::from("a"), Value::from(1.0)])
+            .unwrap();
+        assert_eq!(t.version(), 2);
+        // A rejected observation must not bump the version.
+        let _ = t.insert_observation(0, vec![Value::Null, Value::from(1.0)]);
+        assert_eq!(t.version(), 2);
     }
 
     #[test]

@@ -25,9 +25,13 @@
 //! * [`rng`] — a self-contained, seedable xoshiro256\*\* generator so results
 //!   are bit-for-bit reproducible across platforms and independent of external
 //!   crate version churn.
+//! * [`exec`] — the shared work-stealing executor behind every parallel
+//!   region of the workspace (re-exported as `uu_core::exec`). It lives here,
+//!   at the bottom of the dependency graph, so the species-ladder warm-up can
+//!   use it too; it is the **only** module allowed to spawn threads.
 //!
-//! Everything is pure computation over `f64`/`u64`; there is no I/O and no
-//! external runtime dependency.
+//! Everything except [`exec`] is pure computation over `f64`/`u64`; there is
+//! no I/O and no external runtime dependency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod bound;
 pub mod coverage;
 pub mod cv;
 pub mod descriptive;
+pub mod exec;
 pub mod freq;
 pub mod kl;
 pub mod linalg;

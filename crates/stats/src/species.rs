@@ -292,6 +292,31 @@ impl<'a> SpeciesCache<'a> {
     pub fn computations(&self) -> u64 {
         self.computations.load(std::sync::atomic::Ordering::Relaxed)
     }
+
+    /// Eagerly evaluates the whole ladder — every [`SpeciesEstimator`] — on
+    /// the shared executor (inline when already inside an executor worker or
+    /// when the `parallel` feature is off). Afterwards every
+    /// [`SpeciesCache::estimate`] call is a cache hit.
+    pub fn warm(&self) {
+        let mut ladder = SpeciesEstimator::ALL;
+        crate::exec::global().for_each_indexed(&mut ladder, |_, est| {
+            let _ = self.estimate(*est);
+        });
+    }
+
+    /// The memoized estimates of the full ladder, in [`SpeciesEstimator::ALL`]
+    /// order, warming the cache first.
+    pub fn all_estimates(&self) -> [CountEstimate; SpeciesEstimator::ALL.len()] {
+        self.warm();
+        SpeciesEstimator::ALL.map(|est| self.estimate(est))
+    }
+
+    /// Pre-fills one slot with an already-known estimate (used when thawing a
+    /// cached profile snapshot). A no-op if the slot was already computed;
+    /// does not count as a computation.
+    pub fn preload(&self, estimator: SpeciesEstimator, estimate: CountEstimate) {
+        let _ = self.slots[estimator.index()].set(estimate);
+    }
 }
 
 #[cfg(test)]
@@ -406,17 +431,44 @@ mod tests {
     fn cache_is_shareable_across_threads() {
         let f = FrequencyStatistics::from_multiplicities([1, 2, 2, 4, 5]);
         let cache = SpeciesCache::new(&f);
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for est in SpeciesEstimator::ALL {
-                        assert_eq!(cache.estimate(est), est.estimate(cache.freq()));
-                    }
-                });
+        let exec = crate::exec::Executor::with_threads(4);
+        let mut lanes = [0u8; 4];
+        exec.for_each_indexed(&mut lanes, |_, _| {
+            for est in SpeciesEstimator::ALL {
+                assert_eq!(cache.estimate(est), est.estimate(cache.freq()));
             }
         });
         // OnceLock guarantees each slot initialises exactly once.
         assert_eq!(cache.computations(), 6);
+    }
+
+    #[test]
+    fn warm_evaluates_the_whole_ladder_once() {
+        let f = toy_before();
+        let cache = SpeciesCache::new(&f);
+        cache.warm();
+        assert_eq!(cache.computations(), 6);
+        let all = cache.all_estimates();
+        assert_eq!(cache.computations(), 6, "warm repeats must be cache hits");
+        for (est, got) in SpeciesEstimator::ALL.iter().zip(all) {
+            assert_eq!(got, est.estimate(&f));
+        }
+    }
+
+    #[test]
+    fn preload_skips_computation_but_never_overrides() {
+        let f = toy_before();
+        let cache = SpeciesCache::new(&f);
+        cache.preload(SpeciesEstimator::Chao92, CountEstimate::Estimate(123.0));
+        assert_eq!(
+            cache.estimate(SpeciesEstimator::Chao92),
+            CountEstimate::Estimate(123.0)
+        );
+        assert_eq!(cache.computations(), 0);
+        // A computed slot wins over a later preload.
+        let direct = cache.estimate(SpeciesEstimator::Chao84);
+        cache.preload(SpeciesEstimator::Chao84, CountEstimate::Undefined);
+        assert_eq!(cache.estimate(SpeciesEstimator::Chao84), direct);
     }
 
     proptest! {
