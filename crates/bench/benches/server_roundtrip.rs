@@ -1,0 +1,188 @@
+//! End-to-end loopback latency of `uu-server`.
+//!
+//! Spawns an in-process server over a pre-loaded catalog, drives it with the
+//! protocol client over 127.0.0.1 and measures full round-trips (encode →
+//! TCP → decode → execute → respond): the cold path (selection built from
+//! the table), the `ProfileCache` hit path (selection thawed from frozen
+//! snapshots — the repeated-query workload the server exists for), the
+//! uncached path, and a grouped query. Like `grouped_batch`, every variant
+//! is re-timed explicitly and written as machine-readable JSON to
+//! `BENCH_server_roundtrip.json` (in `$BENCH_JSON_DIR` when set).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uu_query::catalog::Catalog;
+use uu_query::schema::{ColumnType, Schema};
+use uu_query::table::IntegratedTable;
+use uu_query::value::Value;
+use uu_server::client::Client;
+use uu_server::server::{spawn_with_catalog, ServerConfig};
+use uu_stats::rng::Rng;
+
+const GROUPS: usize = 8;
+const PER_GROUP: usize = 240;
+const SQL: &str = "SELECT SUM(v) FROM t";
+const GROUPED_SQL: &str = "SELECT SUM(v) FROM t GROUP BY g";
+const ESTIMATORS: &[&str] = &["bucket", "naive", "freq"];
+
+/// The grouped_batch workload as a server-side catalog.
+fn catalog() -> Catalog {
+    let schema = Schema::new([
+        ("k", ColumnType::Str),
+        ("v", ColumnType::Float),
+        ("g", ColumnType::Str),
+    ]);
+    let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+    for g in 0..GROUPS {
+        let mut rng = Rng::new(3 ^ (g as u64).wrapping_mul(0x9E37_79B9));
+        for i in 0..PER_GROUP {
+            let item = rng.next_below(40 + g * 5);
+            t.insert_observation(
+                (i % 8) as u32,
+                vec![
+                    Value::from(format!("g{g}e{item}")),
+                    Value::from((item + 1) as f64 * 10.0),
+                    Value::from(format!("g{g}")),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(t).unwrap();
+    catalog
+}
+
+fn bench_server(c: &mut Criterion) {
+    let handle = spawn_with_catalog(ServerConfig::default(), catalog()).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Cold round-trip, measured once per distinct selection: warm queries
+    // would pollute it, so take it before anything touches the cache.
+    let start = Instant::now();
+    let cold = client.query(SQL, ESTIMATORS, true).unwrap();
+    let cold_ns = start.elapsed().as_secs_f64() * 1e9;
+    assert!(!cold.cache_hit);
+    let start = Instant::now();
+    let grouped_cold = client.query(GROUPED_SQL, ESTIMATORS, true).unwrap();
+    let grouped_cold_ns = start.elapsed().as_secs_f64() * 1e9;
+    assert!(!grouped_cold.cache_hit);
+
+    let mut group = c.benchmark_group("server_roundtrip/loopback");
+    group.sample_size(10);
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| {
+            let reply = client.query(SQL, ESTIMATORS, true).unwrap();
+            assert!(reply.cache_hit);
+            black_box(reply.groups.len())
+        })
+    });
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let reply = client.query(SQL, ESTIMATORS, false).unwrap();
+            black_box(reply.groups.len())
+        })
+    });
+    group.bench_function("grouped_cache_hit", |b| {
+        b.iter(|| {
+            let reply = client.query(GROUPED_SQL, ESTIMATORS, true).unwrap();
+            assert!(reply.cache_hit);
+            black_box(reply.groups.len())
+        })
+    });
+    group.bench_function("ping", |b| b.iter(|| client.ping().unwrap()));
+    group.finish();
+
+    // Explicit timed runs for the machine-readable record.
+    let samples = 30;
+    let mut results: Vec<(String, f64, f64)> = vec![
+        ("cold".to_string(), cold_ns, cold_ns),
+        ("grouped_cold".to_string(), grouped_cold_ns, grouped_cold_ns),
+    ];
+    let mut record = |name: &str, mut run: Box<dyn FnMut() + '_>| {
+        run(); // warm-up
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            run();
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            best = best.min(ns);
+            total += ns;
+        }
+        results.push((name.to_string(), total / samples as f64, best));
+    };
+    {
+        let client = std::cell::RefCell::new(&mut client);
+        record(
+            "cache_hit",
+            Box::new(|| {
+                let reply = client.borrow_mut().query(SQL, ESTIMATORS, true).unwrap();
+                black_box(reply.elapsed_us);
+            }),
+        );
+        record(
+            "uncached",
+            Box::new(|| {
+                let reply = client.borrow_mut().query(SQL, ESTIMATORS, false).unwrap();
+                black_box(reply.elapsed_us);
+            }),
+        );
+        record(
+            "grouped_cache_hit",
+            Box::new(|| {
+                let reply = client
+                    .borrow_mut()
+                    .query(GROUPED_SQL, ESTIMATORS, true)
+                    .unwrap();
+                black_box(reply.elapsed_us);
+            }),
+        );
+        record(
+            "ping",
+            Box::new(|| {
+                client.borrow_mut().ping().unwrap();
+            }),
+        );
+    }
+
+    let stats = client.stats().unwrap();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"server_roundtrip\",\n  \"groups\": {GROUPS},\n  \"per_group\": {PER_GROUP},\n  \"estimators\": {},\n  \"samples\": {samples},\n",
+        ESTIMATORS.len()
+    ));
+    json.push_str(&format!(
+        "  \"server\": {{ \"workers\": {}, \"threads\": {}, \"requests\": {} }},\n",
+        stats.workers, stats.exec.threads, stats.requests
+    ));
+    json.push_str(&format!(
+        "  \"profile_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"bytes\": {} }},\n",
+        stats.cache.hits, stats.cache.misses, stats.cache.evictions, stats.cache.bytes
+    ));
+    json.push_str("  \"roundtrip_ns\": {\n");
+    for (i, (name, mean, min)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"mean\": {mean:.0}, \"min\": {min:.0} }}{sep}\n"
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_server_roundtrip.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nserver_roundtrip: wrote {}", path.display()),
+        Err(e) => println!(
+            "\nserver_roundtrip: could not write {}: {e}",
+            path.display()
+        ),
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -63,6 +63,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::bucket::{delta_over_buckets, BucketReport, DynamicBucketEstimator};
 use crate::estimate::DeltaEstimate;
@@ -357,6 +358,27 @@ impl ProfileSnapshot {
         &self.view
     }
 
+    /// Approximate heap footprint of the snapshot in bytes: the owned view's
+    /// items (with their lineage vectors) plus the frozen statistics. The
+    /// figure backs [`ProfileCache`]'s byte-budget mode, so it only needs to
+    /// scale faithfully with the view size, not account for every allocator
+    /// header.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        let item_bytes: usize = self
+            .view
+            .items()
+            .iter()
+            .map(|item| size_of::<ObservedItem>() + size_of_val(item.source_counts.as_slice()))
+            .sum();
+        size_of::<Self>()
+            + item_bytes
+            + size_of_val(self.view.source_sizes())
+            + size_of_val(self.sorted_idx.as_slice())
+            + size_of_val(self.buckets.as_slice())
+            + size_of_val(self.ranks.as_slice())
+    }
+
     /// Thaws the snapshot into a fully pre-filled [`ViewProfile`] borrowing
     /// it.
     pub fn profile(&self) -> ViewProfile<'_> {
@@ -399,13 +421,20 @@ pub struct CacheMetrics {
     pub misses: u64,
     /// Entries inserted.
     pub insertions: u64,
-    /// Entries evicted by the capacity bound (least recently used first).
+    /// Entries evicted by the capacity or byte-budget bound (least recently
+    /// used first).
     pub evictions: u64,
     /// Entries dropped by [`ProfileCache::invalidate_table`] /
     /// [`ProfileCache::clear`].
     pub invalidations: u64,
+    /// Entries dropped on lookup because they outlived the configured TTL
+    /// (those lookups also count as misses).
+    pub expirations: u64,
     /// Current number of live entries.
     pub len: usize,
+    /// Current accounted weight of all live entries in bytes (0 unless
+    /// callers insert through [`ProfileCache::insert_weighted`]).
+    pub bytes: usize,
 }
 
 /// A bounded, thread-safe LRU cache for cross-query profile reuse.
@@ -414,22 +443,51 @@ pub struct CacheMetrics {
 /// selections (e.g. `Arc<Vec<(group key, ProfileSnapshot)>>`) while this
 /// crate stays oblivious to SQL types; values are cloned out on hit, so `V`
 /// should be an `Arc` (or otherwise cheap to clone).
+///
+/// Three bounds compose (all optional beyond the entry capacity):
+///
+/// * **Entry capacity** — [`ProfileCache::new`], the default policy.
+/// * **Byte budget** — [`ProfileCache::with_byte_budget`]: entries inserted
+///   through [`ProfileCache::insert_weighted`] carry a weight (for query
+///   selections, the summed [`ProfileSnapshot::approx_bytes`]); the LRU
+///   entries are evicted while the accounted total exceeds the budget. The
+///   most recent entry is always retained, so a single oversized selection
+///   still caches.
+/// * **TTL** — [`ProfileCache::with_ttl`]: a lookup that finds an entry older
+///   than the TTL drops it and reports a miss, so long-running servers shed
+///   selections that stopped being queried.
 #[derive(Debug)]
 pub struct ProfileCache<V> {
     capacity: usize,
+    byte_budget: Option<usize>,
+    ttl: Option<Duration>,
     inner: Mutex<CacheInner<V>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    expirations: AtomicU64,
+}
+
+/// One cached entry with its LRU/TTL/byte-budget bookkeeping.
+#[derive(Debug)]
+struct CacheEntry<V> {
+    value: V,
+    /// Last-used tick; orders LRU eviction.
+    last_used: u64,
+    /// Accounted weight (0 for unweighted inserts).
+    bytes: usize,
+    /// Insertion time; compared against the TTL on lookup.
+    inserted: Instant,
 }
 
 #[derive(Debug)]
 struct CacheInner<V> {
-    /// key → (value, last-used tick); the tick orders LRU eviction.
-    map: HashMap<ProfileKey, (V, u64)>,
+    map: HashMap<ProfileKey, CacheEntry<V>>,
     tick: u64,
+    /// Sum of the live entries' accounted weights.
+    bytes: usize,
 }
 
 /// Default capacity of [`ProfileCache::default`].
@@ -446,16 +504,35 @@ impl<V> ProfileCache<V> {
     pub fn new(capacity: usize) -> Self {
         ProfileCache {
             capacity: capacity.max(1),
+            byte_budget: None,
+            ttl: None,
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
         }
+    }
+
+    /// Adds a byte budget: LRU entries are evicted while the accounted
+    /// weight (supplied via [`ProfileCache::insert_weighted`]) exceeds
+    /// `bytes`. The newest entry is always retained.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// Adds a time-to-live: entries older than `ttl` are dropped on lookup
+    /// (counted under `expirations`, and the lookup reports a miss).
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
     }
 
     /// The configured capacity bound.
@@ -463,7 +540,18 @@ impl<V> ProfileCache<V> {
         self.capacity
     }
 
-    /// Looks up a universe, refreshing its recency on hit.
+    /// The configured byte budget, when the cache runs in byte-budget mode.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    /// The configured TTL, when one is set.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// Looks up a universe, refreshing its recency on hit. An entry that
+    /// outlived the configured TTL is dropped and reported as a miss.
     pub fn get(&self, key: &ProfileKey) -> Option<V>
     where
         V: Clone,
@@ -472,10 +560,18 @@ impl<V> ProfileCache<V> {
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
-            Some((value, last_used)) => {
-                *last_used = tick;
+            Some(entry) => {
+                if self.ttl.is_some_and(|ttl| entry.inserted.elapsed() > ttl) {
+                    let bytes = entry.bytes;
+                    inner.map.remove(key);
+                    inner.bytes -= bytes;
+                    self.expirations.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value.clone())
+                Some(entry.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -484,24 +580,53 @@ impl<V> ProfileCache<V> {
         }
     }
 
-    /// Inserts (or replaces) an entry, evicting the least recently used one
-    /// when the capacity bound is exceeded.
+    /// Inserts (or replaces) an entry with no accounted weight — the
+    /// entry-capacity bound alone applies to it.
     pub fn insert(&self, key: ProfileKey, value: V) {
+        self.insert_weighted(key, value, 0);
+    }
+
+    /// Inserts (or replaces) an entry carrying an accounted weight of
+    /// `bytes`, then evicts least-recently-used entries while either bound
+    /// (entry capacity, byte budget) is exceeded. The just-inserted entry is
+    /// never evicted by the byte budget: an oversized selection still serves
+    /// repeats, it just won't keep neighbours.
+    pub fn insert_weighted(&self, key: ProfileKey, value: V, bytes: usize) {
         let mut inner = self.inner.lock().expect("profile cache lock");
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.insert(key, (value, tick));
+        if let Some(old) = inner.map.insert(
+            key,
+            CacheEntry {
+                value,
+                last_used: tick,
+                bytes,
+                inserted: Instant::now(),
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        while inner.map.len() > self.capacity {
+        loop {
+            let over_capacity = inner.map.len() > self.capacity;
+            let over_budget = self
+                .byte_budget
+                .is_some_and(|budget| inner.bytes > budget && inner.map.len() > 1);
+            if !over_capacity && !over_budget {
+                break;
+            }
             let Some(lru) = inner
                 .map
                 .iter()
-                .min_by_key(|(_, &(_, used))| used)
+                .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(k, _)| k.clone())
             else {
                 break;
             };
-            inner.map.remove(&lru);
+            if let Some(entry) = inner.map.remove(&lru) {
+                inner.bytes -= entry.bytes;
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -515,6 +640,7 @@ impl<V> ProfileCache<V> {
         let before = inner.map.len();
         inner.map.retain(|key, _| key.table != table);
         let removed = before - inner.map.len();
+        inner.bytes = inner.map.values().map(|entry| entry.bytes).sum();
         self.invalidations
             .fetch_add(removed as u64, Ordering::Relaxed);
         removed
@@ -525,6 +651,7 @@ impl<V> ProfileCache<V> {
         let mut inner = self.inner.lock().expect("profile cache lock");
         let removed = inner.map.len();
         inner.map.clear();
+        inner.bytes = 0;
         self.invalidations
             .fetch_add(removed as u64, Ordering::Relaxed);
     }
@@ -539,15 +666,26 @@ impl<V> ProfileCache<V> {
         self.len() == 0
     }
 
+    /// Current accounted weight of the live entries in bytes.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("profile cache lock").bytes
+    }
+
     /// A snapshot of the instrumentation counters.
     pub fn metrics(&self) -> CacheMetrics {
+        let (len, bytes) = {
+            let inner = self.inner.lock().expect("profile cache lock");
+            (inner.map.len(), inner.bytes)
+        };
         CacheMetrics {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            len: self.len(),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            len,
+            bytes,
         }
     }
 }
@@ -759,6 +897,84 @@ mod tests {
         assert_eq!(cache.get(&key("t", 0, "a")), Some(1));
         assert_eq!(cache.get(&key("t", 0, "c")), Some(3));
         assert_eq!(cache.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_but_keeps_the_newest_entry() {
+        let cache: ProfileCache<u32> = ProfileCache::new(64).with_byte_budget(100);
+        cache.insert_weighted(key("t", 0, "a"), 1, 40);
+        cache.insert_weighted(key("t", 0, "b"), 2, 40);
+        assert_eq!(cache.bytes(), 80);
+        // 120 > 100: "a" (LRU) must go.
+        cache.insert_weighted(key("t", 0, "c"), 3, 40);
+        assert_eq!(cache.get(&key("t", 0, "a")), None);
+        assert_eq!(cache.get(&key("t", 0, "b")), Some(2));
+        assert_eq!(cache.get(&key("t", 0, "c")), Some(3));
+        assert_eq!(cache.bytes(), 80);
+        // A single oversized entry evicts everything else but stays itself.
+        cache.insert_weighted(key("t", 0, "huge"), 9, 500);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key("t", 0, "huge")), Some(9));
+        let m = cache.metrics();
+        assert_eq!(m.bytes, 500);
+        assert_eq!(m.evictions, 3);
+    }
+
+    #[test]
+    fn replacing_an_entry_reaccounts_its_weight() {
+        let cache: ProfileCache<u32> = ProfileCache::new(8).with_byte_budget(1000);
+        cache.insert_weighted(key("t", 0, "a"), 1, 300);
+        cache.insert_weighted(key("t", 0, "a"), 2, 120);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 120);
+        assert_eq!(cache.get(&key("t", 0, "a")), Some(2));
+    }
+
+    #[test]
+    fn unweighted_inserts_ignore_the_byte_budget() {
+        let cache: ProfileCache<u32> = ProfileCache::new(8).with_byte_budget(1);
+        cache.insert(key("t", 0, "a"), 1);
+        cache.insert(key("t", 0, "b"), 2);
+        assert_eq!(cache.len(), 2, "zero-weight entries never exceed a budget");
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn ttl_expires_entries_on_lookup() {
+        let cache: ProfileCache<u32> =
+            ProfileCache::new(8).with_ttl(std::time::Duration::from_millis(15));
+        cache.insert_weighted(key("t", 0, "a"), 1, 10);
+        assert_eq!(cache.get(&key("t", 0, "a")), Some(1), "fresh entry hits");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(cache.get(&key("t", 0, "a")), None, "expired entry dropped");
+        let m = cache.metrics();
+        assert_eq!(m.expirations, 1);
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.len, 0);
+        assert_eq!(m.bytes, 0, "expired entry's weight is released");
+    }
+
+    #[test]
+    fn invalidation_releases_accounted_bytes() {
+        let cache: ProfileCache<u32> = ProfileCache::new(8).with_byte_budget(1000);
+        cache.insert_weighted(key("t", 0, "a"), 1, 100);
+        cache.insert_weighted(key("u", 0, "a"), 2, 50);
+        assert_eq!(cache.invalidate_table("t"), 1);
+        assert_eq!(cache.bytes(), 50);
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_approx_bytes_scales_with_the_view() {
+        let small = ProfileSnapshot::capture(SampleView::from_value_multiplicities(
+            (0..10).map(|i| (i as f64, 1)),
+        ));
+        let large = ProfileSnapshot::capture(SampleView::from_value_multiplicities(
+            (0..1000).map(|i| (i as f64, 1)),
+        ));
+        assert!(small.approx_bytes() > 0);
+        assert!(large.approx_bytes() > 10 * small.approx_bytes());
     }
 
     #[test]

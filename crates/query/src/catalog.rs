@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use crate::exec::{
-    execute_cached, execute_grouped, execute_grouped_cached, execute_sql as exec_one,
-    CorrectionMethod, ExecError, GroupResult, QueryProfileCache, QueryResult,
+    execute_cached, execute_grouped, execute_grouped_cached, execute_sql as exec_one, selection,
+    CorrectionMethod, ExecError, GroupResult, QueryProfileCache, QueryResult, SelectionSnapshots,
 };
 use crate::sql::parse;
 use crate::table::IntegratedTable;
@@ -62,6 +62,18 @@ impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// An empty catalog over a caller-configured profile cache — the hook for
+    /// server frontends that size the cache from a byte budget
+    /// (`QueryProfileCache::with_byte_budget`) or add a TTL
+    /// (`QueryProfileCache::with_ttl`). `Catalog::new` keeps the default
+    /// plain-LRU policy.
+    pub fn with_cache(cache: QueryProfileCache) -> Self {
+        Catalog {
+            tables: HashMap::new(),
+            cache,
+        }
     }
 
     /// Registers a table under its own name (case-insensitive).
@@ -167,6 +179,30 @@ impl Catalog {
             .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
         execute_grouped_cached(table, &query, method, &self.cache)
     }
+
+    /// The query's estimation universes as cached snapshots, plus whether
+    /// they were served from the embedded cache (`true` = hit). Fetching a
+    /// cold selection freezes and inserts it, so this doubles as the
+    /// pre-warming entry point ([`Catalog::warm_sql`]) and as the fetch-once
+    /// surface for frontends that fan an `EstimationSession` out over the
+    /// same snapshots the `*_cached` executions consume.
+    pub fn selection_sql(&self, sql: &str) -> Result<(SelectionSnapshots, bool), ExecError> {
+        let query = parse(sql)?;
+        let table = self
+            .get(&query.table)
+            .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
+        selection(table, &query, &self.cache)
+    }
+
+    /// Pre-warms the embedded cache for `sql` without computing an
+    /// aggregate: the selection's per-universe statistics are captured
+    /// (eagerly, via `ViewProfile::warm` on the shared executor) and frozen,
+    /// so the next `*_cached` execution of the same query is a pure hit.
+    /// Returns `(universes warmed, was already cached)`.
+    pub fn warm_sql(&self, sql: &str) -> Result<(usize, bool), ExecError> {
+        let (snapshots, hit) = self.selection_sql(sql)?;
+        Ok((snapshots.len(), hit))
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +266,60 @@ mod tests {
             .execute_sql_grouped("SELECT SUM(v) FROM t GROUP BY k", CorrectionMethod::None)
             .unwrap();
         assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn warm_sql_prefills_the_cache_for_cached_execution() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        let sql = "SELECT SUM(v) FROM t GROUP BY k";
+        let (universes, already) = catalog.warm_sql(sql).unwrap();
+        assert_eq!(universes, 4);
+        assert!(!already, "first warm builds the selection");
+        let (again, already) = catalog.warm_sql(sql).unwrap();
+        assert_eq!(again, 4);
+        assert!(already, "second warm is a pure hit");
+        let misses_before = catalog.cache().metrics().misses;
+        let rows = catalog
+            .execute_sql_grouped_cached(sql, CorrectionMethod::Bucket)
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            catalog.cache().metrics().misses,
+            misses_before,
+            "execution after warm never misses"
+        );
+    }
+
+    #[test]
+    fn selection_sql_matches_cached_execution_identity() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        let sql = "SELECT SUM(v) FROM t";
+        let (snapshots, hit) = catalog.selection_sql(sql).unwrap();
+        assert!(!hit);
+        assert_eq!(snapshots.len(), 1);
+        assert!(snapshots[0].0.is_null());
+        // The cached execution path consumes the very snapshots we fetched.
+        let (snapshots_again, hit) = catalog.selection_sql(sql).unwrap();
+        assert!(hit);
+        assert!(std::sync::Arc::ptr_eq(&snapshots, &snapshots_again));
+        // Selections carry their byte weight into the cache accounting.
+        assert!(catalog.cache().bytes() > 0);
+    }
+
+    #[test]
+    fn with_cache_configures_policy_without_changing_results() {
+        let cache = QueryProfileCache::new(4).with_byte_budget(1 << 20);
+        let mut catalog = Catalog::with_cache(cache);
+        catalog.register(table("t")).unwrap();
+        assert_eq!(catalog.cache().byte_budget(), Some(1 << 20));
+        let plain = Catalog::new();
+        assert_eq!(plain.cache().byte_budget(), None);
+        let r = catalog
+            .execute_sql_cached("SELECT COUNT(*) FROM t", CorrectionMethod::Naive)
+            .unwrap();
+        assert_eq!(r.observed, 4.0);
     }
 
     #[test]

@@ -310,18 +310,40 @@ fn profile_key(table: &IntegratedTable, query: &AggregateQuery) -> ProfileKey {
     }
 }
 
-/// The query's estimation universes as cached snapshots: returned straight
-/// from `cache` on a hit; built from the table, frozen (one fully-warmed
-/// [`ProfileSnapshot`] per universe, captured on the shared executor) and
-/// inserted on a miss.
-fn cached_selection(
+/// The accounted cache weight of a selection: the summed approximate byte
+/// footprint of its per-universe snapshots. This is what the byte-budget
+/// mode of [`QueryProfileCache`] sizes evictions with.
+pub fn selection_bytes(snapshots: &SelectionSnapshots) -> usize {
+    snapshots
+        .iter()
+        .map(|(group, snapshot)| {
+            snapshot.approx_bytes()
+                + match group {
+                    crate::value::Value::Str(s) => s.len(),
+                    _ => 0,
+                }
+        })
+        .sum()
+}
+
+/// The query's estimation universes as cached snapshots, plus whether they
+/// were served from `cache` (`true` = hit). On a miss the universes are
+/// built from the table, frozen (one fully-warmed [`ProfileSnapshot`] per
+/// universe, captured on the shared executor) and inserted with their byte
+/// weight ([`selection_bytes`]).
+///
+/// This is the public fetch-once surface for server frontends: fetch the
+/// selection, derive the corrected aggregate *and* any per-estimator session
+/// fan-out from the same snapshots, and pre-warm hot queries without
+/// computing an aggregate at all.
+pub fn selection(
     table: &IntegratedTable,
     query: &AggregateQuery,
     cache: &QueryProfileCache,
-) -> Result<SelectionSnapshots, ExecError> {
+) -> Result<(SelectionSnapshots, bool), ExecError> {
     let key = profile_key(table, query);
     if let Some(hit) = cache.get(&key) {
-        return Ok(hit);
+        return Ok((hit, true));
     }
     let universes = match query.group_by.as_deref() {
         Some(group_column) => {
@@ -337,8 +359,18 @@ fn cached_selection(
             (group, ProfileSnapshot::capture(view))
         }),
     );
-    cache.insert(key, Arc::clone(&snapshots));
-    Ok(snapshots)
+    cache.insert_weighted(key, Arc::clone(&snapshots), selection_bytes(&snapshots));
+    Ok((snapshots, false))
+}
+
+/// [`selection`] without the hit flag — the internal shape the `*_cached`
+/// execution paths consume.
+fn cached_selection(
+    table: &IntegratedTable,
+    query: &AggregateQuery,
+    cache: &QueryProfileCache,
+) -> Result<SelectionSnapshots, ExecError> {
+    selection(table, query, cache).map(|(snapshots, _)| snapshots)
 }
 
 /// [`execute`] through a cross-query [`QueryProfileCache`]: a repeated query
@@ -356,13 +388,38 @@ pub fn execute_cached(
         return Err(ExecError::GroupedQuery);
     }
     let snapshots = cached_selection(table, query, cache)?;
-    let (_, snapshot) = &snapshots[0];
-    Ok(compute_profiled(
-        query.to_string(),
-        query.agg,
-        &snapshot.profile(),
-        method,
-    ))
+    Ok(results_from_selection(query, &snapshots, method)
+        .pop()
+        .expect("ungrouped selections hold exactly one universe")
+        .result)
+}
+
+/// Evaluates `query` over an already-fetched selection (see [`selection`]),
+/// one [`GroupResult`] per universe in selection order (a single
+/// `Null`-keyed row for ungrouped queries). This is the computation step of
+/// [`execute_cached`] / [`execute_grouped_cached`] — callers that fetched
+/// the selection themselves (e.g. a server that also fans an estimation
+/// session over the same snapshots) get identical results without a second
+/// cache lookup.
+pub fn results_from_selection(
+    query: &AggregateQuery,
+    snapshots: &SelectionSnapshots,
+    method: CorrectionMethod,
+) -> Vec<GroupResult> {
+    let group_column = query.group_by.as_deref();
+    let indices: Vec<usize> = (0..snapshots.len()).collect();
+    uu_core::exec::global().map_indexed(indices, |_, i| {
+        let (key, snapshot) = &snapshots[i];
+        let label = match group_column {
+            Some(group_column) => format!("{query} [{group_column} = {key}]"),
+            None => query.to_string(),
+        };
+        let result = compute_profiled(label, query.agg, &snapshot.profile(), method);
+        GroupResult {
+            key: key.clone(),
+            result,
+        }
+    })
 }
 
 /// [`execute_grouped`] through a cross-query [`QueryProfileCache`]; groups
@@ -375,24 +432,8 @@ pub fn execute_grouped_cached(
     cache: &QueryProfileCache,
 ) -> Result<Vec<GroupResult>, ExecError> {
     check_table(table, query)?;
-    let Some(group_column) = query.group_by.as_deref() else {
-        let result = execute_cached(table, query, method, cache)?;
-        return Ok(vec![GroupResult {
-            key: crate::value::Value::Null,
-            result,
-        }]);
-    };
     let snapshots = cached_selection(table, query, cache)?;
-    let indices: Vec<usize> = (0..snapshots.len()).collect();
-    Ok(uu_core::exec::global().map_indexed(indices, |_, i| {
-        let (key, snapshot) = &snapshots[i];
-        let label = format!("{query} [{group_column} = {key}]");
-        let result = compute_profiled(label, query.agg, &snapshot.profile(), method);
-        GroupResult {
-            key: key.clone(),
-            result,
-        }
-    }))
+    Ok(results_from_selection(query, &snapshots, method))
 }
 
 /// Computes the dual answer for one estimation universe, sharing one

@@ -1,0 +1,111 @@
+//! The `uu-server` binary: bind, serve, exit on the `shutdown` verb.
+//!
+//! ```text
+//! uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]
+//!           [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the resolved address is
+//! printed on stdout (`uu-server listening on …`) and, with `--port-file`,
+//! written to a file so scripts can discover it race-free.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use uu_server::server::{spawn, ServerConfig};
+
+fn usage() -> &'static str {
+    "usage: uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]\n\
+     \x20                [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]\n\
+     \n\
+     Serves the line-delimited JSON estimation protocol (see README, \"Server\").\n\
+     Defaults: --addr 127.0.0.1:7878, workers = UU_THREADS (or detected cores),\n\
+     cache capacity 128 entries, no byte budget, no TTL."
+}
+
+fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut port_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--port-file" => port_file = Some(value("--port-file")?),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity expects an integer".to_string())?
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = Some(
+                    value("--cache-bytes")?
+                        .parse()
+                        .map_err(|_| "--cache-bytes expects an integer".to_string())?,
+                )
+            }
+            "--cache-ttl-ms" => {
+                config.cache_ttl = Some(Duration::from_millis(
+                    value("--cache-ttl-ms")?
+                        .parse()
+                        .map_err(|_| "--cache-ttl-ms expects an integer".to_string())?,
+                ))
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok((config, port_file))
+}
+
+fn main() -> ExitCode {
+    let (config, port_file) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = config.effective_workers();
+    let handle = match spawn(config.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("uu-server: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("uu-server: cannot write port file {path}: {e}");
+            handle.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "uu-server listening on {addr} (workers={workers}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
+        config.cache_capacity,
+        config
+            .cache_bytes
+            .map_or_else(|| "none".to_string(), |b| b.to_string()),
+        config
+            .cache_ttl
+            .map_or_else(|| "none".to_string(), |t| t.as_millis().to_string()),
+    );
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("uu-server: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,152 @@
+//! A blocking client for the wire protocol, used by the `uu-client` binary,
+//! the loopback integration tests and the `server_roundtrip` bench.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    ProtoError, QueryReply, QueryRequest, Request, Response, StatsReply, WireError,
+};
+
+/// Client-side failure: transport, framing, or a structured server error
+/// surfaced through [`Client::expect_ok`]-style helpers.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's line failed to decode (a protocol bug).
+    Proto(ProtoError),
+    /// The server closed the connection.
+    Closed,
+    /// The server answered with a structured error.
+    Server(WireError),
+    /// The server answered with a different response kind than expected.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server(e) => {
+                write!(f, "server error [{}]: {}", e.code.as_str(), e.message)
+            }
+            ClientError::Unexpected(got) => write!(f, "unexpected response: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send_raw(&request.encode())
+    }
+
+    /// Sends a raw line (malformed-input tests) and reads one response line.
+    pub fn send_raw(&mut self, line: &str) -> Result<Response, ClientError> {
+        let mut framed = line.to_string();
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Closed);
+        }
+        Ok(Response::decode(reply.trim_end())?)
+    }
+
+    /// Executes a query, returning the reply or the server's structured
+    /// error as [`ClientError::Server`].
+    pub fn query(
+        &mut self,
+        sql: &str,
+        estimators: &[&str],
+        cached: bool,
+    ) -> Result<QueryReply, ClientError> {
+        let response = self.request(&Request::Query(QueryRequest {
+            sql: sql.to_string(),
+            estimators: estimators.iter().map(|s| s.to_string()).collect(),
+            cached,
+        }))?;
+        match response {
+            Response::Query(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Pre-warms the cache for `sql`; returns `(universes, already_cached)`.
+    pub fn warm(&mut self, sql: &str) -> Result<(u64, bool), ClientError> {
+        match self.request(&Request::Warm {
+            sql: sql.to_string(),
+        })? {
+            Response::Warmed {
+                universes,
+                already_cached,
+                ..
+            } => Ok((universes, already_cached)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+}

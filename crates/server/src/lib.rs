@@ -1,0 +1,40 @@
+//! `uu-server`: a long-running estimation server over the shared catalog.
+//!
+//! The paper's workflow (Chung et al., SIGMOD 2016) is interactive: an
+//! analyst repeatedly issues aggregate queries against an integrated dataset
+//! and reads unknown-unknowns-corrected answers back. This crate is that
+//! deployment shape — one resident process owning a [`uu_query::Catalog`],
+//! a line-delimited JSON protocol over TCP (std-only; the build is offline),
+//! and per-connection estimation sessions resolved through the
+//! `uu_core::engine` registry.
+//!
+//! * [`protocol`] — the typed request/response structs and their wire
+//!   encoding, shared by server, client, tests and benches.
+//! * [`server`] — the accept loop, the fixed handler pool (sized to the
+//!   shared executor budget; no per-connection spawn) and request dispatch.
+//! * [`client`] — a blocking client for the protocol.
+//! * [`json`] — the minimal JSON substrate with exact `f64` round-trips.
+//!
+//! # Quick start
+//!
+//! ```
+//! use uu_server::server::{spawn, ServerConfig};
+//! use uu_server::Client;
+//!
+//! let handle = spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.ping().unwrap();
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{spawn, spawn_with_catalog, ServerConfig, ServerHandle};

@@ -1,0 +1,1206 @@
+//! The wire protocol: typed request/response structs shared by the server,
+//! the `uu-client` binary, the integration tests and the benches.
+//!
+//! Framing is **one JSON object per line** in each direction. A client sends
+//! a request line, the server answers with exactly one response line; the
+//! connection then accepts the next request (errors are responses, never
+//! connection drops). Every response carries `"ok"`; failures carry a
+//! structured [`WireError`] with a stable machine-readable code — an unknown
+//! estimator name, for instance, answers with code `unknown_estimator` plus
+//! the full accepted-names list rather than killing the session.
+//!
+//! Numbers survive the wire bit-for-bit (see [`crate::json`]), which is what
+//! lets the parity tests compare server answers against direct
+//! [`uu_query::catalog::Catalog`] calls with `==`, not tolerances.
+
+use crate::json::{parse, Json, JsonError};
+use uu_core::engine::{EstimatorKind, NamedEstimate, UnknownEstimator};
+use uu_core::recommend::Recommendation;
+use uu_query::exec::{ExecError, QueryResult};
+use uu_query::value::Value;
+
+/// Protocol revision; bumped on incompatible changes. Servers echo it in
+/// `stats` responses.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Decode failure for a request or response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        ProtoError(e.to_string())
+    }
+}
+
+fn missing(field: &str) -> ProtoError {
+    ProtoError(format!("missing or mistyped field {field:?}"))
+}
+
+fn req_str(obj: &Json, field: &str) -> Result<String, ProtoError> {
+    obj.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(field))
+}
+
+fn opt_bool(obj: &Json, field: &str, default: bool) -> Result<bool, ProtoError> {
+    match obj.get(field) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| missing(field)),
+    }
+}
+
+fn opt_f64(obj: &Json, field: &str) -> Result<Option<f64>, ProtoError> {
+    match obj.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64_lossless().map(Some).ok_or_else(|| missing(field)),
+    }
+}
+
+fn req_f64(obj: &Json, field: &str) -> Result<f64, ProtoError> {
+    obj.get(field)
+        .and_then(Json::as_f64_lossless)
+        .ok_or_else(|| missing(field))
+}
+
+fn req_u64(obj: &Json, field: &str) -> Result<u64, ProtoError> {
+    obj.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| missing(field))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A `query` request: SQL plus estimator names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The SQL text (`SELECT <agg> FROM <table> [WHERE …] [GROUP BY …]`).
+    pub sql: String,
+    /// Estimator names, resolved via `EstimatorKind::by_name`. The first is
+    /// the primary correction applied to the aggregate; every name also
+    /// contributes a per-estimator Δ in the response. Empty means "no
+    /// correction" (closed-world answer only).
+    pub estimators: Vec<String>,
+    /// Route through the catalog's profile cache (default). `false` forces
+    /// the uncached execution path (statistics rebuilt from the table).
+    pub cached: bool,
+}
+
+/// A `load_csv` admin request: create (or extend) a table from an
+/// RFC-4180 observation log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadCsvRequest {
+    /// Table name to register (or extend when `append`).
+    pub table: String,
+    /// Schema columns as `(name, type)` with type one of `int`/`float`/`str`.
+    pub columns: Vec<(String, String)>,
+    /// Column holding the entity identity.
+    pub entity_column: String,
+    /// CSV column holding the observing source id.
+    pub source_column: String,
+    /// The CSV document (header row + observation rows).
+    pub csv: String,
+    /// Extend an existing table instead of requiring a fresh name.
+    pub append: bool,
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a query.
+    Query(QueryRequest),
+    /// Load observations into the catalog.
+    LoadCsv(LoadCsvRequest),
+    /// Pre-warm the profile cache for a query.
+    Warm {
+        /// The SQL whose selection should be captured.
+        sql: String,
+    },
+    /// Server / cache / executor counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting connections and exit once drained.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request as one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::Query(q) => Json::obj([
+                ("op", Json::Str("query".into())),
+                ("sql", Json::Str(q.sql.clone())),
+                (
+                    "estimators",
+                    Json::Arr(
+                        q.estimators
+                            .iter()
+                            .map(|name| Json::Str(name.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("cached", Json::Bool(q.cached)),
+            ]),
+            Request::LoadCsv(l) => Json::obj([
+                ("op", Json::Str("load_csv".into())),
+                ("table", Json::Str(l.table.clone())),
+                (
+                    "columns",
+                    Json::Arr(
+                        l.columns
+                            .iter()
+                            .map(|(name, ty)| {
+                                Json::Arr(vec![Json::Str(name.clone()), Json::Str(ty.clone())])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("entity_column", Json::Str(l.entity_column.clone())),
+                ("source_column", Json::Str(l.source_column.clone())),
+                ("append", Json::Bool(l.append)),
+                ("csv", Json::Str(l.csv.clone())),
+            ]),
+            Request::Warm { sql } => Json::obj([
+                ("op", Json::Str("warm".into())),
+                ("sql", Json::Str(sql.clone())),
+            ]),
+            Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
+            Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
+            Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
+        };
+        json.render()
+    }
+
+    /// Parses one wire line into a request.
+    pub fn decode(line: &str) -> Result<Request, ProtoError> {
+        let json = parse(line)?;
+        if !matches!(json, Json::Obj(_)) {
+            return Err(ProtoError("request must be a JSON object".into()));
+        }
+        let op = req_str(&json, "op")?;
+        match op.as_str() {
+            "query" => {
+                let estimators = match json.get("estimators") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or_else(|| missing("estimators"))?
+                        .iter()
+                        .map(|e| e.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| missing("estimators"))?,
+                };
+                Ok(Request::Query(QueryRequest {
+                    sql: req_str(&json, "sql")?,
+                    estimators,
+                    cached: opt_bool(&json, "cached", true)?,
+                }))
+            }
+            "load_csv" => {
+                let columns = json
+                    .get("columns")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing("columns"))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr()?;
+                        match pair {
+                            [name, ty] => {
+                                Some((name.as_str()?.to_string(), ty.as_str()?.to_string()))
+                            }
+                            _ => None,
+                        }
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| missing("columns"))?;
+                Ok(Request::LoadCsv(LoadCsvRequest {
+                    table: req_str(&json, "table")?,
+                    columns,
+                    entity_column: req_str(&json, "entity_column")?,
+                    source_column: req_str(&json, "source_column")?,
+                    csv: req_str(&json, "csv")?,
+                    append: opt_bool(&json, "append", false)?,
+                }))
+            }
+            "warm" => Ok(Request::Warm {
+                sql: req_str(&json, "sql")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors on the wire
+// ---------------------------------------------------------------------------
+
+/// Stable machine-readable error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line failed to parse or decode.
+    MalformedRequest,
+    /// The SQL text failed to parse.
+    Parse,
+    /// The referenced table is not registered.
+    UnknownTable,
+    /// An estimator name failed `EstimatorKind::by_name`.
+    UnknownEstimator,
+    /// Schema/column/predicate problem.
+    Table,
+    /// CSV structure or field problem.
+    Csv,
+    /// `load_csv` without `append` over an existing table.
+    DuplicateTable,
+    /// Anything else (a bug if ever observed).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedRequest => "malformed_request",
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnknownTable => "unknown_table",
+            ErrorCode::UnknownEstimator => "unknown_estimator",
+            ErrorCode::Table => "table",
+            ErrorCode::Csv => "csv",
+            ErrorCode::DuplicateTable => "duplicate_table",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "malformed_request" => ErrorCode::MalformedRequest,
+            "parse" => ErrorCode::Parse,
+            "unknown_table" => ErrorCode::UnknownTable,
+            "unknown_estimator" => ErrorCode::UnknownEstimator,
+            "table" => ErrorCode::Table,
+            "csv" => ErrorCode::Csv,
+            "duplicate_table" => ErrorCode::DuplicateTable,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error response. The connection stays usable after any error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+    /// For [`ErrorCode::UnknownEstimator`]: every accepted name.
+    pub accepted: Vec<String>,
+}
+
+impl WireError {
+    /// A plain error with no accepted-names list.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+            accepted: Vec::new(),
+        }
+    }
+
+    /// The structured form of an `UnknownEstimator` failure: code plus the
+    /// full accepted-names list from the registry.
+    pub fn unknown_estimator(e: &UnknownEstimator) -> Self {
+        WireError {
+            code: ErrorCode::UnknownEstimator,
+            message: e.to_string(),
+            accepted: EstimatorKind::all()
+                .iter()
+                .map(|k| k.name().to_string())
+                .collect(),
+        }
+    }
+
+    /// Lowers a query-execution error onto the wire codes.
+    pub fn from_exec(e: &ExecError) -> Self {
+        let code = match e {
+            ExecError::Parse(_) => ErrorCode::Parse,
+            ExecError::UnknownTable(_) => ErrorCode::UnknownTable,
+            ExecError::Table(_) => ErrorCode::Table,
+            ExecError::GroupedQuery | ExecError::TableNameMismatch { .. } => ErrorCode::Internal,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// A group key on the wire, type-tagged so numeric values round-trip without
+/// int/float ambiguity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireValue(pub Value);
+
+impl WireValue {
+    fn to_json(&self) -> Json {
+        match &self.0 {
+            Value::Null => Json::Null,
+            Value::Int(i) => Json::obj([("t", Json::Str("int".into())), ("v", Json::Int(*i))]),
+            Value::Float(f) => {
+                Json::obj([("t", Json::Str("float".into())), ("v", Json::from_f64(*f))])
+            }
+            Value::Str(s) => {
+                Json::obj([("t", Json::Str("str".into())), ("v", Json::Str(s.clone()))])
+            }
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<WireValue, ProtoError> {
+        if json.is_null() {
+            return Ok(WireValue(Value::Null));
+        }
+        let tag = req_str(json, "t")?;
+        let v = json.get("v").ok_or_else(|| missing("v"))?;
+        let value = match tag.as_str() {
+            "int" => Value::Int(v.as_i64().ok_or_else(|| missing("v"))?),
+            "float" => Value::Float(v.as_f64_lossless().ok_or_else(|| missing("v"))?),
+            "str" => Value::Str(v.as_str().ok_or_else(|| missing("v"))?.to_string()),
+            other => return Err(ProtoError(format!("unknown value tag {other:?}"))),
+        };
+        Ok(WireValue(value))
+    }
+}
+
+/// One estimator's Δ within a query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEstimate {
+    /// Registry name.
+    pub name: String,
+    /// The SUM-impact estimate `Δ̂` (`None` when undefined for the sample).
+    pub delta: Option<f64>,
+    /// Population-richness estimate `N̂`.
+    pub n_hat: Option<f64>,
+    /// `φ_K + Δ̂` over the universe's observed sum.
+    pub corrected: Option<f64>,
+}
+
+impl WireEstimate {
+    /// Converts a session result.
+    pub fn from_named(e: &NamedEstimate) -> Self {
+        WireEstimate {
+            name: e.name.to_string(),
+            delta: e.delta.delta,
+            n_hat: e.delta.n_hat,
+            corrected: e.corrected,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("delta", Json::from_opt_f64(self.delta)),
+            ("n_hat", Json::from_opt_f64(self.n_hat)),
+            ("corrected", Json::from_opt_f64(self.corrected)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, ProtoError> {
+        Ok(WireEstimate {
+            name: req_str(json, "name")?,
+            delta: opt_f64(json, "delta")?,
+            n_hat: opt_f64(json, "n_hat")?,
+            corrected: opt_f64(json, "corrected")?,
+        })
+    }
+}
+
+/// §6.5 diagnostics on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDiagnostics {
+    /// Good–Turing coverage `Ĉ`.
+    pub coverage: Option<f64>,
+    /// Contributing (non-empty) sources.
+    pub contributing_sources: u64,
+    /// Largest single-source share.
+    pub max_source_share: Option<f64>,
+    /// Gini coefficient of source contributions.
+    pub source_gini: Option<f64>,
+}
+
+/// §5 MIN/MAX trust report on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireExtreme {
+    /// Whether the observed extreme is endorsed.
+    pub trusted: bool,
+    /// The observed extreme.
+    pub observed: f64,
+    /// Estimated missing entities in the extreme bucket (untrusted only).
+    pub estimated_missing: Option<f64>,
+}
+
+/// One estimation universe's full answer (mirrors
+/// [`uu_query::exec::QueryResult`] plus the per-estimator Δs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    /// The executed query, pretty-printed (grouped results name the group).
+    pub query: String,
+    /// Closed-world answer.
+    pub observed: f64,
+    /// Corrected answer (`None` when withheld/undefined/not requested).
+    pub corrected: Option<f64>,
+    /// Name of the estimator behind `corrected`.
+    pub method: String,
+    /// Population richness `N̂`.
+    pub n_hat: Option<f64>,
+    /// §4 upper bound (SUM only).
+    pub upper_bound: Option<f64>,
+    /// §5 trust report (MIN/MAX only).
+    pub extreme: Option<WireExtreme>,
+    /// §6.5 diagnostics.
+    pub diagnostics: WireDiagnostics,
+    /// §6.5 recommendation (`bucket` / `monte-carlo` / `collect-more-data`).
+    pub recommendation: String,
+    /// Per-estimator SUM-impact Δs over this universe, in request order.
+    pub estimates: Vec<WireEstimate>,
+}
+
+/// The wire spelling of a recommendation.
+pub fn recommendation_name(r: Recommendation) -> &'static str {
+    match r {
+        Recommendation::CollectMoreData => "collect-more-data",
+        Recommendation::Bucket => "bucket",
+        Recommendation::MonteCarlo => "monte-carlo",
+    }
+}
+
+impl WireResult {
+    /// Converts an executor result plus the session's per-estimator Δs.
+    pub fn from_result(r: &QueryResult, estimates: Vec<WireEstimate>) -> Self {
+        WireResult {
+            query: r.query.clone(),
+            observed: r.observed,
+            corrected: r.corrected,
+            method: r.method.to_string(),
+            n_hat: r.n_hat,
+            upper_bound: r.upper_bound,
+            extreme: r.extreme.map(|e| WireExtreme {
+                trusted: e.is_trusted(),
+                observed: e.observed(),
+                estimated_missing: match e {
+                    uu_core::aggregates::ExtremeReport::Trusted(_) => None,
+                    uu_core::aggregates::ExtremeReport::Untrusted {
+                        estimated_missing, ..
+                    } => estimated_missing,
+                },
+            }),
+            diagnostics: WireDiagnostics {
+                coverage: r.diagnostics.coverage,
+                contributing_sources: r.diagnostics.contributing_sources as u64,
+                max_source_share: r.diagnostics.max_source_share,
+                source_gini: r.diagnostics.source_gini,
+            },
+            recommendation: recommendation_name(r.recommendation).to_string(),
+            estimates,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("query", Json::Str(self.query.clone())),
+            ("observed", Json::from_f64(self.observed)),
+            ("corrected", Json::from_opt_f64(self.corrected)),
+            ("method", Json::Str(self.method.clone())),
+            ("n_hat", Json::from_opt_f64(self.n_hat)),
+            ("upper_bound", Json::from_opt_f64(self.upper_bound)),
+            (
+                "extreme",
+                match &self.extreme {
+                    None => Json::Null,
+                    Some(e) => Json::obj([
+                        ("trusted", Json::Bool(e.trusted)),
+                        ("observed", Json::from_f64(e.observed)),
+                        ("estimated_missing", Json::from_opt_f64(e.estimated_missing)),
+                    ]),
+                },
+            ),
+            (
+                "diagnostics",
+                Json::obj([
+                    ("coverage", Json::from_opt_f64(self.diagnostics.coverage)),
+                    (
+                        "contributing_sources",
+                        Json::Int(self.diagnostics.contributing_sources as i64),
+                    ),
+                    (
+                        "max_source_share",
+                        Json::from_opt_f64(self.diagnostics.max_source_share),
+                    ),
+                    (
+                        "source_gini",
+                        Json::from_opt_f64(self.diagnostics.source_gini),
+                    ),
+                ]),
+            ),
+            ("recommendation", Json::Str(self.recommendation.clone())),
+            (
+                "estimates",
+                Json::Arr(self.estimates.iter().map(WireEstimate::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, ProtoError> {
+        let diagnostics = json
+            .get("diagnostics")
+            .ok_or_else(|| missing("diagnostics"))?;
+        let extreme = match json.get("extreme") {
+            None | Some(Json::Null) => None,
+            Some(e) => Some(WireExtreme {
+                trusted: e
+                    .get("trusted")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| missing("trusted"))?,
+                observed: req_f64(e, "observed")?,
+                estimated_missing: opt_f64(e, "estimated_missing")?,
+            }),
+        };
+        Ok(WireResult {
+            query: req_str(json, "query")?,
+            observed: req_f64(json, "observed")?,
+            corrected: opt_f64(json, "corrected")?,
+            method: req_str(json, "method")?,
+            n_hat: opt_f64(json, "n_hat")?,
+            upper_bound: opt_f64(json, "upper_bound")?,
+            extreme,
+            diagnostics: WireDiagnostics {
+                coverage: opt_f64(diagnostics, "coverage")?,
+                contributing_sources: req_u64(diagnostics, "contributing_sources")?,
+                max_source_share: opt_f64(diagnostics, "max_source_share")?,
+                source_gini: opt_f64(diagnostics, "source_gini")?,
+            },
+            recommendation: req_str(json, "recommendation")?,
+            estimates: json
+                .get("estimates")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| missing("estimates"))?
+                .iter()
+                .map(WireEstimate::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    /// Canonical single-line rendering — handy for bit-for-bit comparisons
+    /// in tests (NaN-bearing results compare equal by text).
+    pub fn canonical(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// One group row of a query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupReply {
+    /// Group key (`Null` for ungrouped queries).
+    pub key: WireValue,
+    /// The group's answer.
+    pub result: WireResult,
+}
+
+/// A full `query` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Echo of the request SQL.
+    pub sql: String,
+    /// Whether the selection came out of the profile cache.
+    pub cache_hit: bool,
+    /// Server-side execution time in microseconds.
+    pub elapsed_us: u64,
+    /// Whether the query had a `GROUP BY` (ungrouped answers still arrive as
+    /// one `Null`-keyed group).
+    pub grouped: bool,
+    /// Per-universe answers, in deterministic group order.
+    pub groups: Vec<GroupReply>,
+}
+
+impl QueryReply {
+    /// The single result of an ungrouped reply.
+    pub fn single(&self) -> Option<&WireResult> {
+        if self.grouped {
+            None
+        } else {
+            self.groups.first().map(|g| &g.result)
+        }
+    }
+}
+
+/// Cache counters in a `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Insertions.
+    pub insertions: u64,
+    /// Capacity / byte-budget evictions.
+    pub evictions: u64,
+    /// Explicit invalidations.
+    pub invalidations: u64,
+    /// TTL expirations.
+    pub expirations: u64,
+    /// Live entries.
+    pub len: u64,
+    /// Accounted bytes of live entries.
+    pub bytes: u64,
+    /// Configured entry capacity.
+    pub capacity: u64,
+    /// Configured byte budget, if any.
+    pub byte_budget: Option<f64>,
+    /// Configured TTL in milliseconds, if any.
+    pub ttl_ms: Option<f64>,
+}
+
+/// Executor counters in a `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireExecStats {
+    /// Worker budget.
+    pub threads: u64,
+    /// Regions entered.
+    pub regions: u64,
+    /// Regions that spawned helpers.
+    pub parallel_regions: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Steal operations.
+    pub steals: u64,
+    /// Peak live workers.
+    pub peak_workers: u64,
+}
+
+/// A `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    /// Protocol revision.
+    pub protocol: u64,
+    /// Registered tables, sorted.
+    pub tables: Vec<String>,
+    /// Connection-handler pool size.
+    pub workers: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Requests processed since start.
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Profile-cache counters.
+    pub cache: WireCacheStats,
+    /// Shared-executor counters.
+    pub exec: WireExecStats,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Query(QueryReply),
+    /// Answer to [`Request::LoadCsv`].
+    Loaded {
+        /// Table written.
+        table: String,
+        /// Observations ingested by this request.
+        observations: u64,
+        /// Entities now in the table.
+        entities: u64,
+    },
+    /// Answer to [`Request::Warm`].
+    Warmed {
+        /// Echo of the SQL.
+        sql: String,
+        /// Estimation universes captured.
+        universes: u64,
+        /// Whether the selection was already cached.
+        already_cached: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Shutdown`]; the server drains and exits.
+    Bye,
+    /// Any failure; the connection stays usable.
+    Error(WireError),
+}
+
+impl Response {
+    /// Renders the response as one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Response::Query(q) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("query".into())),
+                ("sql", Json::Str(q.sql.clone())),
+                ("cache_hit", Json::Bool(q.cache_hit)),
+                ("elapsed_us", Json::Int(q.elapsed_us as i64)),
+                ("grouped", Json::Bool(q.grouped)),
+                (
+                    "groups",
+                    Json::Arr(
+                        q.groups
+                            .iter()
+                            .map(|g| {
+                                Json::obj([
+                                    ("key", g.key.to_json()),
+                                    ("result", g.result.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Loaded {
+                table,
+                observations,
+                entities,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("load_csv".into())),
+                ("table", Json::Str(table.clone())),
+                ("observations", Json::Int(*observations as i64)),
+                ("entities", Json::Int(*entities as i64)),
+            ]),
+            Response::Warmed {
+                sql,
+                universes,
+                already_cached,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("warm".into())),
+                ("sql", Json::Str(sql.clone())),
+                ("universes", Json::Int(*universes as i64)),
+                ("already_cached", Json::Bool(*already_cached)),
+            ]),
+            Response::Stats(s) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("stats".into())),
+                ("protocol", Json::Int(s.protocol as i64)),
+                (
+                    "tables",
+                    Json::Arr(s.tables.iter().map(|t| Json::Str(t.clone())).collect()),
+                ),
+                ("workers", Json::Int(s.workers as i64)),
+                ("connections", Json::Int(s.connections as i64)),
+                ("requests", Json::Int(s.requests as i64)),
+                ("errors", Json::Int(s.errors as i64)),
+                ("uptime_ms", Json::Int(s.uptime_ms as i64)),
+                (
+                    "cache",
+                    Json::obj([
+                        ("hits", Json::Int(s.cache.hits as i64)),
+                        ("misses", Json::Int(s.cache.misses as i64)),
+                        ("insertions", Json::Int(s.cache.insertions as i64)),
+                        ("evictions", Json::Int(s.cache.evictions as i64)),
+                        ("invalidations", Json::Int(s.cache.invalidations as i64)),
+                        ("expirations", Json::Int(s.cache.expirations as i64)),
+                        ("len", Json::Int(s.cache.len as i64)),
+                        ("bytes", Json::Int(s.cache.bytes as i64)),
+                        ("capacity", Json::Int(s.cache.capacity as i64)),
+                        ("byte_budget", Json::from_opt_f64(s.cache.byte_budget)),
+                        ("ttl_ms", Json::from_opt_f64(s.cache.ttl_ms)),
+                    ]),
+                ),
+                (
+                    "exec",
+                    Json::obj([
+                        ("threads", Json::Int(s.exec.threads as i64)),
+                        ("regions", Json::Int(s.exec.regions as i64)),
+                        (
+                            "parallel_regions",
+                            Json::Int(s.exec.parallel_regions as i64),
+                        ),
+                        ("tasks", Json::Int(s.exec.tasks as i64)),
+                        ("steals", Json::Int(s.exec.steals as i64)),
+                        ("peak_workers", Json::Int(s.exec.peak_workers as i64)),
+                    ]),
+                ),
+            ]),
+            Response::Pong => {
+                Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))])
+            }
+            Response::Bye => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("shutdown".into())),
+            ]),
+            Response::Error(e) => Json::obj([
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::obj([
+                        ("code", Json::Str(e.code.as_str().into())),
+                        ("message", Json::Str(e.message.clone())),
+                        (
+                            "accepted",
+                            Json::Arr(e.accepted.iter().map(|n| Json::Str(n.clone())).collect()),
+                        ),
+                    ]),
+                ),
+            ]),
+        };
+        json.render()
+    }
+
+    /// Parses one wire line into a response.
+    pub fn decode(line: &str) -> Result<Response, ProtoError> {
+        let json = parse(line)?;
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("ok"))?;
+        if !ok {
+            let e = json.get("error").ok_or_else(|| missing("error"))?;
+            let code_str = req_str(e, "code")?;
+            let code = ErrorCode::parse(&code_str)
+                .ok_or_else(|| ProtoError(format!("unknown error code {code_str:?}")))?;
+            let accepted = match e.get("accepted") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or_else(|| missing("accepted"))?
+                    .iter()
+                    .map(|n| n.as_str().map(str::to_string))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| missing("accepted"))?,
+            };
+            return Ok(Response::Error(WireError {
+                code,
+                message: req_str(e, "message")?,
+                accepted,
+            }));
+        }
+        let op = req_str(&json, "op")?;
+        match op.as_str() {
+            "query" => {
+                let groups = json
+                    .get("groups")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing("groups"))?
+                    .iter()
+                    .map(|g| {
+                        Ok(GroupReply {
+                            key: WireValue::from_json(g.get("key").ok_or_else(|| missing("key"))?)?,
+                            result: WireResult::from_json(
+                                g.get("result").ok_or_else(|| missing("result"))?,
+                            )?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(Response::Query(QueryReply {
+                    sql: req_str(&json, "sql")?,
+                    cache_hit: opt_bool(&json, "cache_hit", false)?,
+                    elapsed_us: req_u64(&json, "elapsed_us")?,
+                    grouped: opt_bool(&json, "grouped", false)?,
+                    groups,
+                }))
+            }
+            "load_csv" => Ok(Response::Loaded {
+                table: req_str(&json, "table")?,
+                observations: req_u64(&json, "observations")?,
+                entities: req_u64(&json, "entities")?,
+            }),
+            "warm" => Ok(Response::Warmed {
+                sql: req_str(&json, "sql")?,
+                universes: req_u64(&json, "universes")?,
+                already_cached: opt_bool(&json, "already_cached", false)?,
+            }),
+            "stats" => {
+                let cache = json.get("cache").ok_or_else(|| missing("cache"))?;
+                let exec = json.get("exec").ok_or_else(|| missing("exec"))?;
+                Ok(Response::Stats(StatsReply {
+                    protocol: req_u64(&json, "protocol")?,
+                    tables: json
+                        .get("tables")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| missing("tables"))?
+                        .iter()
+                        .map(|t| t.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| missing("tables"))?,
+                    workers: req_u64(&json, "workers")?,
+                    connections: req_u64(&json, "connections")?,
+                    requests: req_u64(&json, "requests")?,
+                    errors: req_u64(&json, "errors")?,
+                    uptime_ms: req_u64(&json, "uptime_ms")?,
+                    cache: WireCacheStats {
+                        hits: req_u64(cache, "hits")?,
+                        misses: req_u64(cache, "misses")?,
+                        insertions: req_u64(cache, "insertions")?,
+                        evictions: req_u64(cache, "evictions")?,
+                        invalidations: req_u64(cache, "invalidations")?,
+                        expirations: req_u64(cache, "expirations")?,
+                        len: req_u64(cache, "len")?,
+                        bytes: req_u64(cache, "bytes")?,
+                        capacity: req_u64(cache, "capacity")?,
+                        byte_budget: opt_f64(cache, "byte_budget")?,
+                        ttl_ms: opt_f64(cache, "ttl_ms")?,
+                    },
+                    exec: WireExecStats {
+                        threads: req_u64(exec, "threads")?,
+                        regions: req_u64(exec, "regions")?,
+                        parallel_regions: req_u64(exec, "parallel_regions")?,
+                        tasks: req_u64(exec, "tasks")?,
+                        steals: req_u64(exec, "steals")?,
+                        peak_workers: req_u64(exec, "peak_workers")?,
+                    },
+                }))
+            }
+            "ping" => Ok(Response::Pong),
+            "shutdown" => Ok(Response::Bye),
+            other => Err(ProtoError(format!("unknown response op {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Query(QueryRequest {
+                sql: "SELECT SUM(v) FROM t WHERE v < 10 GROUP BY g".into(),
+                estimators: vec!["bucket".into(), "naive".into()],
+                cached: false,
+            }),
+            Request::LoadCsv(LoadCsvRequest {
+                table: "t".into(),
+                columns: vec![("k".into(), "str".into()), ("v".into(), "float".into())],
+                entity_column: "k".into(),
+                source_column: "worker".into(),
+                csv: "worker,k,v\n0,A,1\n".into(),
+                append: true,
+            }),
+            Request::Warm {
+                sql: "SELECT SUM(v) FROM t".into(),
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one request per line: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn query_request_defaults() {
+        let req = Request::decode(r#"{"op":"query","sql":"SELECT COUNT(*) FROM t"}"#).unwrap();
+        match req {
+            Request::Query(q) => {
+                assert!(q.cached, "cached defaults on");
+                assert!(q.estimators.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_decode_to_errors() {
+        for bad in [
+            "not json",
+            "42",
+            r#"{"sql":"SELECT"}"#,
+            r#"{"op":"launch_missiles"}"#,
+            r#"{"op":"query"}"#,
+            r#"{"op":"query","sql":7}"#,
+            r#"{"op":"query","sql":"x","estimators":"bucket"}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let result = WireResult {
+            query: "SELECT SUM(v) FROM t".into(),
+            observed: 13_300.0,
+            corrected: Some(13_950.000000000002),
+            method: "bucket".into(),
+            n_hat: Some(5.5),
+            upper_bound: None,
+            extreme: Some(WireExtreme {
+                trusted: false,
+                observed: 300.0,
+                estimated_missing: Some(0.75),
+            }),
+            diagnostics: WireDiagnostics {
+                coverage: Some(0.8),
+                contributing_sources: 5,
+                max_source_share: Some(1.0 / 3.0),
+                source_gini: None,
+            },
+            recommendation: "bucket".into(),
+            estimates: vec![WireEstimate {
+                name: "naive".into(),
+                delta: Some(1_662.5),
+                n_hat: Some(4.5),
+                corrected: Some(14_962.5),
+            }],
+        };
+        let responses = [
+            Response::Query(QueryReply {
+                sql: "SELECT SUM(v) FROM t".into(),
+                cache_hit: true,
+                elapsed_us: 123,
+                grouped: false,
+                groups: vec![GroupReply {
+                    key: WireValue(Value::Null),
+                    result: result.clone(),
+                }],
+            }),
+            Response::Query(QueryReply {
+                sql: "SELECT SUM(v) FROM t GROUP BY g".into(),
+                cache_hit: false,
+                elapsed_us: 0,
+                grouped: true,
+                groups: vec![
+                    GroupReply {
+                        key: WireValue(Value::Str("CA".into())),
+                        result: result.clone(),
+                    },
+                    GroupReply {
+                        key: WireValue(Value::Int(-3)),
+                        result: result.clone(),
+                    },
+                    GroupReply {
+                        key: WireValue(Value::Float(2.5)),
+                        result,
+                    },
+                ],
+            }),
+            Response::Loaded {
+                table: "t".into(),
+                observations: 9,
+                entities: 4,
+            },
+            Response::Warmed {
+                sql: "SELECT SUM(v) FROM t".into(),
+                universes: 4,
+                already_cached: true,
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::Error(WireError::unknown_estimator(&UnknownEstimator {
+                name: "chao2000".into(),
+            })),
+            Response::Error(WireError::new(ErrorCode::Parse, "bad SQL")),
+        ];
+        for resp in responses {
+            let line = resp.encode();
+            assert!(!line.contains('\n'), "one response per line: {line}");
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn stats_reply_round_trips() {
+        let stats = Response::Stats(StatsReply {
+            protocol: PROTOCOL_VERSION,
+            tables: vec!["companies".into(), "t".into()],
+            workers: 4,
+            connections: 10,
+            requests: 25,
+            errors: 2,
+            uptime_ms: 1234,
+            cache: WireCacheStats {
+                hits: 7,
+                misses: 3,
+                insertions: 3,
+                evictions: 1,
+                invalidations: 0,
+                expirations: 0,
+                len: 2,
+                bytes: 4096,
+                capacity: 128,
+                byte_budget: Some(1e6),
+                ttl_ms: None,
+            },
+            exec: WireExecStats {
+                threads: 8,
+                regions: 100,
+                parallel_regions: 20,
+                tasks: 500,
+                steals: 9,
+                peak_workers: 8,
+            },
+        });
+        assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn unknown_estimator_error_lists_every_registry_name() {
+        let err = WireError::unknown_estimator(&UnknownEstimator {
+            name: "bogus".into(),
+        });
+        assert_eq!(err.code, ErrorCode::UnknownEstimator);
+        assert_eq!(
+            err.accepted,
+            vec!["naive", "freq", "bucket", "monte-carlo", "policy"]
+        );
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn nan_observed_round_trips_via_canonical_text() {
+        let r = WireResult {
+            query: "SELECT AVG(v) FROM t WHERE v > 99999".into(),
+            observed: f64::NAN,
+            corrected: None,
+            method: "none".into(),
+            n_hat: None,
+            upper_bound: None,
+            extreme: None,
+            diagnostics: WireDiagnostics {
+                coverage: None,
+                contributing_sources: 0,
+                max_source_share: None,
+                source_gini: None,
+            },
+            recommendation: "collect-more-data".into(),
+            estimates: Vec::new(),
+        };
+        let reply = Response::Query(QueryReply {
+            sql: r.query.clone(),
+            cache_hit: false,
+            elapsed_us: 1,
+            grouped: false,
+            groups: vec![GroupReply {
+                key: WireValue(Value::Null),
+                result: r.clone(),
+            }],
+        });
+        let Response::Query(decoded) = Response::decode(&reply.encode()).unwrap() else {
+            panic!("expected query reply");
+        };
+        let back = decoded.single().unwrap();
+        assert!(back.observed.is_nan());
+        assert_eq!(back.canonical(), r.canonical());
+    }
+}

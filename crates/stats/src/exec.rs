@@ -257,6 +257,26 @@ impl Executor {
         IN_WORKER.with(|w| w.get())
     }
 
+    /// Runs `f` with the calling thread flagged as an executor participant:
+    /// every region entered inside runs inline and spawns no helpers. This is
+    /// the handoff point for callers that manage their own resident thread
+    /// pool sized to the executor budget (e.g. a server's connection
+    /// handlers) — their threads *are* the workers, so letting them borrow
+    /// additional helpers would multiply the `UU_THREADS` budget by the pool
+    /// size. The flag is restored on exit (panic-safe), and the inline
+    /// regions still count toward `regions`/`tasks` instrumentation.
+    pub fn run_inline<R>(f: impl FnOnce() -> R) -> R {
+        struct Restore(bool);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                IN_WORKER.with(|w| w.set(prev));
+            }
+        }
+        let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+        f()
+    }
+
     /// A snapshot of the instrumentation counters.
     pub fn metrics(&self) -> ExecMetrics {
         ExecMetrics {
@@ -527,6 +547,33 @@ mod tests {
         let out = exec.map_indexed((0..6).collect(), |i, x: usize| i * 10 + x);
         assert_eq!(out, vec![0, 11, 22, 33, 44, 55]);
         assert_eq!(exec.metrics().parallel_regions, 0);
+    }
+
+    #[test]
+    fn run_inline_pins_regions_to_the_calling_thread() {
+        let exec = Executor::with_threads(4);
+        assert!(!Executor::in_worker());
+        let before = exec.metrics().parallel_regions;
+        let out = Executor::run_inline(|| {
+            assert!(Executor::in_worker());
+            let inner = exec.map_indexed((0..32u64).collect(), |_, x| x * 2);
+            assert_eq!(inner[5], 10);
+            7
+        });
+        assert_eq!(out, 7);
+        // The region inside ran inline: no helper was spawned.
+        assert_eq!(exec.metrics().parallel_regions, before);
+        // The flag is restored afterwards.
+        assert!(!Executor::in_worker());
+    }
+
+    #[test]
+    fn run_inline_restores_the_flag_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            Executor::run_inline(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(!Executor::in_worker());
     }
 
     #[test]

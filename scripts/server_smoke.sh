@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Smoke-test the estimation server end to end: start uu-server on an
+# ephemeral port, drive the uu-client demo (a full load-query-repeat session
+# that asserts cache hits, bit-for-bit repeat answers and structured error
+# handling, and appends a cold-vs-cache-hit latency record to
+# BENCH_server.json in $BENCH_JSON_DIR), then shut the server down.
+#
+# usage: scripts/server_smoke.sh [BIN_DIR]   (default: target/release)
+set -eu
+
+BIN_DIR="${1:-target/release}"
+PORT_FILE="$(mktemp)"
+trap 'rm -f "$PORT_FILE"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+"$BIN_DIR/uu-server" --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVER_PID=$!
+
+# Wait (up to ~10s) for the server to report its ephemeral address.
+i=0
+while [ ! -s "$PORT_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server_smoke: server did not report an address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$PORT_FILE")"
+echo "server_smoke: server is at $ADDR"
+
+"$BIN_DIR/uu-client" demo --addr "$ADDR" --shutdown
+wait "$SERVER_PID"
+echo "server_smoke: OK"

@@ -1,0 +1,415 @@
+//! Loopback integration tests for `uu-server`.
+//!
+//! The server must be a transparent wire wrapper around the shared
+//! [`Catalog`]: every answer it returns is compared **bit-for-bit** against
+//! the corresponding direct `Catalog` call on an identically-loaded local
+//! catalog (the canonical JSON rendering makes NaN-bearing results
+//! comparable). Error paths answer with structured codes and never cost the
+//! connection; the repeated-query path must hit the profile cache (counter
+//! asserted) and its round-trip latency is recorded to `BENCH_server.json`.
+//!
+//! The concurrent-connection test lives in `server_concurrency.rs` (its own
+//! process) so the `peak_workers` executor assertion is not perturbed by
+//! sibling tests.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use uu_core::engine::EstimationSession;
+use uu_query::catalog::Catalog;
+use uu_query::csv::load_observations;
+use uu_query::exec::CorrectionMethod;
+use uu_query::schema::{ColumnType, Schema};
+use uu_query::table::IntegratedTable;
+use uu_server::client::{Client, ClientError};
+use uu_server::protocol::{ErrorCode, LoadCsvRequest, Request, Response, WireEstimate, WireResult};
+use uu_server::server::{spawn, ServerConfig};
+
+/// The toy observation log (Appendix F plus a state column).
+const TOY_CSV: &str = "\
+worker,company,employees,state
+0,A,1000,CA
+0,B,2000,CA
+0,D,10000,WA
+1,B,2000,CA
+1,D,10000,WA
+2,D,10000,WA
+3,D,10000,WA
+4,A,1000,CA
+4,E,300,CA
+";
+
+fn toy_schema() -> Schema {
+    Schema::new([
+        ("company", ColumnType::Str),
+        ("employees", ColumnType::Float),
+        ("state", ColumnType::Str),
+    ])
+}
+
+/// A local catalog loaded through the same CSV path the server uses.
+fn direct_catalog() -> Catalog {
+    let mut table = IntegratedTable::new("companies", toy_schema(), "company").unwrap();
+    load_observations(&mut table, TOY_CSV, "worker").unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register(table).unwrap();
+    catalog
+}
+
+/// Loads the toy table into a running server over the wire.
+fn load_toy(client: &mut Client) {
+    let response = client
+        .request(&Request::LoadCsv(LoadCsvRequest {
+            table: "companies".into(),
+            columns: vec![
+                ("company".into(), "str".into()),
+                ("employees".into(), "float".into()),
+                ("state".into(), "str".into()),
+            ],
+            entity_column: "company".into(),
+            source_column: "worker".into(),
+            csv: TOY_CSV.into(),
+            append: false,
+        }))
+        .unwrap();
+    assert!(
+        matches!(
+            response,
+            Response::Loaded {
+                observations: 9,
+                entities: 4,
+                ..
+            }
+        ),
+        "{}",
+        response.encode()
+    );
+}
+
+/// The direct-call expectation for one query: executed through the exact
+/// catalog methods the server routes through, with the per-estimator session
+/// fan-out over the same cached selection.
+fn expected_rows(catalog: &Catalog, sql: &str, estimators: &[&str]) -> Vec<WireResult> {
+    let kinds: Vec<_> = estimators
+        .iter()
+        .map(|n| uu_core::engine::EstimatorKind::by_name(n).unwrap())
+        .collect();
+    let method = match kinds.first() {
+        None => CorrectionMethod::None,
+        Some(uu_core::engine::EstimatorKind::Naive) => CorrectionMethod::Naive,
+        Some(uu_core::engine::EstimatorKind::Frequency) => CorrectionMethod::Frequency,
+        Some(uu_core::engine::EstimatorKind::Bucket) => CorrectionMethod::Bucket,
+        Some(uu_core::engine::EstimatorKind::MonteCarlo(cfg)) => CorrectionMethod::MonteCarlo(*cfg),
+        Some(uu_core::engine::EstimatorKind::Policy) => CorrectionMethod::Auto,
+    };
+    let (snapshots, _) = catalog.selection_sql(sql).unwrap();
+    let rows = catalog.execute_sql_grouped_cached(sql, method).unwrap();
+    let session = EstimationSession::new(kinds.clone());
+    rows.iter()
+        .zip(snapshots.iter())
+        .map(|(row, (_, snapshot))| {
+            let estimates = if kinds.is_empty() {
+                Vec::new()
+            } else {
+                session
+                    .run_profiled(&snapshot.profile())
+                    .iter()
+                    .map(WireEstimate::from_named)
+                    .collect()
+            };
+            WireResult::from_result(&row.result, estimates)
+        })
+        .collect()
+}
+
+#[test]
+fn server_answers_match_direct_catalog_calls_bit_for_bit() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+    let catalog = direct_catalog();
+
+    let cases: &[(&str, &[&str])] = &[
+        (
+            "SELECT SUM(employees) FROM companies",
+            &["bucket", "naive", "freq", "monte-carlo"],
+        ),
+        ("SELECT SUM(employees) FROM companies", &["naive"]),
+        ("SELECT COUNT(*) FROM companies", &["naive"]),
+        ("SELECT AVG(employees) FROM companies", &["bucket"]),
+        ("SELECT MIN(employees) FROM companies", &["bucket"]),
+        ("SELECT MAX(employees) FROM companies", &["bucket"]),
+        (
+            "SELECT SUM(employees) FROM companies WHERE employees < 5000",
+            &["freq", "policy"],
+        ),
+        (
+            "SELECT SUM(employees) FROM companies GROUP BY state",
+            &["bucket", "naive"],
+        ),
+        (
+            "SELECT AVG(employees) FROM companies WHERE employees > 99999",
+            &["bucket"],
+        ),
+        ("SELECT COUNT(*) FROM companies", &[]),
+    ];
+    for (sql, estimators) in cases {
+        let expected = expected_rows(&catalog, sql, estimators);
+        for cached in [true, false] {
+            let reply = client.query(sql, estimators, cached).unwrap();
+            assert_eq!(
+                reply.groups.len(),
+                expected.len(),
+                "{sql} (cached={cached})"
+            );
+            for (group, want) in reply.groups.iter().zip(&expected) {
+                assert_eq!(
+                    group.result.canonical(),
+                    want.canonical(),
+                    "{sql} (cached={cached})"
+                );
+            }
+        }
+    }
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn repeated_query_hits_the_cache_and_latency_is_recorded() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+    let sql = "SELECT SUM(employees) FROM companies GROUP BY state";
+
+    let start = Instant::now();
+    let cold = client.query(sql, &["bucket"], true).unwrap();
+    let cold_us = start.elapsed().as_secs_f64() * 1e6;
+    assert!(!cold.cache_hit, "first execution builds the selection");
+    let hits_before = client.stats().unwrap().cache.hits;
+
+    let mut hit_us = f64::INFINITY;
+    let mut warm = None;
+    for _ in 0..10 {
+        let start = Instant::now();
+        warm = Some(client.query(sql, &["bucket"], true).unwrap());
+        hit_us = hit_us.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let warm = warm.unwrap();
+    assert!(warm.cache_hit, "second round-trip serves from the cache");
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.cache.hits > hits_before,
+        "hit counter must increment ({} -> {})",
+        hits_before,
+        stats.cache.hits
+    );
+    // Identical groups, bit for bit.
+    for (a, b) in cold.groups.iter().zip(&warm.groups) {
+        assert_eq!(a.result.canonical(), b.result.canonical());
+    }
+
+    // Record the loopback latency like the benches do.
+    let record = format!(
+        "{{ \"bench\": \"server_integration\", \"cold_roundtrip_us\": {cold_us:.1}, \
+         \"hit_roundtrip_us_min\": {hit_us:.1}, \"cache_hits\": {}, \"cache_misses\": {} }}\n",
+        stats.cache.hits, stats.cache.misses
+    );
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_server.json");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    assert!(written.is_ok(), "cannot append to {}", path.display());
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn warm_verb_prefills_the_cache() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+    let sql = "SELECT SUM(employees) FROM companies GROUP BY state";
+    let (universes, already) = client.warm(sql).unwrap();
+    assert_eq!(universes, 2);
+    assert!(!already);
+    let (_, already) = client.warm(sql).unwrap();
+    assert!(already, "second warm is a no-op");
+    let reply = client.query(sql, &["bucket"], true).unwrap();
+    assert!(reply.cache_hit, "query after warm is a pure hit");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_estimator_is_a_structured_error_and_the_connection_survives() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+
+    match client.query("SELECT SUM(employees) FROM companies", &["chao2000"], true) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::UnknownEstimator);
+            assert!(e.message.contains("chao2000"), "{}", e.message);
+            assert_eq!(
+                e.accepted,
+                vec!["naive", "freq", "bucket", "monte-carlo", "policy"]
+            );
+        }
+        other => panic!("expected a structured error, got {other:?}"),
+    }
+    // Same connection, next request works.
+    let reply = client
+        .query("SELECT SUM(employees) FROM companies", &["bucket"], true)
+        .unwrap();
+    assert_eq!(reply.single().unwrap().observed, 13_300.0);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_invalid_requests_answer_with_codes_not_disconnects() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+
+    let expect_code = |response: Response, code: ErrorCode| match response {
+        Response::Error(e) => assert_eq!(e.code, code, "{}", e.message),
+        other => panic!("expected {code:?}, got {}", other.encode()),
+    };
+    expect_code(
+        client.send_raw("this is not json").unwrap(),
+        ErrorCode::MalformedRequest,
+    );
+    expect_code(
+        client.send_raw(r#"{"op":"fly_to_the_moon"}"#).unwrap(),
+        ErrorCode::MalformedRequest,
+    );
+    expect_code(
+        client
+            .send_raw(r#"{"op":"query","sql":"SELEKT stuff"}"#)
+            .unwrap(),
+        ErrorCode::Parse,
+    );
+    expect_code(
+        client
+            .send_raw(r#"{"op":"query","sql":"SELECT SUM(x) FROM missing"}"#)
+            .unwrap(),
+        ErrorCode::UnknownTable,
+    );
+    expect_code(
+        client
+            .send_raw(r#"{"op":"query","sql":"SELECT SUM(nope) FROM companies"}"#)
+            .unwrap(),
+        ErrorCode::Table,
+    );
+    // Re-registering without append is refused; appending works.
+    let reload = |append| {
+        Request::LoadCsv(LoadCsvRequest {
+            table: "companies".into(),
+            columns: vec![
+                ("company".into(), "str".into()),
+                ("employees".into(), "float".into()),
+                ("state".into(), "str".into()),
+            ],
+            entity_column: "company".into(),
+            source_column: "worker".into(),
+            csv: "worker,company,employees,state\n7,F,50,CA\n".into(),
+            append,
+        })
+    };
+    expect_code(
+        client.request(&reload(false)).unwrap(),
+        ErrorCode::DuplicateTable,
+    );
+    match client.request(&reload(true)).unwrap() {
+        Response::Loaded {
+            observations,
+            entities,
+            ..
+        } => {
+            assert_eq!(observations, 1);
+            assert_eq!(entities, 5);
+        }
+        other => panic!("{}", other.encode()),
+    }
+    // The connection survived all of it.
+    let reply = client
+        .query("SELECT COUNT(*) FROM companies", &["naive"], true)
+        .unwrap();
+    assert_eq!(reply.single().unwrap().observed, 5.0);
+    handle.shutdown();
+}
+
+#[test]
+fn byte_budget_config_bounds_the_cache_and_is_reported() {
+    let config = ServerConfig {
+        cache_bytes: Some(1), // absurdly small: every new selection evicts the old
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+    let a = "SELECT SUM(employees) FROM companies";
+    let b = "SELECT SUM(employees) FROM companies GROUP BY state";
+    client.query(a, &["bucket"], true).unwrap();
+    client.query(b, &["bucket"], true).unwrap();
+    client.query(a, &["bucket"], true).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.byte_budget, Some(1.0));
+    assert!(
+        stats.cache.evictions >= 2,
+        "a 1-byte budget evicts on every alternation (evictions={})",
+        stats.cache.evictions
+    );
+    assert_eq!(stats.cache.len, 1, "only the newest selection is retained");
+    handle.shutdown();
+}
+
+#[test]
+fn ttl_config_expires_idle_selections() {
+    let config = ServerConfig {
+        cache_ttl: Some(std::time::Duration::from_millis(20)),
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+    let sql = "SELECT SUM(employees) FROM companies";
+    let cold = client.query(sql, &["bucket"], true).unwrap();
+    assert!(!cold.cache_hit);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let after = client.query(sql, &["bucket"], true).unwrap();
+    assert!(!after.cache_hit, "the TTL expired the selection");
+    assert_eq!(
+        after.single().unwrap().canonical(),
+        cold.single().unwrap().canonical(),
+        "expiry only costs time, never changes answers"
+    );
+    let stats = client.stats().unwrap();
+    assert!(stats.cache.expirations >= 1);
+    assert_eq!(stats.cache.ttl_ms, Some(20.0));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_verb_drains_the_server() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+    // The listener is gone; a fresh connection must fail (possibly after the
+    // OS drains the backlog, hence the retry loop).
+    let refused = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match Client::connect(addr) {
+            Err(_) => true,
+            Ok(mut c) => c.ping().is_err(),
+        }
+    });
+    assert!(refused, "server kept serving after shutdown");
+}

@@ -1,0 +1,221 @@
+//! Concurrent-connection test for `uu-server`, isolated in its own test
+//! binary: the final assertion reads the global executor's `peak_workers`
+//! high-water mark, which sibling tests running in the same process would
+//! perturb.
+//!
+//! N loopback clients issue interleaved cached/uncached and grouped queries
+//! concurrently; every reply must be bit-for-bit identical to the direct
+//! `Catalog` expectation, and the executor must never exceed its
+//! `UU_THREADS` worker budget — the server's handler pool runs connections
+//! *inside* the executor's inline scope instead of stacking helpers on top
+//! of it.
+
+use std::sync::Arc;
+
+use uu_core::engine::{EstimationSession, EstimatorKind};
+use uu_query::catalog::Catalog;
+use uu_query::csv::load_observations;
+use uu_query::exec::CorrectionMethod;
+use uu_query::schema::{ColumnType, Schema};
+use uu_query::table::IntegratedTable;
+use uu_server::client::Client;
+use uu_server::protocol::{LoadCsvRequest, Request, Response, WireEstimate};
+use uu_server::server::{spawn, ServerConfig};
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 5;
+
+/// A multi-source observation log large enough that statistics work is
+/// non-trivial: 6 sources × 80 draws over 3 groups.
+fn observation_log() -> String {
+    let mut csv = String::from("worker,item,value,grp\n");
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for worker in 0..6u32 {
+        for _ in 0..80 {
+            let grp = next() % 3;
+            let item = next() % (14 + 6 * grp);
+            csv.push_str(&format!(
+                "{worker},g{grp}i{item},{},g{grp}\n",
+                (item + 1) * 10
+            ));
+        }
+    }
+    csv
+}
+
+fn schema() -> Schema {
+    Schema::new([
+        ("item", ColumnType::Str),
+        ("value", ColumnType::Float),
+        ("grp", ColumnType::Str),
+    ])
+}
+
+type Case = (&'static str, &'static [&'static str], bool);
+
+const CASES: &[Case] = &[
+    (
+        "SELECT SUM(value) FROM sightings",
+        &["bucket", "naive"],
+        true,
+    ),
+    (
+        "SELECT SUM(value) FROM sightings",
+        &["bucket", "naive"],
+        false,
+    ),
+    (
+        "SELECT SUM(value) FROM sightings GROUP BY grp",
+        &["bucket"],
+        true,
+    ),
+    (
+        "SELECT SUM(value) FROM sightings GROUP BY grp",
+        &["bucket"],
+        false,
+    ),
+    ("SELECT COUNT(*) FROM sightings", &["naive"], true),
+    (
+        "SELECT AVG(value) FROM sightings WHERE value < 150",
+        &["bucket"],
+        true,
+    ),
+    (
+        "SELECT SUM(value) FROM sightings GROUP BY grp",
+        &["policy", "freq"],
+        true,
+    ),
+];
+
+fn method_for(kinds: &[EstimatorKind]) -> CorrectionMethod {
+    match kinds.first() {
+        None => CorrectionMethod::None,
+        Some(EstimatorKind::Naive) => CorrectionMethod::Naive,
+        Some(EstimatorKind::Frequency) => CorrectionMethod::Frequency,
+        Some(EstimatorKind::Bucket) => CorrectionMethod::Bucket,
+        Some(EstimatorKind::MonteCarlo(cfg)) => CorrectionMethod::MonteCarlo(*cfg),
+        Some(EstimatorKind::Policy) => CorrectionMethod::Auto,
+    }
+}
+
+/// The direct expectation: canonical renderings per group, via the exact
+/// catalog surface the server routes through.
+fn expected(catalog: &Catalog, case: &Case) -> Vec<String> {
+    let (sql, estimators, _) = case;
+    let kinds: Vec<_> = estimators
+        .iter()
+        .map(|n| EstimatorKind::by_name(n).unwrap())
+        .collect();
+    let (snapshots, _) = catalog.selection_sql(sql).unwrap();
+    let rows = catalog
+        .execute_sql_grouped_cached(sql, method_for(&kinds))
+        .unwrap();
+    let session = EstimationSession::new(kinds);
+    rows.iter()
+        .zip(snapshots.iter())
+        .map(|(row, (_, snapshot))| {
+            let estimates = session
+                .run_profiled(&snapshot.profile())
+                .iter()
+                .map(WireEstimate::from_named)
+                .collect();
+            uu_server::protocol::WireResult::from_result(&row.result, estimates).canonical()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_direct_catalog_answers_within_the_thread_budget() {
+    let csv = observation_log();
+    let handle = spawn(ServerConfig::default()).unwrap();
+
+    // Load over the wire…
+    let mut admin = Client::connect(handle.addr()).unwrap();
+    let response = admin
+        .request(&Request::LoadCsv(LoadCsvRequest {
+            table: "sightings".into(),
+            columns: vec![
+                ("item".into(), "str".into()),
+                ("value".into(), "float".into()),
+                ("grp".into(), "str".into()),
+            ],
+            entity_column: "item".into(),
+            source_column: "worker".into(),
+            csv: csv.clone(),
+            append: false,
+        }))
+        .unwrap();
+    assert!(
+        matches!(response, Response::Loaded { .. }),
+        "{}",
+        response.encode()
+    );
+
+    // …and build the identical local catalog + expectations up front (the
+    // only executor caller besides the server's inline handlers).
+    let mut table = IntegratedTable::new("sightings", schema(), "item").unwrap();
+    load_observations(&mut table, &csv, "worker").unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register(table).unwrap();
+    let expectations: Arc<Vec<Vec<String>>> =
+        Arc::new(CASES.iter().map(|case| expected(&catalog, case)).collect());
+
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let expectations = Arc::clone(&expectations);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..ROUNDS {
+                    // Offset the case order per client so cached and
+                    // uncached executions of the same SQL interleave across
+                    // connections.
+                    for step in 0..CASES.len() {
+                        let idx = (id + round + step) % CASES.len();
+                        let (sql, estimators, cached) = CASES[idx];
+                        let reply = client
+                            .query(sql, estimators, cached)
+                            .unwrap_or_else(|e| panic!("client {id}: {sql}: {e}"));
+                        let got: Vec<String> =
+                            reply.groups.iter().map(|g| g.result.canonical()).collect();
+                        assert_eq!(
+                            got, expectations[idx],
+                            "client {id} round {round}: {sql} (cached={cached})"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let stats = admin.stats().unwrap();
+    assert!(
+        stats.connections >= (CLIENTS + 1) as u64,
+        "all clients were served (connections={})",
+        stats.connections
+    );
+    assert_eq!(stats.tables, vec!["sightings".to_string()]);
+
+    // The budget assertion: handlers run inline inside the executor scope,
+    // so even CLIENTS concurrent connections never push the live-worker
+    // high-water mark beyond the configured budget.
+    let exec = uu_core::exec::global().metrics();
+    assert!(
+        exec.peak_workers <= exec.threads,
+        "peak_workers {} exceeds the UU_THREADS budget {}",
+        exec.peak_workers,
+        exec.threads
+    );
+
+    admin.shutdown().unwrap();
+    handle.join();
+}
