@@ -5,6 +5,8 @@
 //! TCP → decode → execute → respond): the cold path (selection built from
 //! the table), the `ProfileCache` hit path (selection thawed from frozen
 //! snapshots — the repeated-query workload the server exists for), the
+//! **prepared-query path** (named session, parse + selection frozen at
+//! `prepare`, repeats skip both the parser and the cache lookup), the
 //! uncached path, and a grouped query. Like `grouped_batch`, every variant
 //! is re-timed explicitly and written as machine-readable JSON to
 //! `BENCH_server_roundtrip.json` (in `$BENCH_JSON_DIR` when set).
@@ -69,11 +71,24 @@ fn bench_server(c: &mut Criterion) {
     let grouped_cold_ns = start.elapsed().as_secs_f64() * 1e9;
     assert!(!grouped_cold.cache_hit);
 
+    // Prepared-query session: the same SQL frozen behind a named session.
+    client
+        .session_open("bench", ESTIMATORS)
+        .expect("session_open");
+    client.prepare("bench", "q", SQL).expect("prepare");
+
     let mut group = c.benchmark_group("server_roundtrip/loopback");
     group.sample_size(10);
     group.bench_function("cache_hit", |b| {
         b.iter(|| {
             let reply = client.query(SQL, ESTIMATORS, true).unwrap();
+            assert!(reply.cache_hit);
+            black_box(reply.groups.len())
+        })
+    });
+    group.bench_function("prepared_hit", |b| {
+        b.iter(|| {
+            let reply = client.execute_prepared("bench", "q").unwrap();
             assert!(reply.cache_hit);
             black_box(reply.groups.len())
         })
@@ -119,6 +134,13 @@ fn bench_server(c: &mut Criterion) {
             "cache_hit",
             Box::new(|| {
                 let reply = client.borrow_mut().query(SQL, ESTIMATORS, true).unwrap();
+                black_box(reply.elapsed_us);
+            }),
+        );
+        record(
+            "prepared_hit",
+            Box::new(|| {
+                let reply = client.borrow_mut().execute_prepared("bench", "q").unwrap();
                 black_box(reply.elapsed_us);
             }),
         );

@@ -188,10 +188,23 @@ impl Catalog {
     /// same snapshots the `*_cached` executions consume.
     pub fn selection_sql(&self, sql: &str) -> Result<(SelectionSnapshots, bool), ExecError> {
         let query = parse(sql)?;
+        self.selection_query(&query)
+    }
+
+    /// [`Catalog::selection_sql`] over an **already-parsed** query — the
+    /// fetch path for prepared statements, which freeze the parse result
+    /// once and re-fetch only the selection on later executions. A repeated
+    /// execute against an unchanged table therefore pays neither the parser
+    /// nor a statistics build: the cache thaws the frozen
+    /// [`uu_core::profile::ProfileSnapshot`]s directly.
+    pub fn selection_query(
+        &self,
+        query: &crate::query::AggregateQuery,
+    ) -> Result<(SelectionSnapshots, bool), ExecError> {
         let table = self
             .get(&query.table)
             .ok_or_else(|| ExecError::UnknownTable(query.table.clone()))?;
-        selection(table, &query, &self.cache)
+        selection(table, query, &self.cache)
     }
 
     /// Pre-warms the embedded cache for `sql` without computing an
@@ -306,6 +319,24 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(&snapshots, &snapshots_again));
         // Selections carry their byte weight into the cache accounting.
         assert!(catalog.cache().bytes() > 0);
+    }
+
+    #[test]
+    fn selection_query_shares_the_cache_identity_with_selection_sql() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        let sql = "SELECT SUM(v) FROM t WHERE v < 3";
+        let parsed = crate::sql::parse(sql).unwrap();
+        let (from_query, hit) = catalog.selection_query(&parsed).unwrap();
+        assert!(!hit, "first fetch builds the selection");
+        let (from_sql, hit) = catalog.selection_sql(sql).unwrap();
+        assert!(hit, "the parse-free fetch populated the same cache entry");
+        assert!(std::sync::Arc::ptr_eq(&from_query, &from_sql));
+        let missing = crate::sql::parse("SELECT SUM(v) FROM nope").unwrap();
+        assert!(matches!(
+            catalog.selection_query(&missing),
+            Err(ExecError::UnknownTable(name)) if name == "nope"
+        ));
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! The `uu-client` binary: one-shot protocol commands plus a `demo`
 //! subcommand that drives a full load-query-repeat session over loopback
-//! (the CI smoke test) and appends a latency record to `BENCH_server.json`.
+//! (the CI smoke test) — including a named-session prepared-query exercise —
+//! and appends a latency record to `BENCH_server.json`.
 //!
 //! ```text
-//! uu-client ping      --addr HOST:PORT
-//! uu-client stats     --addr HOST:PORT
-//! uu-client warm      --addr HOST:PORT --sql SQL
-//! uu-client query     --addr HOST:PORT --sql SQL [--estimators a,b,c] [--uncached]
-//! uu-client load-csv  --addr HOST:PORT --table T --columns k:str,v:float \
-//!                     --entity k --source worker --file data.csv [--append]
-//! uu-client shutdown  --addr HOST:PORT
-//! uu-client demo      --addr HOST:PORT [--json PATH] [--shutdown]
+//! uu-client ping         --addr HOST:PORT
+//! uu-client info         --addr HOST:PORT
+//! uu-client stats        --addr HOST:PORT
+//! uu-client warm         --addr HOST:PORT --sql SQL
+//! uu-client query        --addr HOST:PORT --sql SQL [--estimators a,b,c] [--uncached]
+//! uu-client load-csv     --addr HOST:PORT --table T --columns k:str,v:float \
+//!                        --entity k --source worker --file data.csv [--append]
+//! uu-client pgwire-probe --addr HOST:PGWIRE_PORT --sql SQL
+//! uu-client shutdown     --addr HOST:PORT
+//! uu-client demo         --addr HOST:PORT [--json PATH] [--shutdown]
 //! ```
+//!
+//! `pgwire-probe` speaks raw PostgreSQL wire messages over a plain socket
+//! (startup + simple query) — the CI driver for the pgwire front, no `psql`
+//! dependency.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -22,12 +29,13 @@ use uu_server::client::{Client, ClientError};
 use uu_server::protocol::{ErrorCode, LoadCsvRequest, QueryReply, Request, Response};
 
 fn usage() -> &'static str {
-    "usage: uu-client <ping|stats|warm|query|load-csv|shutdown|demo> --addr HOST:PORT [options]\n\
+    "usage: uu-client <ping|info|stats|warm|query|load-csv|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
      \n\
-     query:    --sql SQL [--estimators a,b,c] [--uncached]\n\
-     warm:     --sql SQL\n\
-     load-csv: --table T --columns name:type,... --entity COL --source COL --file PATH [--append]\n\
-     demo:     [--json PATH] [--shutdown]   # full load-query-repeat smoke session"
+     query:        --sql SQL [--estimators a,b,c] [--uncached]\n\
+     warm:         --sql SQL\n\
+     load-csv:     --table T --columns name:type,... --entity COL --source COL --file PATH [--append]\n\
+     pgwire-probe: --sql SQL   # raw-socket pgwire simple query (--addr is the pgwire port)\n\
+     demo:         [--json PATH] [--shutdown]   # full load-query-repeat smoke session"
 }
 
 struct Args {
@@ -117,12 +125,27 @@ fn run() -> Result<(), String> {
     if args.command == "demo" {
         return demo(&args);
     }
+    if args.command == "pgwire-probe" {
+        return pgwire_probe(&args);
+    }
     let mut client = Client::connect(args.addr()?).map_err(|e| format!("cannot connect: {e}"))?;
     let fail = |e: ClientError| e.to_string();
     match args.command.as_str() {
         "ping" => {
             client.ping().map_err(fail)?;
             println!("pong");
+        }
+        "info" => {
+            let info = client.server_info().map_err(fail)?;
+            println!(
+                "version={} protocol={} uptime_ms={} active_sessions={} fronts={} workers={}",
+                info.version,
+                info.protocol,
+                info.uptime_ms,
+                info.active_sessions,
+                info.fronts.join(","),
+                info.workers,
+            );
         }
         "stats" => {
             let stats = client.stats().map_err(fail)?;
@@ -173,6 +196,27 @@ fn run() -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
+    Ok(())
+}
+
+/// Raw-socket pgwire simple query: startup (with the SSL decline), one `Q`
+/// message, rows printed as tab-separated text. This is what CI drives the
+/// pgwire front with instead of depending on `psql`.
+fn pgwire_probe(args: &Args) -> Result<(), String> {
+    let mut client = uu_server::pgwire::PgClient::connect(args.addr()?)
+        .map_err(|e| format!("cannot connect: {e}"))?;
+    let result = client
+        .simple_query(args.required("sql")?)
+        .map_err(|e| e.to_string())?;
+    println!("{}", result.columns.join("\t"));
+    for row in &result.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|cell| cell.clone().unwrap_or_else(|| "NULL".to_string()))
+            .collect();
+        println!("{}", cells.join("\t"));
+    }
+    println!("{}", result.command_tag);
     Ok(())
 }
 
@@ -342,7 +386,64 @@ fn demo(args: &Args) -> Result<(), String> {
         "uncached answer is bit-for-bit identical to the cached answer",
     )?;
 
-    // 8. Counters.
+    // 8. Named session + prepared query: repeats must be cache-hit fast and
+    // bit-for-bit identical to the ad-hoc answer.
+    let resolved = client
+        .session_open("demo-session", &estimators)
+        .map_err(|e| e.to_string())?;
+    check(
+        resolved.len() == estimators.len(),
+        "session pins the full estimator panel",
+    )?;
+    let (universes, _) = client
+        .prepare("demo-session", "q1", DEMO_SQL)
+        .map_err(|e| e.to_string())?;
+    check(universes == 1, "prepared statement froze one universe")?;
+    let mut prepared_us = Vec::with_capacity(DEMO_HIT_SAMPLES);
+    let mut prepared_reply = None;
+    for _ in 0..DEMO_HIT_SAMPLES {
+        let start = Instant::now();
+        let reply = client
+            .execute_prepared("demo-session", "q1")
+            .map_err(|e| e.to_string())?;
+        prepared_us.push(start.elapsed().as_secs_f64() * 1e6);
+        prepared_reply = Some(reply);
+    }
+    let prepared_reply = prepared_reply.expect("at least one prepared execute");
+    check(
+        prepared_reply.cache_hit,
+        "prepared repeats serve from frozen snapshots",
+    )?;
+    check(
+        prepared_reply.single().map(|r| r.canonical()) == Some(cold_result.canonical()),
+        "prepared answer is bit-for-bit identical to the ad-hoc answer",
+    )?;
+    let session_stats = client.stats().map_err(|e| e.to_string())?;
+    let demo_session = session_stats
+        .sessions
+        .iter()
+        .find(|s| s.name == "demo-session")
+        .ok_or("stats lists the open session")?;
+    check(
+        demo_session.executes >= DEMO_HIT_SAMPLES as u64,
+        "per-session execute counter advanced",
+    )?;
+    client
+        .deallocate("demo-session", "q1")
+        .map_err(|e| e.to_string())?;
+    match client.execute_prepared("demo-session", "q1") {
+        Err(ClientError::Server(e)) => check(
+            e.code == ErrorCode::UnknownPrepared,
+            "deallocated statement answers unknown_prepared",
+        )?,
+        other => return Err(format!("expected unknown_prepared, got {other:?}")),
+    }
+    let dropped = client
+        .session_close("demo-session")
+        .map_err(|e| e.to_string())?;
+    check(dropped == 0, "deallocate already emptied the session")?;
+
+    // 9. Counters.
     let stats = client.stats().map_err(|e| e.to_string())?;
     check(
         stats.cache.hits >= DEMO_HIT_SAMPLES as u64,
@@ -364,13 +465,16 @@ fn demo(args: &Args) -> Result<(), String> {
         stats.exec.peak_workers,
     );
 
-    // 9. Latency record.
+    // 10. Latency record, including the prepared-vs-adhoc comparison.
     let hit_mean = hit_us.iter().sum::<f64>() / hit_us.len() as f64;
     let hit_min = hit_us.iter().cloned().fold(f64::INFINITY, f64::min);
+    let prepared_mean = prepared_us.iter().sum::<f64>() / prepared_us.len() as f64;
+    let prepared_min = prepared_us.iter().cloned().fold(f64::INFINITY, f64::min);
     let record = format!(
         "{{ \"bench\": \"server_smoke\", \"samples\": {DEMO_HIT_SAMPLES}, \
          \"cold_roundtrip_us\": {cold_us:.1}, \"hit_roundtrip_us_mean\": {hit_mean:.1}, \
-         \"hit_roundtrip_us_min\": {hit_min:.1}, \"grouped_cold_us\": {grouped_cold_us:.1}, \
+         \"hit_roundtrip_us_min\": {hit_min:.1}, \"prepared_hit_us_mean\": {prepared_mean:.1}, \
+         \"prepared_hit_us_min\": {prepared_min:.1}, \"grouped_cold_us\": {grouped_cold_us:.1}, \
          \"grouped_hit_us\": {grouped_hit_us:.1}, \"cache_hits\": {}, \"cache_misses\": {} }}\n",
         stats.cache.hits, stats.cache.misses
     );
@@ -387,7 +491,7 @@ fn demo(args: &Args) -> Result<(), String> {
     println!("ok: appended latency record to {path}");
     print!("{record}");
 
-    // 10. Optionally stop the server.
+    // 11. Optionally stop the server.
     if args.has("--shutdown") {
         client.shutdown().map_err(|e| e.to_string())?;
         println!("ok: server shutting down");

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]
+//!           [--pgwire-port PORT] [--pgwire-port-file PATH]
+//!           [--max-frame-bytes N]
 //!           [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the resolved address is
 //! printed on stdout (`uu-server listening on …`) and, with `--port-file`,
-//! written to a file so scripts can discover it race-free.
+//! written to a file so scripts can discover it race-free. `--pgwire-port`
+//! additionally enables the pgwire-lite front on the same host (port 0 works
+//! there too, discoverable via `--pgwire-port-file`), so `psql` and the
+//! `uu-client pgwire-probe` raw-socket driver can talk to the same catalog.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -17,19 +22,32 @@ use uu_server::server::{spawn, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]\n\
+     \x20                [--pgwire-port PORT] [--pgwire-port-file PATH]\n\
+     \x20                [--max-frame-bytes N]\n\
      \x20                [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]\n\
      \n\
-     Serves the line-delimited JSON estimation protocol (see README, \"Server\").\n\
-     Defaults: --addr 127.0.0.1:7878, workers = UU_THREADS (or detected cores),\n\
-     cache capacity 128 entries, no byte budget, no TTL."
+     Serves the line-delimited JSON estimation protocol (see README,\n\
+     \"Service architecture\"); --pgwire-port also enables the pgwire-lite\n\
+     front (psql-compatible simple queries) on the same host.\n\
+     Defaults: --addr 127.0.0.1:7878, pgwire off, workers = UU_THREADS (or\n\
+     detected cores), 16 MiB frame bound, cache capacity 128 entries, no\n\
+     byte budget, no TTL."
 }
 
-fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
+struct Parsed {
+    config: ServerConfig,
+    port_file: Option<String>,
+    pgwire_port_file: Option<String>,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".to_string(),
         ..ServerConfig::default()
     };
     let mut port_file = None;
+    let mut pgwire_port_file = None;
+    let mut pgwire_port: Option<u16> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -39,10 +57,23 @@ fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
         match arg.as_str() {
             "--addr" => config.addr = value("--addr")?,
             "--port-file" => port_file = Some(value("--port-file")?),
+            "--pgwire-port" => {
+                pgwire_port = Some(
+                    value("--pgwire-port")?
+                        .parse()
+                        .map_err(|_| "--pgwire-port expects a port number".to_string())?,
+                )
+            }
+            "--pgwire-port-file" => pgwire_port_file = Some(value("--pgwire-port-file")?),
             "--workers" => {
                 config.workers = value("--workers")?
                     .parse()
                     .map_err(|_| "--workers expects an integer".to_string())?
+            }
+            "--max-frame-bytes" => {
+                config.max_frame_bytes = value("--max-frame-bytes")?
+                    .parse()
+                    .map_err(|_| "--max-frame-bytes expects an integer".to_string())?
             }
             "--cache-capacity" => {
                 config.cache_capacity = value("--cache-capacity")?
@@ -67,17 +98,36 @@ fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
             other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
         }
     }
-    Ok((config, port_file))
+    if let Some(port) = pgwire_port {
+        // The pgwire front binds the same host as the JSON front.
+        let host = config
+            .addr
+            .rsplit_once(':')
+            .map(|(host, _)| host)
+            .unwrap_or("127.0.0.1");
+        config.pgwire_addr = Some(format!("{host}:{port}"));
+    }
+    Ok(Parsed {
+        config,
+        port_file,
+        pgwire_port_file,
+    })
+}
+
+fn write_port_file(path: &str, addr: std::net::SocketAddr) -> Result<(), String> {
+    std::fs::write(path, format!("{addr}\n"))
+        .map_err(|e| format!("uu-server: cannot write port file {path}: {e}"))
 }
 
 fn main() -> ExitCode {
-    let (config, port_file) = match parse_args() {
+    let parsed = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    let config = parsed.config;
     let workers = config.effective_workers();
     let handle = match spawn(config.clone()) {
         Ok(handle) => handle,
@@ -87,15 +137,30 @@ fn main() -> ExitCode {
         }
     };
     let addr = handle.addr();
-    if let Some(path) = port_file {
-        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
-            eprintln!("uu-server: cannot write port file {path}: {e}");
+    if let Some(path) = parsed.port_file {
+        if let Err(message) = write_port_file(&path, addr) {
+            eprintln!("{message}");
+            handle.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    if let (Some(path), Some(pg_addr)) = (parsed.pgwire_port_file, handle.pgwire_addr()) {
+        if let Err(message) = write_port_file(&path, pg_addr) {
+            eprintln!("{message}");
             handle.shutdown();
             return ExitCode::FAILURE;
         }
     }
     println!(
-        "uu-server listening on {addr} (workers={workers}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
+        "uu-server listening on {addr} (pgwire={}, workers={workers}, max_frame_bytes={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
+        handle
+            .pgwire_addr()
+            .map_or_else(|| "off".to_string(), |a| a.to_string()),
+        if config.max_frame_bytes == 0 {
+            uu_server::service::DEFAULT_MAX_FRAME_BYTES
+        } else {
+            config.max_frame_bytes
+        },
         config.cache_capacity,
         config
             .cache_bytes

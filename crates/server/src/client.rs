@@ -5,7 +5,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    ProtoError, QueryReply, QueryRequest, Request, Response, StatsReply, WireError,
+    ProtoError, QueryReply, QueryRequest, Request, Response, ServerInfoReply, StatsReply, WireError,
 };
 
 /// Client-side failure: transport, framing, or a structured server error
@@ -127,6 +127,97 @@ impl Client {
                 already_cached,
                 ..
             } => Ok((universes, already_cached)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Opens a named server-side session with a pinned estimator selection;
+    /// returns the resolved estimator names.
+    pub fn session_open(
+        &mut self,
+        name: &str,
+        estimators: &[&str],
+    ) -> Result<Vec<String>, ClientError> {
+        match self.request(&Request::SessionOpen {
+            name: name.to_string(),
+            estimators: estimators.iter().map(|s| s.to_string()).collect(),
+        })? {
+            Response::SessionOpened { estimators, .. } => Ok(estimators),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Closes a named session; returns how many prepared queries it dropped.
+    pub fn session_close(&mut self, name: &str) -> Result<u64, ClientError> {
+        match self.request(&Request::SessionClose {
+            name: name.to_string(),
+        })? {
+            Response::SessionClosed {
+                prepared_dropped, ..
+            } => Ok(prepared_dropped),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Prepares a statement inside a named session; returns
+    /// `(universes, already_cached)`.
+    pub fn prepare(
+        &mut self,
+        session: &str,
+        name: &str,
+        sql: &str,
+    ) -> Result<(u64, bool), ClientError> {
+        match self.request(&Request::Prepare {
+            session: session.to_string(),
+            name: name.to_string(),
+            sql: sql.to_string(),
+        })? {
+            Response::Prepared {
+                universes,
+                already_cached,
+                ..
+            } => Ok((universes, already_cached)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Executes a prepared statement; the reply shape matches
+    /// [`Client::query`].
+    pub fn execute_prepared(
+        &mut self,
+        session: &str,
+        name: &str,
+    ) -> Result<QueryReply, ClientError> {
+        match self.request(&Request::ExecutePrepared {
+            session: session.to_string(),
+            name: name.to_string(),
+        })? {
+            Response::Query(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Drops one prepared statement from a session.
+    pub fn deallocate(&mut self, session: &str, name: &str) -> Result<(), ClientError> {
+        match self.request(&Request::Deallocate {
+            session: session.to_string(),
+            name: name.to_string(),
+        })? {
+            Response::Deallocated { .. } => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Fetches the server identity (version, uptime, sessions, fronts).
+    pub fn server_info(&mut self) -> Result<ServerInfoReply, ClientError> {
+        match self.request(&Request::ServerInfo)? {
+            Response::Info(info) => Ok(info),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Unexpected(other.encode())),
         }

@@ -3,16 +3,24 @@
 //! The paper's workflow (Chung et al., SIGMOD 2016) is interactive: an
 //! analyst repeatedly issues aggregate queries against an integrated dataset
 //! and reads unknown-unknowns-corrected answers back. This crate is that
-//! deployment shape — one resident process owning a [`uu_query::Catalog`],
-//! a line-delimited JSON protocol over TCP (std-only; the build is offline),
-//! and per-connection estimation sessions resolved through the
-//! `uu_core::engine` registry.
+//! deployment shape — one resident process owning a [`uu_query::Catalog`]
+//! behind a **transport-agnostic service layer**, with two wire fronts over
+//! the same dispatch (std-only; the build is offline).
 //!
+//! * [`service`] — the server core: [`service::Service`] (catalog, limits,
+//!   counters, named sessions, prepared queries) and
+//!   [`service::Service::dispatch`], a total `Request → Response` function
+//!   with no socket types anywhere. Every front routes through it.
 //! * [`protocol`] — the typed request/response structs and their wire
 //!   encoding, shared by server, client, tests and benches.
-//! * [`server`] — the accept loop, the fixed handler pool (sized to the
-//!   shared executor budget; no per-connection spawn) and request dispatch.
-//! * [`client`] — a blocking client for the protocol.
+//! * [`server`] — the transport layer: accept loops, the fixed handler pool
+//!   (sized to the shared executor budget; no per-connection spawn) and the
+//!   line-JSON framing.
+//! * [`pgwire`] — the pgwire-lite front: hand-rolled PostgreSQL wire
+//!   messages (startup/auth-ok, simple query, error responses) over the same
+//!   service, plus the raw-socket driver the tests and CI use instead of
+//!   `psql`.
+//! * [`client`] — a blocking client for the JSON protocol.
 //! * [`json`] — the minimal JSON substrate with exact `f64` round-trips.
 //!
 //! # Quick start
@@ -33,8 +41,11 @@
 
 pub mod client;
 pub mod json;
+pub mod pgwire;
 pub mod protocol;
 pub mod server;
+pub mod service;
 
 pub use client::{Client, ClientError};
 pub use server::{spawn, spawn_with_catalog, ServerConfig, ServerHandle};
+pub use service::{Service, SessionCtx};

@@ -20,8 +20,10 @@ use uu_query::exec::{ExecError, QueryResult};
 use uu_query::value::Value;
 
 /// Protocol revision; bumped on incompatible changes. Servers echo it in
-/// `stats` responses.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// `stats` responses. Revision 2 added named server-side sessions, prepared
+/// queries, `server_info`, per-session counters in `stats`, and the
+/// `frame_too_large` error code.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Decode failure for a request or response line.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +51,16 @@ fn req_str(obj: &Json, field: &str) -> Result<String, ProtoError> {
     obj.get(field)
         .and_then(Json::as_str)
         .map(str::to_string)
+        .ok_or_else(|| missing(field))
+}
+
+fn req_str_arr(obj: &Json, field: &str) -> Result<Vec<String>, ProtoError> {
+    obj.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing(field))?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<Vec<_>>>()
         .ok_or_else(|| missing(field))
 }
 
@@ -127,6 +139,49 @@ pub enum Request {
         /// The SQL whose selection should be captured.
         sql: String,
     },
+    /// Open a named server-side session with a pinned estimator selection.
+    /// Sessions are addressed by name from any connection and hold the
+    /// session's prepared queries.
+    SessionOpen {
+        /// Session name (unique among open sessions).
+        name: String,
+        /// Estimator names pinned for the session's lifetime; the first is
+        /// the primary correction for every `execute_prepared`.
+        estimators: Vec<String>,
+    },
+    /// Close a named session, dropping its prepared queries.
+    SessionClose {
+        /// Session name.
+        name: String,
+    },
+    /// Parse and freeze a query inside a named session: the SQL is parsed
+    /// once and its selection snapshots are captured, so repeated
+    /// `execute_prepared` calls skip the parser entirely.
+    Prepare {
+        /// Owning session.
+        session: String,
+        /// Statement name (unique within the session).
+        name: String,
+        /// The SQL text to freeze.
+        sql: String,
+    },
+    /// Execute a prepared query; answers with the same `query` response
+    /// shape as [`Request::Query`].
+    ExecutePrepared {
+        /// Owning session.
+        session: String,
+        /// Statement name.
+        name: String,
+    },
+    /// Drop one prepared query from a session.
+    Deallocate {
+        /// Owning session.
+        session: String,
+        /// Statement name.
+        name: String,
+    },
+    /// Server identity: version, uptime, active sessions, enabled fronts.
+    ServerInfo,
     /// Server / cache / executor counters.
     Stats,
     /// Liveness probe.
@@ -176,6 +231,35 @@ impl Request {
                 ("op", Json::Str("warm".into())),
                 ("sql", Json::Str(sql.clone())),
             ]),
+            Request::SessionOpen { name, estimators } => Json::obj([
+                ("op", Json::Str("session_open".into())),
+                ("name", Json::Str(name.clone())),
+                (
+                    "estimators",
+                    Json::Arr(estimators.iter().map(|e| Json::Str(e.clone())).collect()),
+                ),
+            ]),
+            Request::SessionClose { name } => Json::obj([
+                ("op", Json::Str("session_close".into())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Request::Prepare { session, name, sql } => Json::obj([
+                ("op", Json::Str("prepare".into())),
+                ("session", Json::Str(session.clone())),
+                ("name", Json::Str(name.clone())),
+                ("sql", Json::Str(sql.clone())),
+            ]),
+            Request::ExecutePrepared { session, name } => Json::obj([
+                ("op", Json::Str("execute_prepared".into())),
+                ("session", Json::Str(session.clone())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Request::Deallocate { session, name } => Json::obj([
+                ("op", Json::Str("deallocate".into())),
+                ("session", Json::Str(session.clone())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Request::ServerInfo => Json::obj([("op", Json::Str("server_info".into()))]),
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
             Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
@@ -237,6 +321,39 @@ impl Request {
             "warm" => Ok(Request::Warm {
                 sql: req_str(&json, "sql")?,
             }),
+            "session_open" => {
+                let estimators = match json.get("estimators") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or_else(|| missing("estimators"))?
+                        .iter()
+                        .map(|e| e.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| missing("estimators"))?,
+                };
+                Ok(Request::SessionOpen {
+                    name: req_str(&json, "name")?,
+                    estimators,
+                })
+            }
+            "session_close" => Ok(Request::SessionClose {
+                name: req_str(&json, "name")?,
+            }),
+            "prepare" => Ok(Request::Prepare {
+                session: req_str(&json, "session")?,
+                name: req_str(&json, "name")?,
+                sql: req_str(&json, "sql")?,
+            }),
+            "execute_prepared" => Ok(Request::ExecutePrepared {
+                session: req_str(&json, "session")?,
+                name: req_str(&json, "name")?,
+            }),
+            "deallocate" => Ok(Request::Deallocate {
+                session: req_str(&json, "session")?,
+                name: req_str(&json, "name")?,
+            }),
+            "server_info" => Ok(Request::ServerInfo),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -266,6 +383,19 @@ pub enum ErrorCode {
     Csv,
     /// `load_csv` without `append` over an existing table.
     DuplicateTable,
+    /// The named server-side session does not exist.
+    UnknownSession,
+    /// `session_open` with a name that is already open.
+    DuplicateSession,
+    /// The named prepared query does not exist in the session.
+    UnknownPrepared,
+    /// `prepare` with a statement name that already exists in the session.
+    DuplicatePrepared,
+    /// An inbound frame exceeded the server's frame-size limit.
+    FrameTooLarge,
+    /// A server-side resource cap was hit (open sessions, prepared
+    /// statements per session).
+    ResourceLimit,
     /// Anything else (a bug if ever observed).
     Internal,
 }
@@ -281,8 +411,34 @@ impl ErrorCode {
             ErrorCode::Table => "table",
             ErrorCode::Csv => "csv",
             ErrorCode::DuplicateTable => "duplicate_table",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::DuplicateSession => "duplicate_session",
+            ErrorCode::UnknownPrepared => "unknown_prepared",
+            ErrorCode::DuplicatePrepared => "duplicate_prepared",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::ResourceLimit => "resource_limit",
             ErrorCode::Internal => "internal",
         }
+    }
+
+    /// Every code, for exhaustive round-trip tests.
+    pub const fn all() -> [ErrorCode; 14] {
+        [
+            ErrorCode::MalformedRequest,
+            ErrorCode::Parse,
+            ErrorCode::UnknownTable,
+            ErrorCode::UnknownEstimator,
+            ErrorCode::Table,
+            ErrorCode::Csv,
+            ErrorCode::DuplicateTable,
+            ErrorCode::UnknownSession,
+            ErrorCode::DuplicateSession,
+            ErrorCode::UnknownPrepared,
+            ErrorCode::DuplicatePrepared,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::ResourceLimit,
+            ErrorCode::Internal,
+        ]
     }
 
     /// Parses the wire spelling.
@@ -295,6 +451,12 @@ impl ErrorCode {
             "table" => ErrorCode::Table,
             "csv" => ErrorCode::Csv,
             "duplicate_table" => ErrorCode::DuplicateTable,
+            "unknown_session" => ErrorCode::UnknownSession,
+            "duplicate_session" => ErrorCode::DuplicateSession,
+            "unknown_prepared" => ErrorCode::UnknownPrepared,
+            "duplicate_prepared" => ErrorCode::DuplicatePrepared,
+            "frame_too_large" => ErrorCode::FrameTooLarge,
+            "resource_limit" => ErrorCode::ResourceLimit,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -691,6 +853,24 @@ pub struct WireExecStats {
     pub peak_workers: u64,
 }
 
+/// One named session's counters in a `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSessionStats {
+    /// Session name.
+    pub name: String,
+    /// Pinned estimator names, in request order.
+    pub estimators: Vec<String>,
+    /// Prepared queries currently held.
+    pub prepared: u64,
+    /// `execute_prepared` calls served.
+    pub executes: u64,
+    /// Executions answered straight from a statement's frozen snapshots
+    /// (no profile-cache lookup at all).
+    pub frozen_hits: u64,
+    /// Milliseconds since the session was opened.
+    pub age_ms: u64,
+}
+
 /// A `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsReply {
@@ -708,10 +888,29 @@ pub struct StatsReply {
     pub errors: u64,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
+    /// Per-session counters for every open named session, sorted by name.
+    pub sessions: Vec<WireSessionStats>,
     /// Profile-cache counters.
     pub cache: WireCacheStats,
     /// Shared-executor counters.
     pub exec: WireExecStats,
+}
+
+/// A `server_info` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerInfoReply {
+    /// Server (crate) version.
+    pub version: String,
+    /// Protocol revision.
+    pub protocol: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Open named sessions.
+    pub active_sessions: u64,
+    /// Enabled transport fronts (e.g. `json`, `pgwire`).
+    pub fronts: Vec<String>,
+    /// Connection-handler pool size.
+    pub workers: u64,
 }
 
 /// One server response line.
@@ -737,6 +936,42 @@ pub enum Response {
         /// Whether the selection was already cached.
         already_cached: bool,
     },
+    /// Answer to [`Request::SessionOpen`].
+    SessionOpened {
+        /// Session name.
+        name: String,
+        /// Pinned estimator names as resolved by the registry.
+        estimators: Vec<String>,
+    },
+    /// Answer to [`Request::SessionClose`].
+    SessionClosed {
+        /// Session name.
+        name: String,
+        /// Prepared queries dropped with the session.
+        prepared_dropped: u64,
+    },
+    /// Answer to [`Request::Prepare`].
+    Prepared {
+        /// Owning session.
+        session: String,
+        /// Statement name.
+        name: String,
+        /// Echo of the frozen SQL.
+        sql: String,
+        /// Estimation universes captured by the frozen selection.
+        universes: u64,
+        /// Whether the selection was already in the profile cache.
+        already_cached: bool,
+    },
+    /// Answer to [`Request::Deallocate`].
+    Deallocated {
+        /// Owning session.
+        session: String,
+        /// Statement name.
+        name: String,
+    },
+    /// Answer to [`Request::ServerInfo`].
+    Info(ServerInfoReply),
     /// Answer to [`Request::Stats`].
     Stats(StatsReply),
     /// Answer to [`Request::Ping`].
@@ -795,6 +1030,58 @@ impl Response {
                 ("universes", Json::Int(*universes as i64)),
                 ("already_cached", Json::Bool(*already_cached)),
             ]),
+            Response::SessionOpened { name, estimators } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("session_open".into())),
+                ("name", Json::Str(name.clone())),
+                (
+                    "estimators",
+                    Json::Arr(estimators.iter().map(|e| Json::Str(e.clone())).collect()),
+                ),
+            ]),
+            Response::SessionClosed {
+                name,
+                prepared_dropped,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("session_close".into())),
+                ("name", Json::Str(name.clone())),
+                ("prepared_dropped", Json::Int(*prepared_dropped as i64)),
+            ]),
+            Response::Prepared {
+                session,
+                name,
+                sql,
+                universes,
+                already_cached,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("prepare".into())),
+                ("session", Json::Str(session.clone())),
+                ("name", Json::Str(name.clone())),
+                ("sql", Json::Str(sql.clone())),
+                ("universes", Json::Int(*universes as i64)),
+                ("already_cached", Json::Bool(*already_cached)),
+            ]),
+            Response::Deallocated { session, name } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("deallocate".into())),
+                ("session", Json::Str(session.clone())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Response::Info(i) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("server_info".into())),
+                ("version", Json::Str(i.version.clone())),
+                ("protocol", Json::Int(i.protocol as i64)),
+                ("uptime_ms", Json::Int(i.uptime_ms as i64)),
+                ("active_sessions", Json::Int(i.active_sessions as i64)),
+                (
+                    "fronts",
+                    Json::Arr(i.fronts.iter().map(|f| Json::Str(f.clone())).collect()),
+                ),
+                ("workers", Json::Int(i.workers as i64)),
+            ]),
             Response::Stats(s) => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("op", Json::Str("stats".into())),
@@ -808,6 +1095,32 @@ impl Response {
                 ("requests", Json::Int(s.requests as i64)),
                 ("errors", Json::Int(s.errors as i64)),
                 ("uptime_ms", Json::Int(s.uptime_ms as i64)),
+                (
+                    "sessions",
+                    Json::Arr(
+                        s.sessions
+                            .iter()
+                            .map(|sess| {
+                                Json::obj([
+                                    ("name", Json::Str(sess.name.clone())),
+                                    (
+                                        "estimators",
+                                        Json::Arr(
+                                            sess.estimators
+                                                .iter()
+                                                .map(|e| Json::Str(e.clone()))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    ("prepared", Json::Int(sess.prepared as i64)),
+                                    ("executes", Json::Int(sess.executes as i64)),
+                                    ("frozen_hits", Json::Int(sess.frozen_hits as i64)),
+                                    ("age_ms", Json::Int(sess.age_ms as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
                 (
                     "cache",
                     Json::obj([
@@ -927,24 +1240,61 @@ impl Response {
                 universes: req_u64(&json, "universes")?,
                 already_cached: opt_bool(&json, "already_cached", false)?,
             }),
+            "session_open" => Ok(Response::SessionOpened {
+                name: req_str(&json, "name")?,
+                estimators: req_str_arr(&json, "estimators")?,
+            }),
+            "session_close" => Ok(Response::SessionClosed {
+                name: req_str(&json, "name")?,
+                prepared_dropped: req_u64(&json, "prepared_dropped")?,
+            }),
+            "prepare" => Ok(Response::Prepared {
+                session: req_str(&json, "session")?,
+                name: req_str(&json, "name")?,
+                sql: req_str(&json, "sql")?,
+                universes: req_u64(&json, "universes")?,
+                already_cached: opt_bool(&json, "already_cached", false)?,
+            }),
+            "deallocate" => Ok(Response::Deallocated {
+                session: req_str(&json, "session")?,
+                name: req_str(&json, "name")?,
+            }),
+            "server_info" => Ok(Response::Info(ServerInfoReply {
+                version: req_str(&json, "version")?,
+                protocol: req_u64(&json, "protocol")?,
+                uptime_ms: req_u64(&json, "uptime_ms")?,
+                active_sessions: req_u64(&json, "active_sessions")?,
+                fronts: req_str_arr(&json, "fronts")?,
+                workers: req_u64(&json, "workers")?,
+            })),
             "stats" => {
                 let cache = json.get("cache").ok_or_else(|| missing("cache"))?;
                 let exec = json.get("exec").ok_or_else(|| missing("exec"))?;
+                let sessions = json
+                    .get("sessions")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing("sessions"))?
+                    .iter()
+                    .map(|sess| {
+                        Ok(WireSessionStats {
+                            name: req_str(sess, "name")?,
+                            estimators: req_str_arr(sess, "estimators")?,
+                            prepared: req_u64(sess, "prepared")?,
+                            executes: req_u64(sess, "executes")?,
+                            frozen_hits: req_u64(sess, "frozen_hits")?,
+                            age_ms: req_u64(sess, "age_ms")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
                 Ok(Response::Stats(StatsReply {
                     protocol: req_u64(&json, "protocol")?,
-                    tables: json
-                        .get("tables")
-                        .and_then(Json::as_arr)
-                        .ok_or_else(|| missing("tables"))?
-                        .iter()
-                        .map(|t| t.as_str().map(str::to_string))
-                        .collect::<Option<Vec<_>>>()
-                        .ok_or_else(|| missing("tables"))?,
+                    tables: req_str_arr(&json, "tables")?,
                     workers: req_u64(&json, "workers")?,
                     connections: req_u64(&json, "connections")?,
                     requests: req_u64(&json, "requests")?,
                     errors: req_u64(&json, "errors")?,
                     uptime_ms: req_u64(&json, "uptime_ms")?,
+                    sessions,
                     cache: WireCacheStats {
                         hits: req_u64(cache, "hits")?,
                         misses: req_u64(cache, "misses")?,
@@ -998,6 +1348,31 @@ mod tests {
             Request::Warm {
                 sql: "SELECT SUM(v) FROM t".into(),
             },
+            Request::SessionOpen {
+                name: "analyst-1".into(),
+                estimators: vec!["bucket".into(), "monte-carlo".into()],
+            },
+            Request::SessionOpen {
+                name: "bare".into(),
+                estimators: Vec::new(),
+            },
+            Request::SessionClose {
+                name: "analyst-1".into(),
+            },
+            Request::Prepare {
+                session: "analyst-1".into(),
+                name: "q1".into(),
+                sql: "SELECT SUM(v) FROM t WHERE v < 10".into(),
+            },
+            Request::ExecutePrepared {
+                session: "analyst-1".into(),
+                name: "q1".into(),
+            },
+            Request::Deallocate {
+                session: "analyst-1".into(),
+                name: "q1".into(),
+            },
+            Request::ServerInfo,
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -1105,6 +1480,33 @@ mod tests {
                 universes: 4,
                 already_cached: true,
             },
+            Response::SessionOpened {
+                name: "analyst-1".into(),
+                estimators: vec!["bucket".into(), "naive".into()],
+            },
+            Response::SessionClosed {
+                name: "analyst-1".into(),
+                prepared_dropped: 2,
+            },
+            Response::Prepared {
+                session: "analyst-1".into(),
+                name: "q1".into(),
+                sql: "SELECT SUM(v) FROM t".into(),
+                universes: 1,
+                already_cached: false,
+            },
+            Response::Deallocated {
+                session: "analyst-1".into(),
+                name: "q1".into(),
+            },
+            Response::Info(ServerInfoReply {
+                version: "0.1.0".into(),
+                protocol: PROTOCOL_VERSION,
+                uptime_ms: 12,
+                active_sessions: 3,
+                fronts: vec!["json".into(), "pgwire".into()],
+                workers: 4,
+            }),
             Response::Pong,
             Response::Bye,
             Response::Error(WireError::unknown_estimator(&UnknownEstimator {
@@ -1129,6 +1531,14 @@ mod tests {
             requests: 25,
             errors: 2,
             uptime_ms: 1234,
+            sessions: vec![WireSessionStats {
+                name: "analyst-1".into(),
+                estimators: vec!["bucket".into()],
+                prepared: 2,
+                executes: 40,
+                frozen_hits: 38,
+                age_ms: 600,
+            }],
             cache: WireCacheStats {
                 hits: 7,
                 misses: 3,
@@ -1152,6 +1562,14 @@ mod tests {
             },
         });
         assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn every_error_code_round_trips_its_wire_spelling() {
+        for code in ErrorCode::all() {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("no_such_code"), None);
     }
 
     #[test]

@@ -1,67 +1,44 @@
-//! The long-running estimation server.
+//! The transport layer: listeners, the fixed handler pool, and the
+//! line-JSON framing.
 //!
-//! One process owns a shared [`Catalog`] behind an `RwLock`: queries, warms
-//! and stats take the read lock (the embedded profile cache is internally
-//! synchronised, so concurrent readers serve cache hits without writer
-//! involvement), `load_csv` takes the write lock. A bound [`TcpListener`]
-//! feeds accepted connections into a queue drained by a **fixed pool of
-//! handler threads sized to the shared executor budget** (`UU_THREADS`) —
-//! there is no per-connection spawn, and each handler runs its connection
-//! inside [`Executor::run_inline`], so the statistics work it triggers runs
-//! inline on the handler itself instead of borrowing pool helpers.
-//! Concurrency across connections *is* the parallelism; a fleet of clients
-//! therefore never sees more than the executor budget of compute threads,
-//! which the concurrent-connection integration test pins via
-//! `exec::global().metrics().peak_workers`.
+//! Everything the server *means* lives in [`crate::service`] — this module
+//! only owns sockets. A bound [`TcpListener`] per enabled front (line-JSON
+//! always; pgwire-lite with [`ServerConfig::pgwire_addr`]) feeds accepted
+//! connections into **one** queue drained by a fixed pool of handler threads
+//! sized to the shared executor budget (`UU_THREADS`) — there is no
+//! per-connection spawn, and each handler runs its connection inside
+//! [`Executor::run_inline`], so the statistics work it triggers runs inline
+//! on the handler itself instead of borrowing pool helpers. Concurrency
+//! across connections *is* the parallelism; a fleet of clients on either
+//! front (or both at once) never sees more than the executor budget of
+//! compute threads, which the concurrent-connection integration test pins
+//! via `exec::global().metrics().peak_workers`.
 //!
-//! Per connection the server keeps an [`EstimationSession`] memo: repeated
-//! requests naming the same estimator set reuse the built session across
-//! requests (sessions are built per estimator-set, not per request).
-//!
-//! Query execution fetches the selection once through
-//! [`Catalog::selection_sql`] and evaluates it with
-//! [`uu_query::exec::results_from_selection`] — the exact computation step
-//! behind [`Catalog::execute_sql_cached`] /
-//! [`Catalog::execute_sql_grouped_cached`], so answers are bit-for-bit what
-//! those methods return while cache counters record exactly one lookup per
-//! request. A repeated query thaws the selection's frozen
-//! [`ProfileSnapshot`]s in microseconds, and the same snapshots feed the
-//! per-estimator session fan-out, so the response's Δ table costs zero
-//! extra statistics builds.
-//!
-//! [`ProfileSnapshot`]: uu_core::profile::ProfileSnapshot
+//! The line-JSON front here is deliberately thin: read one newline-framed
+//! line (bounded by [`Service::max_frame_bytes`]; an oversized frame answers
+//! a structured `frame_too_large` error), hand it to
+//! [`Service::dispatch_line`], write the response line back. The pgwire
+//! framing lives in [`crate::pgwire`] and routes through the same
+//! [`Service::dispatch`].
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crate::protocol::{
-    ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response, StatsReply,
-    WireCacheStats, WireError, WireEstimate, WireExecStats, WireResult, WireValue,
-    PROTOCOL_VERSION,
-};
-use uu_core::engine::{EstimationSession, EstimatorKind};
+use crate::pgwire::PgwireConn;
+use crate::protocol::{ErrorCode, Response, WireError};
+use crate::service::{Service, SessionCtx};
 use uu_query::catalog::Catalog;
-use uu_query::csv::load_observations;
-use uu_query::exec::{CorrectionMethod, GroupResult, QueryProfileCache};
-use uu_query::schema::{ColumnType, Schema};
-use uu_query::sql::parse;
-use uu_query::table::IntegratedTable;
-use uu_query::value::Value;
+use uu_query::exec::QueryProfileCache;
 use uu_stats::exec::Executor;
 
 /// How long blocking socket operations wait before re-checking the shutdown
 /// flag (accept poll, connection reads).
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
-
-/// Maximum bytes of one request line. Generous (whole CSV documents travel
-/// in one line) but bounded, so a peer streaming newline-free bytes cannot
-/// grow server memory without limit.
-const MAX_LINE_BYTES: usize = 64 << 20;
 
 /// Server configuration; every field has a production-safe default.
 #[derive(Debug, Clone)]
@@ -69,9 +46,16 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (read it back from
     /// [`ServerHandle::addr`]).
     pub addr: String,
+    /// Optional bind address for the pgwire-lite front (`--pgwire-port`);
+    /// `None` leaves it disabled.
+    pub pgwire_addr: Option<String>,
     /// Connection-handler pool size; 0 means the shared executor budget
     /// (`UU_THREADS` / detected cores).
     pub workers: usize,
+    /// Bound on one inbound frame (a JSON request line or a pgwire message);
+    /// 0 means [`crate::service::DEFAULT_MAX_FRAME_BYTES`]. Oversized frames
+    /// answer a structured `frame_too_large` error.
+    pub max_frame_bytes: usize,
     /// Profile-cache entry capacity.
     pub cache_capacity: usize,
     /// Optional profile-cache byte budget (`--cache-bytes`).
@@ -84,7 +68,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            pgwire_addr: None,
             workers: 0,
+            max_frame_bytes: 0,
             cache_capacity: uu_core::profile::DEFAULT_PROFILE_CACHE_CAPACITY,
             cache_bytes: None,
             cache_ttl: None,
@@ -120,60 +106,70 @@ impl ServerConfig {
     }
 }
 
-/// One live connection as the pool sees it: the stream plus everything that
-/// must survive a requeue — buffered bytes that arrived ahead of a newline,
-/// and the connection's estimation-session memo.
-struct Conn {
+/// One live connection as the pool sees it: each variant carries its
+/// framing state and the per-client [`SessionCtx`], so connections survive
+/// a requeue mid-stream.
+enum Connection {
+    /// Line-JSON protocol.
+    Json(JsonConn),
+    /// pgwire-lite protocol.
+    Pgwire(PgwireConn),
+}
+
+/// A line-JSON connection: the stream plus everything that must survive a
+/// requeue — buffered bytes that arrived ahead of a newline, and the
+/// per-client service context.
+struct JsonConn {
     stream: TcpStream,
     /// Bytes read but not yet consumed as a full line.
     pending: Vec<u8>,
-    /// Per-connection session memo: rebuilt only when a request names a
-    /// different estimator set than the previous one.
-    session: Option<(Vec<EstimatorKind>, EstimationSession)>,
+    /// Per-client dispatch state (ad-hoc estimator memo).
+    ctx: SessionCtx,
 }
 
-impl Conn {
+impl JsonConn {
     fn new(stream: TcpStream) -> Self {
-        Conn {
+        JsonConn {
             stream,
             pending: Vec::new(),
-            session: None,
+            ctx: SessionCtx::new(),
         }
     }
 }
 
-/// Shared state between the accept loop, the handler pool and the owner.
-struct ServerState {
-    catalog: RwLock<Catalog>,
+/// Shared state between the accept loops, the handler pool and the owner.
+/// Transport-only: the meaning of requests lives in the [`Service`].
+pub struct ServerState {
+    service: Arc<Service>,
     shutdown: AtomicBool,
-    connections: AtomicU64,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    queue: Mutex<VecDeque<Conn>>,
+    queue: Mutex<VecDeque<Connection>>,
     available: Condvar,
-    workers: usize,
-    started: Instant,
 }
 
 impl ServerState {
-    fn initiate_shutdown(&self) {
+    /// The transport-agnostic core every front dispatches through.
+    pub(crate) fn service(&self) -> &Service {
+        &self.service
+    }
+
+    pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake every handler blocked on the queue so it can observe the flag.
         self.available.notify_all();
     }
 
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
     /// True when another connection is waiting for a handler — the signal
     /// for a handler to requeue its current (idle or just-served) connection
     /// and multiplex instead of monopolising itself.
-    fn has_waiters(&self) -> bool {
+    pub(crate) fn has_waiters(&self) -> bool {
         !self.queue.lock().expect("connection queue lock").is_empty()
     }
 
-    fn enqueue(&self, conn: Conn) {
+    fn enqueue(&self, conn: Connection) {
         let mut queue = self.queue.lock().expect("connection queue lock");
         queue.push_back(conn);
         drop(queue);
@@ -181,18 +177,31 @@ impl ServerState {
     }
 }
 
-/// A running server: bound address plus the thread handles.
+/// A running server: bound addresses plus the thread handles.
 pub struct ServerHandle {
     addr: SocketAddr,
+    pgwire_addr: Option<SocketAddr>,
     state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    accepts: Vec<JoinHandle<()>>,
     handlers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// The bound address (resolves port 0 to the actual ephemeral port).
+    /// The bound line-JSON address (resolves port 0 to the actual ephemeral
+    /// port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound pgwire-lite address, when that front is enabled.
+    pub fn pgwire_addr(&self) -> Option<SocketAddr> {
+        self.pgwire_addr
+    }
+
+    /// The service behind this server, for embedded callers that want to
+    /// dispatch without a socket.
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.state.service)
     }
 
     /// Asks the server to stop (idempotent; also triggered by the `shutdown`
@@ -204,7 +213,7 @@ impl ServerHandle {
     /// Blocks until the server exits (a client sent `shutdown`, or
     /// [`ServerHandle::request_shutdown`] ran).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
+        for accept in self.accepts.drain(..) {
             let _ = accept.join();
         }
         for handler in self.handlers.drain(..) {
@@ -240,23 +249,48 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
     let listener = bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let pgwire_listener = match &config.pgwire_addr {
+        Some(addr) => {
+            let listener = bind(addr)?;
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        }
+        None => None,
+    };
+    let pgwire_addr = pgwire_listener
+        .as_ref()
+        .map(|l| l.local_addr())
+        .transpose()?;
+
     let workers = config.effective_workers().max(1);
+    let service = Arc::new(Service::new(catalog, config.max_frame_bytes));
+    service.set_workers(workers);
+    service.register_front("json");
+    if pgwire_listener.is_some() {
+        service.register_front("pgwire");
+    }
     let state = Arc::new(ServerState {
-        catalog: RwLock::new(catalog),
+        service,
         shutdown: AtomicBool::new(false),
-        connections: AtomicU64::new(0),
-        requests: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
-        workers,
-        started: Instant::now(),
     });
 
+    let mut accepts = Vec::new();
     let accept_state = Arc::clone(&state);
-    let accept = std::thread::Builder::new()
-        .name("uu-server-accept".to_string())
-        .spawn(move || accept_loop(&accept_state, listener))?;
+    accepts.push(
+        std::thread::Builder::new()
+            .name("uu-server-accept".to_string())
+            .spawn(move || accept_loop(&accept_state, listener, Connection::json))?,
+    );
+    if let Some(listener) = pgwire_listener {
+        let accept_state = Arc::clone(&state);
+        accepts.push(
+            std::thread::Builder::new()
+                .name("uu-server-pgwire-accept".to_string())
+                .spawn(move || accept_loop(&accept_state, listener, Connection::pgwire))?,
+        );
+    }
 
     let mut handlers = Vec::with_capacity(workers);
     for i in 0..workers {
@@ -270,10 +304,21 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
 
     Ok(ServerHandle {
         addr,
+        pgwire_addr,
         state,
-        accept: Some(accept),
+        accepts,
         handlers,
     })
+}
+
+impl Connection {
+    fn json(stream: TcpStream) -> Connection {
+        Connection::Json(JsonConn::new(stream))
+    }
+
+    fn pgwire(stream: TcpStream) -> Connection {
+        Connection::Pgwire(PgwireConn::new(stream))
+    }
 }
 
 fn bind(addr: &str) -> io::Result<TcpListener> {
@@ -281,15 +326,16 @@ fn bind(addr: &str) -> io::Result<TcpListener> {
     TcpListener::bind(&addrs[..])
 }
 
-/// Accepts connections and hands them to the pool; never spawns.
-fn accept_loop(state: &ServerState, listener: TcpListener) {
+/// Accepts connections for one front and hands them to the shared pool;
+/// never spawns.
+fn accept_loop(state: &ServerState, listener: TcpListener, wrap: fn(TcpStream) -> Connection) {
     while !state.is_shutting_down() {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-                state.connections.fetch_add(1, Ordering::Relaxed);
-                state.enqueue(Conn::new(stream));
+                state.service.connection_opened();
+                state.enqueue(wrap(stream));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -301,12 +347,12 @@ fn accept_loop(state: &ServerState, listener: TcpListener) {
     state.available.notify_all();
 }
 
-/// One resident handler: pop a connection, serve it inside the executor's
-/// inline scope, repeat. A connection that goes idle (or finishes a request)
-/// while other connections wait is **requeued** rather than monopolising the
-/// handler — the fixed pool multiplexes any number of connections over the
-/// executor's thread budget, so more clients than workers make progress
-/// round-robin instead of starving.
+/// One resident handler: pop a connection (either front), serve it inside
+/// the executor's inline scope, repeat. A connection that goes idle (or
+/// finishes a request) while other connections wait is **requeued** rather
+/// than monopolising the handler — the fixed pool multiplexes any number of
+/// connections over the executor's thread budget, so more clients than
+/// workers make progress round-robin instead of starving.
 fn handler_loop(state: &ServerState) {
     loop {
         let conn = {
@@ -337,21 +383,34 @@ fn handler_loop(state: &ServerState) {
     }
 }
 
+/// Serves one connection of either front; `Some` means "requeue me".
+fn serve(state: &ServerState, conn: Connection) -> Option<Connection> {
+    match conn {
+        Connection::Json(conn) => serve_json(state, conn).map(Connection::Json),
+        Connection::Pgwire(conn) => crate::pgwire::serve(state, conn).map(Connection::Pgwire),
+    }
+}
+
 /// Outcome of one blocking line read.
 enum LineRead {
     Line(String),
     TimedOut,
     Closed,
-    /// The peer exceeded [`MAX_LINE_BYTES`] without sending a newline.
+    /// The peer exceeded the frame bound without sending a newline.
     Oversized,
 }
 
 /// Reads one newline-framed request from the connection, buffering partial
 /// lines across calls (and across requeues) in `conn.pending`. Timeouts
 /// surface so the handler can multiplex and re-check the shutdown flag.
-fn read_line(conn: &mut Conn) -> io::Result<LineRead> {
+fn read_line(conn: &mut JsonConn, max_frame: usize) -> io::Result<LineRead> {
     loop {
         if let Some(pos) = conn.pending.iter().position(|&b| b == b'\n') {
+            // The bound is on the line itself, not on read-chunk granularity:
+            // a complete-but-oversized line is rejected too.
+            if pos > max_frame {
+                return Ok(LineRead::Oversized);
+            }
             let mut line: Vec<u8> = conn.pending.drain(..=pos).collect();
             line.pop(); // the newline
             if line.last() == Some(&b'\r') {
@@ -359,7 +418,7 @@ fn read_line(conn: &mut Conn) -> io::Result<LineRead> {
             }
             return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
         }
-        if conn.pending.len() > MAX_LINE_BYTES {
+        if conn.pending.len() > max_frame {
             return Ok(LineRead::Oversized);
         }
         let mut buf = [0u8; 4096];
@@ -377,23 +436,21 @@ fn read_line(conn: &mut Conn) -> io::Result<LineRead> {
     }
 }
 
-/// Serves one connection until the peer closes, an I/O error occurs, the
-/// server shuts down, or another connection needs the handler (in which case
-/// the connection comes back `Some` to be requeued). Protocol errors are
-/// responses, never disconnects.
-fn serve(state: &ServerState, mut conn: Conn) -> Option<Conn> {
+/// Serves one line-JSON connection until the peer closes, an I/O error
+/// occurs, the server shuts down, or another connection needs the handler
+/// (in which case the connection comes back `Some` to be requeued). Protocol
+/// errors are responses, never disconnects; the framing layer's only own
+/// error is the frame bound.
+fn serve_json(state: &ServerState, mut conn: JsonConn) -> Option<JsonConn> {
+    let max_frame = state.service.max_frame_bytes();
     loop {
-        match read_line(&mut conn) {
+        match read_line(&mut conn, max_frame) {
             Ok(LineRead::Line(line)) => {
                 if line.trim().is_empty() {
                     continue;
                 }
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                let response = process(state, &line, &mut conn.session);
+                let response = state.service.dispatch_line(&mut conn.ctx, &line);
                 let shutting_down = matches!(response, Response::Bye);
-                if matches!(response, Response::Error(_)) {
-                    state.errors.fetch_add(1, Ordering::Relaxed);
-                }
                 let mut encoded = response.encode();
                 encoded.push('\n');
                 if conn.stream.write_all(encoded.as_bytes()).is_err()
@@ -422,10 +479,10 @@ fn serve(state: &ServerState, mut conn: Conn) -> Option<Conn> {
             Ok(LineRead::Oversized) => {
                 // Can't resynchronise on a line boundary we never saw:
                 // answer with a structured error, then drop the connection.
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                state.service.note_error();
                 let mut encoded = Response::Error(WireError::new(
-                    ErrorCode::MalformedRequest,
-                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    ErrorCode::FrameTooLarge,
+                    format!("request line exceeds {max_frame} bytes"),
                 ))
                 .encode();
                 encoded.push('\n');
@@ -437,271 +494,6 @@ fn serve(state: &ServerState, mut conn: Conn) -> Option<Conn> {
     }
 }
 
-/// Decodes and dispatches one request line.
-fn process(
-    state: &ServerState,
-    line: &str,
-    session: &mut Option<(Vec<EstimatorKind>, EstimationSession)>,
-) -> Response {
-    let request = match Request::decode(line) {
-        Ok(request) => request,
-        Err(e) => {
-            return Response::Error(WireError::new(ErrorCode::MalformedRequest, e.to_string()))
-        }
-    };
-    match request {
-        Request::Ping => Response::Pong,
-        Request::Shutdown => Response::Bye,
-        Request::Stats => Response::Stats(stats(state)),
-        Request::Warm { sql } => {
-            let catalog = state.catalog.read().expect("catalog lock");
-            match catalog.warm_sql(&sql) {
-                Ok((universes, already_cached)) => Response::Warmed {
-                    sql,
-                    universes: universes as u64,
-                    already_cached,
-                },
-                Err(e) => Response::Error(WireError::from_exec(&e)),
-            }
-        }
-        Request::LoadCsv(load) => match load_csv(state, &load) {
-            Ok(response) => response,
-            Err(e) => Response::Error(e),
-        },
-        Request::Query(query) => match run_query(state, &query, session) {
-            Ok(reply) => Response::Query(reply),
-            Err(e) => Response::Error(e),
-        },
-    }
-}
-
-/// The primary correction a registry kind applies to the aggregate.
-fn correction_for(kind: EstimatorKind) -> CorrectionMethod {
-    match kind {
-        EstimatorKind::Naive => CorrectionMethod::Naive,
-        EstimatorKind::Frequency => CorrectionMethod::Frequency,
-        EstimatorKind::Bucket => CorrectionMethod::Bucket,
-        EstimatorKind::MonteCarlo(cfg) => CorrectionMethod::MonteCarlo(cfg),
-        EstimatorKind::Policy => CorrectionMethod::Auto,
-    }
-}
-
-fn run_query(
-    state: &ServerState,
-    request: &QueryRequest,
-    session_memo: &mut Option<(Vec<EstimatorKind>, EstimationSession)>,
-) -> Result<QueryReply, WireError> {
-    let kinds = request
-        .estimators
-        .iter()
-        .map(|name| EstimatorKind::by_name(name))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| WireError::unknown_estimator(&e))?;
-    let method = kinds
-        .first()
-        .copied()
-        .map(correction_for)
-        .unwrap_or(CorrectionMethod::None);
-    let query = parse(&request.sql).map_err(|e| WireError::new(ErrorCode::Parse, e.to_string()))?;
-    let grouped = query.group_by.is_some();
-
-    // Reuse the connection's session when the estimator set is unchanged.
-    if !kinds.is_empty()
-        && !session_memo
-            .as_ref()
-            .is_some_and(|(memo_kinds, _)| memo_kinds == &kinds)
-    {
-        *session_memo = Some((kinds.clone(), EstimationSession::new(kinds.clone())));
-    }
-    let session =
-        (!kinds.is_empty()).then(|| &session_memo.as_ref().expect("session built above").1);
-
-    let catalog = state.catalog.read().expect("catalog lock");
-    let start = Instant::now();
-    let (rows, estimates, cache_hit): (Vec<GroupResult>, Vec<Vec<WireEstimate>>, bool) = if request
-        .cached
-    {
-        // Fetch-once: exactly one cache lookup per request. The selection's
-        // snapshots feed both the corrected aggregate (the same computation
-        // step `execute_sql_grouped_cached` runs) and the session fan-out,
-        // so cache counters honestly record one miss per cold query and one
-        // hit per repeat.
-        let (snapshots, hit) = catalog
-            .selection_sql(&request.sql)
-            .map_err(|e| WireError::from_exec(&e))?;
-        let rows = uu_query::exec::results_from_selection(&query, &snapshots, method);
-        let estimates = snapshots
-            .iter()
-            .map(|(_, snapshot)| match session {
-                Some(session) => session
-                    .run_profiled(&snapshot.profile())
-                    .iter()
-                    .map(WireEstimate::from_named)
-                    .collect(),
-                None => Vec::new(),
-            })
-            .collect();
-        (rows, estimates, hit)
-    } else {
-        let rows = catalog
-            .execute_sql_grouped(&request.sql, method)
-            .map_err(|e| WireError::from_exec(&e))?;
-        let table = catalog
-            .get(&query.table)
-            .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, &query.table))?;
-        let universes: Vec<(Value, uu_core::sample::SampleView)> = match query.group_by.as_deref() {
-            Some(group_column) => table
-                .grouped_sample_views(query.column.as_deref(), &query.predicate, group_column)
-                .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?,
-            None => vec![(
-                Value::Null,
-                table
-                    .sample_view(query.column.as_deref(), &query.predicate)
-                    .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?,
-            )],
-        };
-        // Pair estimates with result rows **by group key**, not by position:
-        // both derive from the same deterministic grouping today, but the
-        // reply must not silently mis-attribute Δs if that ever changes.
-        let estimates = rows
-            .iter()
-            .map(|row| {
-                let view = universes
-                    .iter()
-                    .find(|(key, _)| *key == row.key)
-                    .map(|(_, view)| view)
-                    .expect("every result row has a matching universe");
-                match session {
-                    Some(session) => session
-                        .run(view)
-                        .iter()
-                        .map(WireEstimate::from_named)
-                        .collect(),
-                    None => Vec::new(),
-                }
-            })
-            .collect();
-        (rows, estimates, false)
-    };
-    let elapsed_us = start.elapsed().as_micros() as u64;
-    debug_assert_eq!(rows.len(), estimates.len());
-    let groups = rows
-        .into_iter()
-        .zip(estimates)
-        .map(|(row, est)| GroupReply {
-            key: WireValue(row.key),
-            result: WireResult::from_result(&row.result, est),
-        })
-        .collect();
-    Ok(QueryReply {
-        sql: request.sql.clone(),
-        cache_hit,
-        elapsed_us,
-        grouped,
-        groups,
-    })
-}
-
-fn parse_column_type(ty: &str) -> Result<ColumnType, WireError> {
-    match ty.to_ascii_lowercase().as_str() {
-        "int" | "integer" => Ok(ColumnType::Int),
-        "float" | "double" | "real" => Ok(ColumnType::Float),
-        "str" | "string" | "text" => Ok(ColumnType::Str),
-        other => Err(WireError::new(
-            ErrorCode::MalformedRequest,
-            format!("unknown column type {other:?} (expected int, float or str)"),
-        )),
-    }
-}
-
-/// Loads a CSV **atomically**: the whole document is ingested into a staged
-/// table (a fresh one, or a clone of the existing one for `append`) and the
-/// catalog is only touched once the load succeeded — a bad row half-way
-/// through a document can never leave a partially-loaded table behind, so a
-/// corrected retry with the same request is always safe.
-fn load_csv(state: &ServerState, load: &LoadCsvRequest) -> Result<Response, WireError> {
-    let mut catalog = state.catalog.write().expect("catalog lock");
-    let exists = catalog.get(&load.table).is_some();
-    if exists && !load.append {
-        return Err(WireError::new(
-            ErrorCode::DuplicateTable,
-            format!(
-                "table {:?} is already registered (set \"append\": true to extend it)",
-                load.table
-            ),
-        ));
-    }
-    let mut staged = if exists {
-        catalog.get(&load.table).expect("checked above").clone()
-    } else {
-        let columns = load
-            .columns
-            .iter()
-            .map(|(name, ty)| Ok((name.clone(), parse_column_type(ty)?)))
-            .collect::<Result<Vec<_>, WireError>>()?;
-        IntegratedTable::new(&load.table, Schema::new(columns), &load.entity_column)
-            .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?
-    };
-    let observations = load_observations(&mut staged, &load.csv, &load.source_column)
-        .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
-    let entities = staged.len() as u64;
-    if exists {
-        // `get_mut` drops the table's cached profiles; the clone carries a
-        // fresh instance id, so no stale entry can match it either way.
-        *catalog.get_mut(&load.table).expect("checked above") = staged;
-    } else {
-        catalog
-            .register(staged)
-            .map_err(|e| WireError::new(ErrorCode::DuplicateTable, e.to_string()))?;
-    }
-    Ok(Response::Loaded {
-        table: load.table.clone(),
-        observations: observations as u64,
-        entities,
-    })
-}
-
-fn stats(state: &ServerState) -> StatsReply {
-    let catalog = state.catalog.read().expect("catalog lock");
-    let cache = catalog.cache();
-    let cache_metrics = cache.metrics();
-    let exec_metrics = uu_core::exec::global().metrics();
-    StatsReply {
-        protocol: PROTOCOL_VERSION,
-        tables: catalog
-            .table_names()
-            .into_iter()
-            .map(str::to_string)
-            .collect(),
-        workers: state.workers as u64,
-        connections: state.connections.load(Ordering::Relaxed),
-        requests: state.requests.load(Ordering::Relaxed),
-        errors: state.errors.load(Ordering::Relaxed),
-        uptime_ms: state.started.elapsed().as_millis() as u64,
-        cache: WireCacheStats {
-            hits: cache_metrics.hits,
-            misses: cache_metrics.misses,
-            insertions: cache_metrics.insertions,
-            evictions: cache_metrics.evictions,
-            invalidations: cache_metrics.invalidations,
-            expirations: cache_metrics.expirations,
-            len: cache_metrics.len as u64,
-            bytes: cache_metrics.bytes as u64,
-            capacity: cache.capacity() as u64,
-            byte_budget: cache.byte_budget().map(|b| b as f64),
-            ttl_ms: cache.ttl().map(|t| t.as_secs_f64() * 1e3),
-        },
-        exec: WireExecStats {
-            threads: exec_metrics.threads as u64,
-            regions: exec_metrics.regions,
-            parallel_regions: exec_metrics.parallel_regions,
-            tasks: exec_metrics.tasks,
-            steals: exec_metrics.steals,
-            peak_workers: exec_metrics.peak_workers as u64,
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -710,6 +502,8 @@ mod tests {
     fn config_defaults_are_sane() {
         let config = ServerConfig::default();
         assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.pgwire_addr, None);
+        assert_eq!(config.max_frame_bytes, 0);
         assert!(config.effective_workers() >= 1);
         let cache = config.build_cache();
         assert_eq!(
@@ -747,29 +541,5 @@ mod tests {
         assert_eq!(cache.capacity(), 7);
         assert_eq!(cache.byte_budget(), Some(1 << 16));
         assert_eq!(cache.ttl(), Some(Duration::from_millis(250)));
-    }
-
-    #[test]
-    fn correction_mapping_covers_every_kind() {
-        for kind in EstimatorKind::all() {
-            let method = correction_for(kind);
-            match kind {
-                EstimatorKind::Policy => assert_eq!(method, CorrectionMethod::Auto),
-                EstimatorKind::Naive => assert_eq!(method, CorrectionMethod::Naive),
-                EstimatorKind::Frequency => assert_eq!(method, CorrectionMethod::Frequency),
-                EstimatorKind::Bucket => assert_eq!(method, CorrectionMethod::Bucket),
-                EstimatorKind::MonteCarlo(cfg) => {
-                    assert_eq!(method, CorrectionMethod::MonteCarlo(cfg))
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn column_types_parse_with_aliases() {
-        assert_eq!(parse_column_type("int").unwrap(), ColumnType::Int);
-        assert_eq!(parse_column_type("Float").unwrap(), ColumnType::Float);
-        assert_eq!(parse_column_type("STRING").unwrap(), ColumnType::Str);
-        assert!(parse_column_type("blob").is_err());
     }
 }

@@ -1,0 +1,816 @@
+//! The transport-agnostic service layer.
+//!
+//! [`Service`] is the whole server with the sockets cut away: it owns the
+//! shared [`Catalog`] behind its `RwLock`, the server-wide limits and
+//! counters, and the registry of **named server-side sessions** (each with a
+//! pinned estimator selection and its prepared queries).
+//! [`Service::dispatch`] is a total function `(&Service, &mut SessionCtx,
+//! Request) -> Response` — every front (the line-JSON framing in
+//! [`crate::server`], the pgwire-lite framing in [`crate::pgwire`], an
+//! embedded caller, a test) routes through this one function, so answers
+//! cannot depend on which wire they arrived on. No socket, listener or
+//! framing type appears in this module; a grep test pins that.
+//!
+//! # Named sessions and prepared queries
+//!
+//! A `session_open` creates a server-side session addressable by name from
+//! any connection: the estimator selection is resolved once
+//! (`EstimatorKind::by_name`) and the [`EstimationSession`] is built once.
+//! `prepare` parses a SQL text once and eagerly captures its selection
+//! snapshots; `execute_prepared` then skips the parser entirely and reuses
+//! the statement's **frozen** [`SelectionSnapshots`] for as long as the
+//! table's `(instance, version)` is unchanged — not even a profile-cache
+//! lookup happens on that path (counted as `frozen_hits` in `stats`). When
+//! the table has moved, the statement re-fetches through the catalog's
+//! profile cache ([`Catalog::selection_query`]) and re-freezes. Either way
+//! the computation step is [`uu_query::exec::results_from_selection`] — the
+//! exact step behind [`Catalog::execute_sql_cached`] — so a prepared
+//! execute, an ad-hoc `query`, and a direct catalog call answer bit-for-bit
+//! identically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::protocol::{
+    ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
+    ServerInfoReply, StatsReply, WireCacheStats, WireError, WireEstimate, WireExecStats,
+    WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+};
+use uu_core::engine::{EstimationSession, EstimatorKind};
+use uu_query::catalog::Catalog;
+use uu_query::csv::load_observations;
+use uu_query::exec::{CorrectionMethod, GroupResult, SelectionSnapshots};
+use uu_query::query::AggregateQuery;
+use uu_query::schema::{ColumnType, Schema};
+use uu_query::sql::parse;
+use uu_query::table::IntegratedTable;
+use uu_query::value::Value;
+
+/// Default bound on one inbound frame (a JSON request line or a pgwire
+/// message body). Whole CSV documents travel in one frame, so the default is
+/// generous, but a peer streaming unframed bytes is cut off here instead of
+/// growing server memory without limit.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Cap on concurrently open named sessions. Sessions deliberately survive
+/// disconnects, so without a cap a client looping `session_open` with fresh
+/// names would grow server memory without limit — the same reasoning as the
+/// frame bound.
+pub const MAX_SESSIONS: usize = 1024;
+
+/// Cap on prepared statements per named session. Each statement pins its
+/// frozen [`SelectionSnapshots`] (outside the profile cache's byte budget),
+/// so the registry must be bounded.
+pub const MAX_PREPARED_PER_SESSION: usize = 256;
+
+/// Per-client state: everything a front must keep between requests on one
+/// connection. Deliberately small — the heavyweight state (named sessions,
+/// prepared queries) lives server-side in the [`Service`] so it survives
+/// reconnects and is reachable from every front.
+#[derive(Default)]
+pub struct SessionCtx {
+    /// Ad-hoc estimator memo: rebuilt only when a `query` request names a
+    /// different estimator set than the previous one on this connection.
+    adhoc: Option<(Vec<EstimatorKind>, EstimationSession)>,
+}
+
+impl SessionCtx {
+    /// A fresh per-client context.
+    pub fn new() -> Self {
+        SessionCtx::default()
+    }
+}
+
+/// One prepared query: the SQL parsed once at `prepare` time plus the frozen
+/// selection. Interior mutability keeps re-freezing (after a table mutation)
+/// off the session map's lock.
+struct PreparedQuery {
+    sql: String,
+    query: AggregateQuery,
+    /// The frozen selection and the table state it was captured against.
+    frozen: Mutex<Option<FrozenSelection>>,
+    executes: AtomicU64,
+    frozen_hits: AtomicU64,
+}
+
+struct FrozenSelection {
+    instance: u64,
+    version: u64,
+    snapshots: SelectionSnapshots,
+}
+
+/// One named server-side session: pinned estimators + prepared queries.
+struct NamedSession {
+    estimator_names: Vec<String>,
+    kinds: Vec<EstimatorKind>,
+    session: EstimationSession,
+    prepared: Mutex<BTreeMap<String, Arc<PreparedQuery>>>,
+    opened: Instant,
+    executes: AtomicU64,
+    frozen_hits: AtomicU64,
+}
+
+/// The transport-agnostic server core. See the module docs.
+pub struct Service {
+    catalog: RwLock<Catalog>,
+    sessions: Mutex<BTreeMap<String, Arc<NamedSession>>>,
+    max_frame_bytes: usize,
+    started: Instant,
+    workers: AtomicU64,
+    fronts: Mutex<Vec<String>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Service {
+    /// A service over `catalog` with the given frame bound (`0` means
+    /// [`DEFAULT_MAX_FRAME_BYTES`]).
+    pub fn new(catalog: Catalog, max_frame_bytes: usize) -> Self {
+        Service {
+            catalog: RwLock::new(catalog),
+            sessions: Mutex::new(BTreeMap::new()),
+            max_frame_bytes: if max_frame_bytes == 0 {
+                DEFAULT_MAX_FRAME_BYTES
+            } else {
+                max_frame_bytes
+            },
+            started: Instant::now(),
+            workers: AtomicU64::new(0),
+            fronts: Mutex::new(Vec::new()),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The inbound frame bound fronts must enforce.
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// Records the handler-pool size for `stats` / `server_info`.
+    pub fn set_workers(&self, workers: usize) {
+        self.workers.store(workers as u64, Ordering::Relaxed);
+    }
+
+    /// Registers an enabled front by name (reported by `server_info`).
+    pub fn register_front(&self, name: &str) {
+        let mut fronts = self.fronts.lock().expect("fronts lock");
+        if !fronts.iter().any(|f| f == name) {
+            fronts.push(name.to_string());
+        }
+    }
+
+    /// Counts one accepted connection (any front).
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an error produced by a front outside [`Service::dispatch`]
+    /// (e.g. an oversized frame answered at the framing layer).
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decodes and dispatches one request line — the framing-free entry the
+    /// line-JSON front uses. Decode failures are counted and answered like
+    /// any other error.
+    pub fn dispatch_line(&self, ctx: &mut SessionCtx, line: &str) -> Response {
+        match Request::decode(line) {
+            Ok(request) => self.dispatch(ctx, request),
+            Err(e) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(WireError::new(ErrorCode::MalformedRequest, e.to_string()))
+            }
+        }
+    }
+
+    /// Dispatches one request: a total function with no transport types in
+    /// its signature. Every front routes through here.
+    pub fn dispatch(&self, ctx: &mut SessionCtx, request: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = self.dispatch_inner(ctx, request);
+        if matches!(response, Response::Error(_)) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    fn dispatch_inner(&self, ctx: &mut SessionCtx, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::Bye,
+            Request::Stats => Response::Stats(self.stats()),
+            Request::ServerInfo => Response::Info(self.server_info()),
+            Request::Warm { sql } => {
+                let catalog = self.catalog.read().expect("catalog lock");
+                match catalog.warm_sql(&sql) {
+                    Ok((universes, already_cached)) => Response::Warmed {
+                        sql,
+                        universes: universes as u64,
+                        already_cached,
+                    },
+                    Err(e) => Response::Error(WireError::from_exec(&e)),
+                }
+            }
+            Request::LoadCsv(load) => match self.load_csv(&load) {
+                Ok(response) => response,
+                Err(e) => Response::Error(e),
+            },
+            Request::Query(query) => match self.run_query(&query, ctx) {
+                Ok(reply) => Response::Query(reply),
+                Err(e) => Response::Error(e),
+            },
+            Request::SessionOpen { name, estimators } => {
+                match self.session_open(&name, &estimators) {
+                    Ok(response) => response,
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::SessionClose { name } => match self.session_close(&name) {
+                Ok(response) => response,
+                Err(e) => Response::Error(e),
+            },
+            Request::Prepare { session, name, sql } => match self.prepare(&session, &name, &sql) {
+                Ok(response) => response,
+                Err(e) => Response::Error(e),
+            },
+            Request::ExecutePrepared { session, name } => {
+                match self.execute_prepared(&session, &name) {
+                    Ok(reply) => Response::Query(reply),
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::Deallocate { session, name } => match self.deallocate(&session, &name) {
+                Ok(response) => response,
+                Err(e) => Response::Error(e),
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Named sessions / prepared queries
+    // -----------------------------------------------------------------------
+
+    fn session(&self, name: &str) -> Result<Arc<NamedSession>, WireError> {
+        self.sessions
+            .lock()
+            .expect("sessions lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::UnknownSession,
+                    format!("no open session named {name:?}"),
+                )
+            })
+    }
+
+    fn session_open(&self, name: &str, estimators: &[String]) -> Result<Response, WireError> {
+        let kinds = estimators
+            .iter()
+            .map(|n| EstimatorKind::by_name(n))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| WireError::unknown_estimator(&e))?;
+        let estimator_names: Vec<String> = kinds.iter().map(|k| k.name().to_string()).collect();
+        let mut sessions = self.sessions.lock().expect("sessions lock");
+        if sessions.contains_key(name) {
+            return Err(WireError::new(
+                ErrorCode::DuplicateSession,
+                format!("session {name:?} is already open"),
+            ));
+        }
+        if sessions.len() >= MAX_SESSIONS {
+            return Err(WireError::new(
+                ErrorCode::ResourceLimit,
+                format!("too many open sessions (limit {MAX_SESSIONS}); close one first"),
+            ));
+        }
+        sessions.insert(
+            name.to_string(),
+            Arc::new(NamedSession {
+                estimator_names: estimator_names.clone(),
+                session: EstimationSession::new(kinds.clone()),
+                kinds,
+                prepared: Mutex::new(BTreeMap::new()),
+                opened: Instant::now(),
+                executes: AtomicU64::new(0),
+                frozen_hits: AtomicU64::new(0),
+            }),
+        );
+        Ok(Response::SessionOpened {
+            name: name.to_string(),
+            estimators: estimator_names,
+        })
+    }
+
+    fn session_close(&self, name: &str) -> Result<Response, WireError> {
+        let session = self
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .remove(name)
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::UnknownSession,
+                    format!("no open session named {name:?}"),
+                )
+            })?;
+        let prepared_dropped = session.prepared.lock().expect("prepared lock").len() as u64;
+        Ok(Response::SessionClosed {
+            name: name.to_string(),
+            prepared_dropped,
+        })
+    }
+
+    fn prepare(&self, session_name: &str, name: &str, sql: &str) -> Result<Response, WireError> {
+        let session = self.session(session_name)?;
+        let query = parse(sql).map_err(|e| WireError::new(ErrorCode::Parse, e.to_string()))?;
+        // Capture (and cache) the selection eagerly: a bad table name fails
+        // here, at prepare time, and the first execute is already a pure
+        // thaw.
+        let catalog = self.catalog.read().expect("catalog lock");
+        let table = catalog
+            .get(&query.table)
+            .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, query.table.clone()))?;
+        let (instance, version) = (table.instance(), table.version());
+        let (snapshots, already_cached) = catalog
+            .selection_query(&query)
+            .map_err(|e| WireError::from_exec(&e))?;
+        let universes = snapshots.len() as u64;
+        let mut prepared = session.prepared.lock().expect("prepared lock");
+        if prepared.contains_key(name) {
+            return Err(WireError::new(
+                ErrorCode::DuplicatePrepared,
+                format!("statement {name:?} is already prepared in session {session_name:?}"),
+            ));
+        }
+        if prepared.len() >= MAX_PREPARED_PER_SESSION {
+            return Err(WireError::new(
+                ErrorCode::ResourceLimit,
+                format!(
+                    "session {session_name:?} holds the maximum of \
+                     {MAX_PREPARED_PER_SESSION} prepared statements; deallocate one first"
+                ),
+            ));
+        }
+        prepared.insert(
+            name.to_string(),
+            Arc::new(PreparedQuery {
+                sql: sql.to_string(),
+                query,
+                frozen: Mutex::new(Some(FrozenSelection {
+                    instance,
+                    version,
+                    snapshots,
+                })),
+                executes: AtomicU64::new(0),
+                frozen_hits: AtomicU64::new(0),
+            }),
+        );
+        Ok(Response::Prepared {
+            session: session_name.to_string(),
+            name: name.to_string(),
+            sql: sql.to_string(),
+            universes,
+            already_cached,
+        })
+    }
+
+    fn deallocate(&self, session_name: &str, name: &str) -> Result<Response, WireError> {
+        let session = self.session(session_name)?;
+        session
+            .prepared
+            .lock()
+            .expect("prepared lock")
+            .remove(name)
+            .ok_or_else(|| unknown_prepared(session_name, name))?;
+        Ok(Response::Deallocated {
+            session: session_name.to_string(),
+            name: name.to_string(),
+        })
+    }
+
+    fn execute_prepared(&self, session_name: &str, name: &str) -> Result<QueryReply, WireError> {
+        let session = self.session(session_name)?;
+        let stmt = session
+            .prepared
+            .lock()
+            .expect("prepared lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| unknown_prepared(session_name, name))?;
+
+        let catalog = self.catalog.read().expect("catalog lock");
+        let start = Instant::now();
+        let table = catalog
+            .get(&stmt.query.table)
+            .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, stmt.query.table.clone()))?;
+        let (instance, version) = (table.instance(), table.version());
+        // Reuse the frozen selection while the table state matches; re-fetch
+        // through the profile cache (and re-freeze) otherwise.
+        let mut frozen = stmt.frozen.lock().expect("frozen lock");
+        let (snapshots, cache_hit) = match frozen.as_ref() {
+            Some(f) if f.instance == instance && f.version == version => {
+                stmt.frozen_hits.fetch_add(1, Ordering::Relaxed);
+                session.frozen_hits.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(&f.snapshots), true)
+            }
+            _ => {
+                let (snapshots, hit) = catalog
+                    .selection_query(&stmt.query)
+                    .map_err(|e| WireError::from_exec(&e))?;
+                *frozen = Some(FrozenSelection {
+                    instance,
+                    version,
+                    snapshots: Arc::clone(&snapshots),
+                });
+                (snapshots, hit)
+            }
+        };
+        drop(frozen);
+        stmt.executes.fetch_add(1, Ordering::Relaxed);
+        session.executes.fetch_add(1, Ordering::Relaxed);
+
+        let method = session
+            .kinds
+            .first()
+            .copied()
+            .map(correction_for)
+            .unwrap_or(CorrectionMethod::None);
+        let rows = uu_query::exec::results_from_selection(&stmt.query, &snapshots, method);
+        let estimates = snapshots
+            .iter()
+            .map(|(_, snapshot)| {
+                if session.kinds.is_empty() {
+                    Vec::new()
+                } else {
+                    session
+                        .session
+                        .run_profiled(&snapshot.profile())
+                        .iter()
+                        .map(WireEstimate::from_named)
+                        .collect()
+                }
+            })
+            .collect();
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        Ok(reply(
+            stmt.sql.clone(),
+            cache_hit,
+            elapsed_us,
+            stmt.query.group_by.is_some(),
+            rows,
+            estimates,
+        ))
+    }
+
+    // -----------------------------------------------------------------------
+    // Ad-hoc queries (per-connection estimator memo)
+    // -----------------------------------------------------------------------
+
+    fn run_query(
+        &self,
+        request: &QueryRequest,
+        ctx: &mut SessionCtx,
+    ) -> Result<QueryReply, WireError> {
+        let kinds = request
+            .estimators
+            .iter()
+            .map(|name| EstimatorKind::by_name(name))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| WireError::unknown_estimator(&e))?;
+        let method = kinds
+            .first()
+            .copied()
+            .map(correction_for)
+            .unwrap_or(CorrectionMethod::None);
+        let query =
+            parse(&request.sql).map_err(|e| WireError::new(ErrorCode::Parse, e.to_string()))?;
+        let grouped = query.group_by.is_some();
+
+        // Reuse the connection's session when the estimator set is unchanged.
+        if !kinds.is_empty()
+            && !ctx
+                .adhoc
+                .as_ref()
+                .is_some_and(|(memo_kinds, _)| memo_kinds == &kinds)
+        {
+            ctx.adhoc = Some((kinds.clone(), EstimationSession::new(kinds.clone())));
+        }
+        let session = (!kinds.is_empty()).then(|| &ctx.adhoc.as_ref().expect("built above").1);
+
+        let catalog = self.catalog.read().expect("catalog lock");
+        let start = Instant::now();
+        let (rows, estimates, cache_hit): (Vec<GroupResult>, Vec<Vec<WireEstimate>>, bool) =
+            if request.cached {
+                // Fetch-once: exactly one cache lookup per request. The
+                // selection's snapshots feed both the corrected aggregate
+                // (the same computation step `execute_sql_grouped_cached`
+                // runs) and the session fan-out, so cache counters honestly
+                // record one miss per cold query and one hit per repeat.
+                let (snapshots, hit) = catalog
+                    .selection_query(&query)
+                    .map_err(|e| WireError::from_exec(&e))?;
+                let rows = uu_query::exec::results_from_selection(&query, &snapshots, method);
+                let estimates = snapshots
+                    .iter()
+                    .map(|(_, snapshot)| match session {
+                        Some(session) => session
+                            .run_profiled(&snapshot.profile())
+                            .iter()
+                            .map(WireEstimate::from_named)
+                            .collect(),
+                        None => Vec::new(),
+                    })
+                    .collect();
+                (rows, estimates, hit)
+            } else {
+                let rows = catalog
+                    .execute_sql_grouped(&request.sql, method)
+                    .map_err(|e| WireError::from_exec(&e))?;
+                let table = catalog
+                    .get(&query.table)
+                    .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, &query.table))?;
+                let universes: Vec<(Value, uu_core::sample::SampleView)> =
+                    match query.group_by.as_deref() {
+                        Some(group_column) => table
+                            .grouped_sample_views(
+                                query.column.as_deref(),
+                                &query.predicate,
+                                group_column,
+                            )
+                            .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?,
+                        None => vec![(
+                            Value::Null,
+                            table
+                                .sample_view(query.column.as_deref(), &query.predicate)
+                                .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?,
+                        )],
+                    };
+                // Pair estimates with result rows **by group key**, not by
+                // position: both derive from the same deterministic grouping
+                // today, but the reply must not silently mis-attribute Δs if
+                // that ever changes. Keys compare with `same_key`, not
+                // derived PartialEq — a Float(NaN) group key must match its
+                // own universe.
+                let estimates = rows
+                    .iter()
+                    .map(|row| {
+                        let view = universes
+                            .iter()
+                            .find(|(key, _)| same_key(key, &row.key))
+                            .map(|(_, view)| view)
+                            .expect("every result row has a matching universe");
+                        match session {
+                            Some(session) => session
+                                .run(view)
+                                .iter()
+                                .map(WireEstimate::from_named)
+                                .collect(),
+                            None => Vec::new(),
+                        }
+                    })
+                    .collect();
+                (rows, estimates, false)
+            };
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        Ok(reply(
+            request.sql.clone(),
+            cache_hit,
+            elapsed_us,
+            grouped,
+            rows,
+            estimates,
+        ))
+    }
+
+    // -----------------------------------------------------------------------
+    // Admin verbs
+    // -----------------------------------------------------------------------
+
+    /// Loads a CSV **atomically**: the whole document is ingested into a
+    /// staged table (a fresh one, or a clone of the existing one for
+    /// `append`) and the catalog is only touched once the load succeeded — a
+    /// bad row half-way through a document can never leave a
+    /// partially-loaded table behind, so a corrected retry with the same
+    /// request is always safe.
+    fn load_csv(&self, load: &LoadCsvRequest) -> Result<Response, WireError> {
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        let exists = catalog.get(&load.table).is_some();
+        if exists && !load.append {
+            return Err(WireError::new(
+                ErrorCode::DuplicateTable,
+                format!(
+                    "table {:?} is already registered (set \"append\": true to extend it)",
+                    load.table
+                ),
+            ));
+        }
+        let mut staged = if exists {
+            catalog.get(&load.table).expect("checked above").clone()
+        } else {
+            let columns = load
+                .columns
+                .iter()
+                .map(|(name, ty)| Ok((name.clone(), parse_column_type(ty)?)))
+                .collect::<Result<Vec<_>, WireError>>()?;
+            IntegratedTable::new(&load.table, Schema::new(columns), &load.entity_column)
+                .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?
+        };
+        let observations = load_observations(&mut staged, &load.csv, &load.source_column)
+            .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+        let entities = staged.len() as u64;
+        if exists {
+            // `get_mut` drops the table's cached profiles; the clone carries
+            // a fresh instance id, so no stale entry can match it either way.
+            *catalog.get_mut(&load.table).expect("checked above") = staged;
+        } else {
+            catalog
+                .register(staged)
+                .map_err(|e| WireError::new(ErrorCode::DuplicateTable, e.to_string()))?;
+        }
+        Ok(Response::Loaded {
+            table: load.table.clone(),
+            observations: observations as u64,
+            entities,
+        })
+    }
+
+    /// The `server_info` payload.
+    pub fn server_info(&self) -> ServerInfoReply {
+        ServerInfoReply {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            protocol: PROTOCOL_VERSION,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            active_sessions: self.sessions.lock().expect("sessions lock").len() as u64,
+            fronts: self.fronts.lock().expect("fronts lock").clone(),
+            workers: self.workers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The `stats` payload.
+    pub fn stats(&self) -> StatsReply {
+        let catalog = self.catalog.read().expect("catalog lock");
+        let cache = catalog.cache();
+        let cache_metrics = cache.metrics();
+        let exec_metrics = uu_core::exec::global().metrics();
+        let sessions = self
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .iter()
+            .map(|(name, s)| WireSessionStats {
+                name: name.clone(),
+                estimators: s.estimator_names.clone(),
+                prepared: s.prepared.lock().expect("prepared lock").len() as u64,
+                executes: s.executes.load(Ordering::Relaxed),
+                frozen_hits: s.frozen_hits.load(Ordering::Relaxed),
+                age_ms: s.opened.elapsed().as_millis() as u64,
+            })
+            .collect();
+        StatsReply {
+            protocol: PROTOCOL_VERSION,
+            tables: catalog
+                .table_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            workers: self.workers.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            sessions,
+            cache: WireCacheStats {
+                hits: cache_metrics.hits,
+                misses: cache_metrics.misses,
+                insertions: cache_metrics.insertions,
+                evictions: cache_metrics.evictions,
+                invalidations: cache_metrics.invalidations,
+                expirations: cache_metrics.expirations,
+                len: cache_metrics.len as u64,
+                bytes: cache_metrics.bytes as u64,
+                capacity: cache.capacity() as u64,
+                byte_budget: cache.byte_budget().map(|b| b as f64),
+                ttl_ms: cache.ttl().map(|t| t.as_secs_f64() * 1e3),
+            },
+            exec: WireExecStats {
+                threads: exec_metrics.threads as u64,
+                regions: exec_metrics.regions,
+                parallel_regions: exec_metrics.parallel_regions,
+                tasks: exec_metrics.tasks,
+                steals: exec_metrics.steals,
+                peak_workers: exec_metrics.peak_workers as u64,
+            },
+        }
+    }
+}
+
+fn reply(
+    sql: String,
+    cache_hit: bool,
+    elapsed_us: u64,
+    grouped: bool,
+    rows: Vec<GroupResult>,
+    estimates: Vec<Vec<WireEstimate>>,
+) -> QueryReply {
+    debug_assert_eq!(rows.len(), estimates.len());
+    let groups = rows
+        .into_iter()
+        .zip(estimates)
+        .map(|(row, est)| GroupReply {
+            key: WireValue(row.key),
+            result: WireResult::from_result(&row.result, est),
+        })
+        .collect();
+    QueryReply {
+        sql,
+        cache_hit,
+        elapsed_us,
+        grouped,
+        groups,
+    }
+}
+
+/// Group-key equality for pairing result rows with their universes: derived
+/// `PartialEq` would make a `Float(NaN)` key match nothing (NaN != NaN),
+/// panicking the pairing even though both sides came from the identical
+/// grouping. Total float comparison treats NaN as equal to itself.
+fn same_key(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.total_cmp(y) == std::cmp::Ordering::Equal,
+        _ => a == b,
+    }
+}
+
+fn unknown_prepared(session: &str, name: &str) -> WireError {
+    WireError::new(
+        ErrorCode::UnknownPrepared,
+        format!("no prepared statement {name:?} in session {session:?}"),
+    )
+}
+
+/// The primary correction a registry kind applies to the aggregate.
+pub(crate) fn correction_for(kind: EstimatorKind) -> CorrectionMethod {
+    match kind {
+        EstimatorKind::Naive => CorrectionMethod::Naive,
+        EstimatorKind::Frequency => CorrectionMethod::Frequency,
+        EstimatorKind::Bucket => CorrectionMethod::Bucket,
+        EstimatorKind::MonteCarlo(cfg) => CorrectionMethod::MonteCarlo(cfg),
+        EstimatorKind::Policy => CorrectionMethod::Auto,
+    }
+}
+
+fn parse_column_type(ty: &str) -> Result<ColumnType, WireError> {
+    match ty.to_ascii_lowercase().as_str() {
+        "int" | "integer" => Ok(ColumnType::Int),
+        "float" | "double" | "real" => Ok(ColumnType::Float),
+        "str" | "string" | "text" => Ok(ColumnType::Str),
+        other => Err(WireError::new(
+            ErrorCode::MalformedRequest,
+            format!("unknown column type {other:?} (expected int, float or str)"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correction_mapping_covers_every_kind() {
+        for kind in EstimatorKind::all() {
+            let method = correction_for(kind);
+            match kind {
+                EstimatorKind::Policy => assert_eq!(method, CorrectionMethod::Auto),
+                EstimatorKind::Naive => assert_eq!(method, CorrectionMethod::Naive),
+                EstimatorKind::Frequency => assert_eq!(method, CorrectionMethod::Frequency),
+                EstimatorKind::Bucket => assert_eq!(method, CorrectionMethod::Bucket),
+                EstimatorKind::MonteCarlo(cfg) => {
+                    assert_eq!(method, CorrectionMethod::MonteCarlo(cfg))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_types_parse_with_aliases() {
+        assert_eq!(parse_column_type("int").unwrap(), ColumnType::Int);
+        assert_eq!(parse_column_type("Float").unwrap(), ColumnType::Float);
+        assert_eq!(parse_column_type("STRING").unwrap(), ColumnType::Str);
+        assert!(parse_column_type("blob").is_err());
+    }
+
+    #[test]
+    fn zero_frame_bound_falls_back_to_the_default() {
+        let service = Service::new(Catalog::new(), 0);
+        assert_eq!(service.max_frame_bytes(), DEFAULT_MAX_FRAME_BYTES);
+        let service = Service::new(Catalog::new(), 1024);
+        assert_eq!(service.max_frame_bytes(), 1024);
+    }
+}

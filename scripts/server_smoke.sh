@@ -1,23 +1,28 @@
 #!/usr/bin/env sh
-# Smoke-test the estimation server end to end: start uu-server on an
-# ephemeral port, drive the uu-client demo (a full load-query-repeat session
-# that asserts cache hits, bit-for-bit repeat answers and structured error
-# handling, and appends a cold-vs-cache-hit latency record to
-# BENCH_server.json in $BENCH_JSON_DIR), then shut the server down.
+# Smoke-test the estimation server end to end: start uu-server with BOTH
+# fronts (line-JSON on an ephemeral port, pgwire-lite on another), drive the
+# uu-client demo (a full load-query-repeat session that asserts cache hits,
+# bit-for-bit repeat answers, structured error handling and a named-session
+# prepared-query exercise, and appends a prepared-vs-adhoc latency record to
+# BENCH_server.json in $BENCH_JSON_DIR), probe the pgwire front with the
+# raw-socket driver (uu-client pgwire-probe — no psql dependency), then shut
+# the server down.
 #
 # usage: scripts/server_smoke.sh [BIN_DIR]   (default: target/release)
 set -eu
 
 BIN_DIR="${1:-target/release}"
 PORT_FILE="$(mktemp)"
-trap 'rm -f "$PORT_FILE"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+PGWIRE_PORT_FILE="$(mktemp)"
+trap 'rm -f "$PORT_FILE" "$PGWIRE_PORT_FILE"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
-"$BIN_DIR/uu-server" --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+"$BIN_DIR/uu-server" --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
+    --pgwire-port 0 --pgwire-port-file "$PGWIRE_PORT_FILE" &
 SERVER_PID=$!
 
-# Wait (up to ~10s) for the server to report its ephemeral address.
+# Wait (up to ~10s) for the server to report its ephemeral addresses.
 i=0
-while [ ! -s "$PORT_FILE" ]; do
+while [ ! -s "$PORT_FILE" ] || [ ! -s "$PGWIRE_PORT_FILE" ]; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
         echo "server_smoke: server did not report an address" >&2
@@ -26,8 +31,65 @@ while [ ! -s "$PORT_FILE" ]; do
     sleep 0.1
 done
 ADDR="$(cat "$PORT_FILE")"
-echo "server_smoke: server is at $ADDR"
+PGWIRE_ADDR="$(cat "$PGWIRE_PORT_FILE")"
+echo "server_smoke: server is at $ADDR (pgwire at $PGWIRE_ADDR)"
 
-"$BIN_DIR/uu-client" demo --addr "$ADDR" --shutdown
+# Server identity over the JSON front: both fronts must be enabled.
+INFO="$("$BIN_DIR/uu-client" info --addr "$ADDR")"
+echo "server_smoke: $INFO"
+case "$INFO" in
+*"fronts=json,pgwire"*) ;;
+*)
+    echo "server_smoke: expected both fronts enabled, got: $INFO" >&2
+    exit 1
+    ;;
+esac
+
+# The full JSON-protocol session (load, query, cache-hit repeats, structured
+# errors, named session + prepared query, latency record).
+"$BIN_DIR/uu-client" demo --addr "$ADDR"
+
+# The pgwire front, driven over a raw socket: one row per estimator with the
+# corrected estimate, bounds and recommendation.
+PGOUT="$("$BIN_DIR/uu-client" pgwire-probe --addr "$PGWIRE_ADDR" \
+    --sql "SELECT SUM(employees) FROM companies")"
+echo "$PGOUT"
+case "$PGOUT" in
+*"estimator"*) ;;
+*)
+    echo "server_smoke: pgwire probe returned no header" >&2
+    exit 1
+    ;;
+esac
+case "$PGOUT" in
+*"bucket	13950"*) ;;
+*)
+    echo "server_smoke: pgwire probe missing the bucket-corrected SUM (Table 2: 13950)" >&2
+    exit 1
+    ;;
+esac
+case "$PGOUT" in
+*"SELECT 5"*) ;;
+*)
+    echo "server_smoke: pgwire probe missing the command tag" >&2
+    exit 1
+    ;;
+esac
+echo "server_smoke: pgwire probe OK"
+
+# A grouped query through pgwire exercises the group column. (No pipe to
+# head here: closing the pipe early would hit the probe with EPIPE.)
+PGGROUPED="$("$BIN_DIR/uu-client" pgwire-probe --addr "$PGWIRE_ADDR" \
+    --sql "SELECT SUM(employees) FROM companies GROUP BY state")"
+case "$PGGROUPED" in
+*"group	estimator"*) ;;
+*)
+    echo "server_smoke: grouped pgwire probe missing the group column" >&2
+    exit 1
+    ;;
+esac
+echo "server_smoke: grouped pgwire probe OK"
+
+"$BIN_DIR/uu-client" shutdown --addr "$ADDR"
 wait "$SERVER_PID"
 echo "server_smoke: OK"

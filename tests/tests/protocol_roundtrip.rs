@@ -1,0 +1,280 @@
+//! Property tests for the wire protocol: every `Request` / `Response`
+//! variant — including the session/prepared verbs and NaN/±inf estimate
+//! payloads — must survive `encode` → `decode` exactly.
+//!
+//! Structural equality (`==`) pins finite payloads; NaN-bearing payloads are
+//! pinned through a second encode (`encode(decode(encode(x))) == encode(x)`),
+//! which is exactly the bit-for-bit canonical-text guarantee the parity
+//! tests rely on.
+
+use proptest::prelude::*;
+use uu_query::value::Value;
+use uu_server::protocol::{
+    ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
+    ServerInfoReply, StatsReply, WireCacheStats, WireDiagnostics, WireError, WireEstimate,
+    WireExecStats, WireExtreme, WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+};
+
+/// An interesting `f64` from two generated numbers: finite values of many
+/// magnitudes plus the non-finite and signed-zero corners.
+fn float_from(selector: u64, mantissa: f64) -> f64 {
+    match selector % 8 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => mantissa,
+        5 => -mantissa * 1e300,
+        6 => mantissa * f64::MIN_POSITIVE,
+        _ => 1.0 / mantissa.abs().max(1e-12),
+    }
+}
+
+fn opt_float(selector: u64, mantissa: f64) -> Option<f64> {
+    if selector % 9 == 8 {
+        None
+    } else {
+        Some(float_from(selector, mantissa))
+    }
+}
+
+fn value_from(selector: u64, text: &str, number: f64) -> Value {
+    match selector % 4 {
+        0 => Value::Null,
+        1 => Value::Int(selector as i64 - 500),
+        2 => Value::Float(number),
+        _ => Value::Str(text.to_string()),
+    }
+}
+
+fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
+    match selector % 10 {
+        0 => Request::Query(QueryRequest {
+            sql: text.to_string(),
+            estimators: vec![text2.to_string()],
+            cached: flag,
+        }),
+        1 => Request::LoadCsv(LoadCsvRequest {
+            table: text.to_string(),
+            columns: vec![(text2.to_string(), "float".to_string())],
+            entity_column: text2.to_string(),
+            source_column: "worker".to_string(),
+            csv: format!("worker,{text2}\n0,{text}\n"),
+            append: flag,
+        }),
+        2 => Request::Warm {
+            sql: text.to_string(),
+        },
+        3 => Request::SessionOpen {
+            name: text.to_string(),
+            estimators: if flag {
+                vec![text2.to_string(), "bucket".to_string()]
+            } else {
+                Vec::new()
+            },
+        },
+        4 => Request::SessionClose {
+            name: text.to_string(),
+        },
+        5 => Request::Prepare {
+            session: text.to_string(),
+            name: text2.to_string(),
+            sql: format!("SELECT SUM(v) FROM {text}"),
+        },
+        6 => Request::ExecutePrepared {
+            session: text.to_string(),
+            name: text2.to_string(),
+        },
+        7 => Request::Deallocate {
+            session: text.to_string(),
+            name: text2.to_string(),
+        },
+        8 => Request::ServerInfo,
+        _ => [Request::Stats, Request::Ping, Request::Shutdown][selector as usize % 3].clone(),
+    }
+}
+
+fn wire_result(sel: &[u64], text: &str, numbers: &[f64]) -> WireResult {
+    WireResult {
+        query: text.to_string(),
+        observed: float_from(sel[0], numbers[0]),
+        corrected: opt_float(sel[1], numbers[1]),
+        method: "bucket".to_string(),
+        n_hat: opt_float(sel[2], numbers[2]),
+        upper_bound: opt_float(sel[3], numbers[0] + numbers[1]),
+        extreme: if sel[4] % 3 == 0 {
+            Some(WireExtreme {
+                trusted: sel[4] % 2 == 0,
+                observed: float_from(sel[5], numbers[2]),
+                estimated_missing: opt_float(sel[6], numbers[0]),
+            })
+        } else {
+            None
+        },
+        diagnostics: WireDiagnostics {
+            coverage: opt_float(sel[5], numbers[1]),
+            contributing_sources: sel[6],
+            max_source_share: opt_float(sel[7], numbers[2]),
+            source_gini: opt_float(sel[0].wrapping_add(4), numbers[0]),
+        },
+        recommendation: "collect-more-data".to_string(),
+        estimates: vec![WireEstimate {
+            name: "naive".to_string(),
+            delta: opt_float(sel[1].wrapping_add(1), numbers[1]),
+            n_hat: opt_float(sel[2].wrapping_add(2), numbers[2]),
+            corrected: opt_float(sel[3].wrapping_add(3), numbers[0]),
+        }],
+    }
+}
+
+fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: bool) -> Response {
+    match selector % 10 {
+        0 => Response::Query(QueryReply {
+            sql: text.to_string(),
+            cache_hit: flag,
+            elapsed_us: sel[0],
+            grouped: flag,
+            groups: vec![GroupReply {
+                key: WireValue(value_from(sel[1], text, numbers[0])),
+                result: wire_result(sel, text, numbers),
+            }],
+        }),
+        1 => Response::Loaded {
+            table: text.to_string(),
+            observations: sel[0],
+            entities: sel[1],
+        },
+        2 => Response::Warmed {
+            sql: text.to_string(),
+            universes: sel[0],
+            already_cached: flag,
+        },
+        3 => Response::SessionOpened {
+            name: text.to_string(),
+            estimators: vec!["bucket".to_string()],
+        },
+        4 => Response::SessionClosed {
+            name: text.to_string(),
+            prepared_dropped: sel[0],
+        },
+        5 => Response::Prepared {
+            session: text.to_string(),
+            name: "q".to_string(),
+            sql: format!("SELECT SUM(v) FROM {text}"),
+            universes: sel[0],
+            already_cached: flag,
+        },
+        6 => Response::Deallocated {
+            session: text.to_string(),
+            name: "q".to_string(),
+        },
+        7 => Response::Info(ServerInfoReply {
+            version: "0.1.0".to_string(),
+            protocol: PROTOCOL_VERSION,
+            uptime_ms: sel[0],
+            active_sessions: sel[1],
+            fronts: if flag {
+                vec!["json".to_string(), "pgwire".to_string()]
+            } else {
+                Vec::new()
+            },
+            workers: sel[2],
+        }),
+        8 => Response::Stats(StatsReply {
+            protocol: PROTOCOL_VERSION,
+            tables: vec![text.to_string()],
+            workers: sel[0],
+            connections: sel[1],
+            requests: sel[2],
+            errors: sel[3],
+            uptime_ms: sel[4],
+            sessions: vec![WireSessionStats {
+                name: text.to_string(),
+                estimators: vec!["bucket".to_string()],
+                prepared: sel[5],
+                executes: sel[6],
+                frozen_hits: sel[7],
+                age_ms: sel[0],
+            }],
+            cache: WireCacheStats {
+                hits: sel[1],
+                misses: sel[2],
+                insertions: sel[3],
+                evictions: sel[4],
+                invalidations: sel[5],
+                expirations: sel[6],
+                len: sel[7],
+                bytes: sel[0],
+                capacity: sel[1],
+                byte_budget: opt_float(sel[2], numbers[0].abs()),
+                ttl_ms: opt_float(sel[3], numbers[1].abs()),
+            },
+            exec: WireExecStats {
+                threads: sel[4],
+                regions: sel[5],
+                parallel_regions: sel[6],
+                tasks: sel[7],
+                steals: sel[0],
+                peak_workers: sel[1],
+            },
+        }),
+        _ => match selector % 4 {
+            0 => Response::Pong,
+            1 => Response::Bye,
+            2 => Response::Error(WireError::new(
+                ErrorCode::all()[sel[0] as usize % ErrorCode::all().len()],
+                text.to_string(),
+            )),
+            _ => Response::Error(WireError {
+                code: ErrorCode::UnknownEstimator,
+                message: text.to_string(),
+                accepted: vec!["naive".to_string(), "bucket".to_string()],
+            }),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Every request variant survives encode → decode structurally.
+    #[test]
+    fn requests_round_trip(
+        selector in 0u64..1_000_000,
+        text in "[ -~]{0,24}",
+        text2 in "[a-z][a-z0-9_-]{0,10}",
+        flag in proptest::bool::ANY,
+    ) {
+        let request = request_from(selector, &text, &text2, flag);
+        let line = request.encode();
+        prop_assert!(!line.contains('\n'), "one request per line: {line}");
+        let decoded = Request::decode(&line);
+        prop_assert!(decoded.is_ok(), "{line}: {decoded:?}");
+        prop_assert_eq!(decoded.unwrap(), request, "{}", line);
+    }
+
+    /// Every response variant — NaN/±inf payloads included — survives
+    /// encode → decode: the canonical line is a fixed point, and NaN-free
+    /// payloads additionally compare structurally equal.
+    #[test]
+    fn responses_round_trip(
+        selector in 0u64..1_000_000,
+        sel in proptest::collection::vec(0u64..1_000_000, 8),
+        text in "[ -~]{0,24}",
+        numbers in proptest::collection::vec(0.000001f64..1e9, 3),
+        flag in proptest::bool::ANY,
+    ) {
+        let response = response_from(selector, &sel, &text, &numbers, flag);
+        let line = response.encode();
+        prop_assert!(!line.contains('\n'), "one response per line: {line}");
+        let decoded = Response::decode(&line);
+        prop_assert!(decoded.is_ok(), "{line}: {decoded:?}");
+        let decoded = decoded.unwrap();
+        // The canonical rendering is a fixed point (pins NaN payloads, which
+        // are structurally un-comparable with ==).
+        prop_assert_eq!(decoded.encode(), line.clone());
+        if !line.contains("\"NaN\"") {
+            prop_assert_eq!(decoded, response, "{}", line);
+        }
+    }
+}

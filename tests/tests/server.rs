@@ -228,6 +228,126 @@ fn repeated_query_hits_the_cache_and_latency_is_recorded() {
     handle.join();
 }
 
+/// The acceptance pin for the prepared-query path: a prepared
+/// `execute_prepared`, an ad-hoc `query`, and a direct
+/// `Catalog::execute_sql_cached` call answer bit-for-bit identically for the
+/// same SQL — across ungrouped and grouped shapes.
+#[test]
+fn prepared_adhoc_and_direct_catalog_answers_agree_bit_for_bit() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load_toy(&mut client);
+    let catalog = direct_catalog();
+    let estimators = ["bucket", "naive"];
+    client.session_open("parity", &estimators).unwrap();
+
+    let cases = [
+        ("q1", "SELECT SUM(employees) FROM companies"),
+        (
+            "q2",
+            "SELECT AVG(employees) FROM companies WHERE employees < 5000",
+        ),
+        ("q3", "SELECT SUM(employees) FROM companies GROUP BY state"),
+    ];
+    for (name, sql) in cases {
+        let (universes, _) = client.prepare("parity", name, sql).unwrap();
+        let adhoc = client.query(sql, &estimators, true).unwrap();
+        let mut prepared = None;
+        for _ in 0..3 {
+            prepared = Some(client.execute_prepared("parity", name).unwrap());
+        }
+        let prepared = prepared.unwrap();
+        assert!(
+            prepared.cache_hit,
+            "{sql}: repeated prepared executes are hits"
+        );
+        assert_eq!(prepared.groups.len() as u64, universes, "{sql}");
+        assert_eq!(prepared.grouped, adhoc.grouped, "{sql}");
+
+        // Prepared vs ad-hoc: identical canonical rows.
+        assert_eq!(prepared.groups.len(), adhoc.groups.len(), "{sql}");
+        for (p, a) in prepared.groups.iter().zip(&adhoc.groups) {
+            assert_eq!(p.result.canonical(), a.result.canonical(), "{sql}");
+        }
+        // Prepared vs direct catalog calls (the expected_rows helper routes
+        // through selection_sql + execute_sql_grouped_cached — and for the
+        // ungrouped cases also pin `execute_sql_cached` itself below).
+        let expected = expected_rows(&catalog, sql, &estimators);
+        for (p, want) in prepared.groups.iter().zip(&expected) {
+            assert_eq!(p.result.canonical(), want.canonical(), "{sql}");
+        }
+        if !prepared.grouped {
+            let direct = catalog
+                .execute_sql_cached(sql, CorrectionMethod::Bucket)
+                .unwrap();
+            let got = prepared.single().unwrap();
+            assert_eq!(got.observed.to_bits(), direct.observed.to_bits(), "{sql}");
+            assert_eq!(
+                got.corrected.map(f64::to_bits),
+                direct.corrected.map(f64::to_bits),
+                "{sql}"
+            );
+        }
+    }
+
+    // Per-session counters surfaced in stats.
+    let stats = client.stats().unwrap();
+    let session = stats.sessions.iter().find(|s| s.name == "parity").unwrap();
+    assert_eq!(session.estimators, vec!["bucket", "naive"]);
+    assert_eq!(session.prepared, 3);
+    assert_eq!(session.executes, 9);
+    assert!(session.frozen_hits >= 6, "repeats hit frozen snapshots");
+    client.session_close("parity").unwrap();
+    handle.shutdown();
+}
+
+/// Satellite pin: the frame bound is configurable, oversized lines answer a
+/// structured `frame_too_large` error, and within-bound requests still work.
+#[test]
+fn oversized_frames_answer_frame_too_large() {
+    let config = ServerConfig {
+        max_frame_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+
+    // A request line beyond the bound: structured error, then the server
+    // drops the connection (it can never find the line boundary).
+    let huge = format!(
+        r#"{{"op":"query","sql":"SELECT SUM(x) FROM t -- {}"}}"#,
+        "x".repeat(8192)
+    );
+    match client.send_raw(&huge) {
+        Ok(Response::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::FrameTooLarge, "{}", e.message);
+            assert!(e.message.contains("4096"), "{}", e.message);
+        }
+        other => panic!("expected frame_too_large, got {other:?}"),
+    }
+    // Fresh connection: normal requests keep working under the bound.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn server_info_reports_identity_and_sessions() {
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let info = client.server_info().unwrap();
+    assert_eq!(info.version, env!("CARGO_PKG_VERSION"));
+    assert_eq!(info.protocol, uu_server::protocol::PROTOCOL_VERSION);
+    assert_eq!(info.fronts, vec!["json".to_string()]);
+    assert_eq!(info.active_sessions, 0);
+    assert!(info.workers >= 1);
+    client.session_open("s", &["bucket"]).unwrap();
+    let info = client.server_info().unwrap();
+    assert_eq!(info.active_sessions, 1);
+    handle.shutdown();
+}
+
 #[test]
 fn warm_verb_prefills_the_cache() {
     let handle = spawn(ServerConfig::default()).unwrap();

@@ -3,12 +3,13 @@
 //! high-water mark, which sibling tests running in the same process would
 //! perturb.
 //!
-//! N loopback clients issue interleaved cached/uncached and grouped queries
-//! concurrently; every reply must be bit-for-bit identical to the direct
-//! `Catalog` expectation, and the executor must never exceed its
-//! `UU_THREADS` worker budget — the server's handler pool runs connections
-//! *inside* the executor's inline scope instead of stacking helpers on top
-//! of it.
+//! N line-JSON clients issue interleaved cached/uncached and grouped
+//! queries concurrently **while M pgwire clients hammer the pgwire-lite
+//! front of the same server**; every reply on either front must be
+//! bit-for-bit identical to its expectation, and the executor must never
+//! exceed its `UU_THREADS` worker budget — the server's single handler pool
+//! multiplexes both fronts *inside* the executor's inline scope instead of
+//! stacking helpers on top of it.
 
 use std::sync::Arc;
 
@@ -19,11 +20,15 @@ use uu_query::exec::CorrectionMethod;
 use uu_query::schema::{ColumnType, Schema};
 use uu_query::table::IntegratedTable;
 use uu_server::client::Client;
+use uu_server::pgwire::{panel_rows, PgClient, PgRow};
 use uu_server::protocol::{LoadCsvRequest, Request, Response, WireEstimate};
 use uu_server::server::{spawn, ServerConfig};
 
 const CLIENTS: usize = 8;
+const PG_CLIENTS: usize = 4;
 const ROUNDS: usize = 5;
+const PG_SQL: &str = "SELECT SUM(value) FROM sightings";
+const PG_GROUPED_SQL: &str = "SELECT SUM(value) FROM sightings GROUP BY grp";
 
 /// A multi-source observation log large enough that statistics work is
 /// non-trivial: 6 sources × 80 draws over 3 groups.
@@ -133,7 +138,11 @@ fn expected(catalog: &Catalog, case: &Case) -> Vec<String> {
 #[test]
 fn concurrent_clients_get_direct_catalog_answers_within_the_thread_budget() {
     let csv = observation_log();
-    let handle = spawn(ServerConfig::default()).unwrap();
+    let handle = spawn(ServerConfig {
+        pgwire_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
 
     // Load over the wire…
     let mut admin = Client::connect(handle.addr()).unwrap();
@@ -166,7 +175,47 @@ fn concurrent_clients_get_direct_catalog_answers_within_the_thread_budget() {
     let expectations: Arc<Vec<Vec<String>>> =
         Arc::new(CASES.iter().map(|case| expected(&catalog, case)).collect());
 
+    // pgwire expectations: the same per-estimator answers the JSON front
+    // gives, laid out by the shared `panel_rows` formatter.
+    let pg_expect = |sql: &str| -> (Vec<String>, Vec<PgRow>) {
+        let mut probe = Client::connect(handle.addr()).unwrap();
+        let replies: Vec<(&'static str, _)> = EstimatorKind::all()
+            .into_iter()
+            .map(|kind| (kind.name(), probe.query(sql, &[kind.name()], true).unwrap()))
+            .collect();
+        panel_rows(&replies)
+    };
+    let pg_expectations = Arc::new(vec![
+        (PG_SQL, pg_expect(PG_SQL)),
+        (PG_GROUPED_SQL, pg_expect(PG_GROUPED_SQL)),
+    ]);
+
     let addr = handle.addr();
+    let pg_addr = handle.pgwire_addr().expect("pgwire front enabled");
+    let pg_clients: Vec<_> = (0..PG_CLIENTS)
+        .map(|id| {
+            let pg_expectations = Arc::clone(&pg_expectations);
+            std::thread::spawn(move || {
+                let mut client = PgClient::connect(pg_addr).expect("pgwire connect");
+                for round in 0..ROUNDS {
+                    for (i, (sql, (want_columns, want_rows))) in pg_expectations.iter().enumerate()
+                    {
+                        let result = client
+                            .simple_query(sql)
+                            .unwrap_or_else(|e| panic!("pg client {id}: {sql}: {e}"));
+                        assert_eq!(
+                            &result.columns, want_columns,
+                            "pg client {id} round {round} case {i}"
+                        );
+                        assert_eq!(
+                            &result.rows, want_rows,
+                            "pg client {id} round {round}: {sql}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
     let clients: Vec<_> = (0..CLIENTS)
         .map(|id| {
             let expectations = Arc::clone(&expectations);
@@ -196,11 +245,14 @@ fn concurrent_clients_get_direct_catalog_answers_within_the_thread_budget() {
     for client in clients {
         client.join().expect("client thread");
     }
+    for client in pg_clients {
+        client.join().expect("pgwire client thread");
+    }
 
     let stats = admin.stats().unwrap();
     assert!(
-        stats.connections >= (CLIENTS + 1) as u64,
-        "all clients were served (connections={})",
+        stats.connections >= (CLIENTS + PG_CLIENTS + 1) as u64,
+        "all clients on both fronts were served (connections={})",
         stats.connections
     );
     assert_eq!(stats.tables, vec!["sightings".to_string()]);
