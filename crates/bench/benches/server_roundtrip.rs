@@ -26,16 +26,19 @@ const GROUPS: usize = 8;
 const PER_GROUP: usize = 240;
 const SQL: &str = "SELECT SUM(v) FROM t";
 const GROUPED_SQL: &str = "SELECT SUM(v) FROM t GROUP BY g";
+/// A twin table left completely untouched until the `cold_columnar`
+/// measurement: its one round-trip pays the projection build **and** the
+/// vectorized statistics, with no cache anywhere.
+const COLD_SQL: &str = "SELECT SUM(v) FROM t_cold";
 const ESTIMATORS: &[&str] = &["bucket", "naive", "freq"];
 
-/// The grouped_batch workload as a server-side catalog.
-fn catalog() -> Catalog {
+fn build_table(name: &str) -> IntegratedTable {
     let schema = Schema::new([
         ("k", ColumnType::Str),
         ("v", ColumnType::Float),
         ("g", ColumnType::Str),
     ]);
-    let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+    let mut t = IntegratedTable::new(name, schema, "k").unwrap();
     for g in 0..GROUPS {
         let mut rng = Rng::new(3 ^ (g as u64).wrapping_mul(0x9E37_79B9));
         for i in 0..PER_GROUP {
@@ -51,8 +54,14 @@ fn catalog() -> Catalog {
             .unwrap();
         }
     }
+    t
+}
+
+/// The grouped_batch workload as a server-side catalog.
+fn catalog() -> Catalog {
     let mut catalog = Catalog::new();
-    catalog.register(t).unwrap();
+    catalog.register(build_table("t")).unwrap();
+    catalog.register(build_table("t_cold")).unwrap();
     catalog
 }
 
@@ -70,6 +79,12 @@ fn bench_server(c: &mut Criterion) {
     let grouped_cold = client.query(GROUPED_SQL, ESTIMATORS, true).unwrap();
     let grouped_cold_ns = start.elapsed().as_secs_f64() * 1e9;
     assert!(!grouped_cold.cache_hit);
+    // Fully cold columnar round-trip: first contact with `t_cold` ever, so
+    // the time includes the projection build + vectorized selection/sort.
+    let start = Instant::now();
+    let cold_columnar = client.query(COLD_SQL, ESTIMATORS, false).unwrap();
+    let cold_columnar_ns = start.elapsed().as_secs_f64() * 1e9;
+    assert!(!cold_columnar.cache_hit);
 
     // Prepared-query session: the same SQL frozen behind a named session.
     client
@@ -114,6 +129,11 @@ fn bench_server(c: &mut Criterion) {
     let mut results: Vec<(String, f64, f64)> = vec![
         ("cold".to_string(), cold_ns, cold_ns),
         ("grouped_cold".to_string(), grouped_cold_ns, grouped_cold_ns),
+        (
+            "cold_columnar".to_string(),
+            cold_columnar_ns,
+            cold_columnar_ns,
+        ),
     ];
     let mut record = |name: &str, mut run: Box<dyn FnMut() + '_>| {
         run(); // warm-up
@@ -182,6 +202,10 @@ fn bench_server(c: &mut Criterion) {
     json.push_str(&format!(
         "  \"profile_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"bytes\": {} }},\n",
         stats.cache.hits, stats.cache.misses, stats.cache.evictions, stats.cache.bytes
+    ));
+    json.push_str(&format!(
+        "  \"projection\": {{ \"builds\": {}, \"reuses\": {}, \"bytes\": {} }},\n",
+        stats.projection.builds, stats.projection.reuses, stats.projection.bytes
     ));
     json.push_str("  \"roundtrip_ns\": {\n");
     for (i, (name, mean, min)) in results.iter().enumerate() {

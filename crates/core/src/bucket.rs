@@ -25,6 +25,7 @@ use crate::estimate::{DeltaEstimate, SumEstimator};
 use crate::naive::NaiveEstimator;
 use crate::profile::ViewProfile;
 use crate::sample::{ObservedItem, SampleView};
+use uu_stats::species::chao92_from_counts;
 
 /// Per-bucket diagnostics produced by [`DynamicBucketEstimator::bucketize`]
 /// and consumed by the AVG/MIN/MAX strategies (§5).
@@ -169,71 +170,204 @@ impl DynamicBucketEstimator {
     /// [`Self::bucketize`] over an externally sorted item list (ascending by
     /// value) — the entry point for callers holding a memoized sort, such as
     /// [`ViewProfile::bucket_reports`].
+    ///
+    /// With the stock naïve inner estimator this runs the vectorized dense
+    /// splitter (prefix counts over the presorted column, no per-candidate
+    /// [`SampleView`] materialisation); custom inner estimators fall back to
+    /// the row reference path ([`Self::bucketize_sorted_rows`]). Results are
+    /// bit-for-bit identical either way.
     pub fn bucketize_sorted(&self, sorted: &[&ObservedItem]) -> Vec<BucketReport> {
         if sorted.is_empty() {
             return Vec::new();
         }
-        let ranges = self.split_ranges(sorted);
+        if self.inner_is_default {
+            return bucketize_sorted_dense(sorted);
+        }
+        self.bucketize_sorted_rows(sorted)
+    }
+
+    /// The row reference implementation of [`Self::bucketize_sorted`]: every
+    /// candidate sub-range is materialised as a [`SampleView`] and handed to
+    /// the inner estimator. Kept as the parity oracle for the dense path (and
+    /// as the only path for custom inner estimators, whose statistics aren't
+    /// expressible as prefix counts).
+    pub fn bucketize_sorted_rows(&self, sorted: &[&ObservedItem]) -> Vec<BucketReport> {
+        if sorted.is_empty() {
+            return Vec::new();
+        }
+        let ranges = split_ranges_with(
+            sorted.len(),
+            |k| sorted[k - 1].value == sorted[k].value,
+            |lo, hi| self.inner.estimate_delta(&subview(&sorted[lo..hi])),
+        );
         ranges
             .into_iter()
             .map(|(lo, hi, est)| report_for(&sorted[lo..hi], est))
             .collect()
     }
+}
 
-    /// Algorithm 1 over index ranges of the sorted item list. Returns the
-    /// final `(lo, hi, Δ)` ranges sorted by `lo`.
-    fn split_ranges(&self, sorted: &[&ObservedItem]) -> Vec<(usize, usize, DeltaEstimate)> {
-        let full = (0usize, sorted.len());
-        let mut memo: HashMap<(usize, usize), DeltaEstimate> = HashMap::new();
-        let mut delta_of = |lo: usize, hi: usize| -> DeltaEstimate {
-            *memo
-                .entry((lo, hi))
-                .or_insert_with(|| self.inner.estimate_delta(&subview(&sorted[lo..hi])))
-        };
+/// Algorithm 1 over index ranges of a sorted item list of length `len`:
+/// `same_value(k)` reports whether positions `k-1` and `k` hold the same
+/// value (items sharing a value stay together), `compute(lo, hi)` produces
+/// the Δ estimate of the half-open range. Returns the final `(lo, hi, Δ)`
+/// ranges sorted by `lo`. Range estimates are memoized, so `compute` runs at
+/// most once per distinct range regardless of how often the candidate loop
+/// revisits it.
+///
+/// Shared by the row reference path and the dense columnar path — both
+/// traverse identical split sequences by construction, so any divergence can
+/// only come from the per-range Δ computation itself (pinned by tests).
+fn split_ranges_with(
+    len: usize,
+    same_value: impl Fn(usize) -> bool,
+    mut compute: impl FnMut(usize, usize) -> DeltaEstimate,
+) -> Vec<(usize, usize, DeltaEstimate)> {
+    let full = (0usize, len);
+    let mut memo: HashMap<(usize, usize), DeltaEstimate> = HashMap::new();
+    let mut delta_of = |lo: usize, hi: usize| -> DeltaEstimate {
+        *memo.entry((lo, hi)).or_insert_with(|| compute(lo, hi))
+    };
 
-        // δ_min tracks the total Σ|Δ| over the current bucketing.
-        let mut delta_min = delta_of(full.0, full.1).abs_or_infinite();
-        let mut todo: VecDeque<(usize, usize)> = VecDeque::from([full]);
-        let mut done: Vec<(usize, usize, DeltaEstimate)> = Vec::new();
+    // δ_min tracks the total Σ|Δ| over the current bucketing.
+    let mut delta_min = delta_of(full.0, full.1).abs_or_infinite();
+    let mut todo: VecDeque<(usize, usize)> = VecDeque::from([full]);
+    let mut done: Vec<(usize, usize, DeltaEstimate)> = Vec::new();
 
-        while let Some((lo, hi)) = todo.pop_front() {
-            let own = delta_of(lo, hi);
-            let own_abs = own.abs_or_infinite();
-            if !own_abs.is_finite() {
-                // An undefined bucket can never be improved by the strict
-                // comparison below; keep it whole.
-                done.push((lo, hi, own));
-                continue;
+    while let Some((lo, hi)) = todo.pop_front() {
+        let own = delta_of(lo, hi);
+        let own_abs = own.abs_or_infinite();
+        if !own_abs.is_finite() {
+            // An undefined bucket can never be improved by the strict
+            // comparison below; keep it whole.
+            done.push((lo, hi, own));
+            continue;
+        }
+        // Total of all other buckets.
+        let delta_tmp = delta_min - own_abs;
+        let mut best: Option<usize> = None;
+        // Candidate split points: boundaries between distinct values
+        // ("for unique r ∈ b: split(b, r.value)"); splitting after the
+        // last distinct value would leave t2 empty and is skipped.
+        for k in (lo + 1)..hi {
+            if same_value(k) {
+                continue; // items sharing a value stay together
             }
-            // Total of all other buckets.
-            let delta_tmp = delta_min - own_abs;
-            let mut best: Option<usize> = None;
-            // Candidate split points: boundaries between distinct values
-            // ("for unique r ∈ b: split(b, r.value)"); splitting after the
-            // last distinct value would leave t2 empty and is skipped.
-            for k in (lo + 1)..hi {
-                if sorted[k - 1].value == sorted[k].value {
-                    continue; // items sharing a value stay together
-                }
-                let cand = delta_tmp
-                    + delta_of(lo, k).abs_or_infinite()
-                    + delta_of(k, hi).abs_or_infinite();
-                if cand < delta_min {
-                    delta_min = cand;
-                    best = Some(k);
-                }
-            }
-            match best {
-                Some(k) => {
-                    todo.push_back((lo, k));
-                    todo.push_back((k, hi));
-                }
-                None => done.push((lo, hi, own)),
+            let cand =
+                delta_tmp + delta_of(lo, k).abs_or_infinite() + delta_of(k, hi).abs_or_infinite();
+            if cand < delta_min {
+                delta_min = cand;
+                best = Some(k);
             }
         }
-        done.sort_by_key(|&(lo, _, _)| lo);
-        done
+        match best {
+            Some(k) => {
+                todo.push_back((lo, k));
+                todo.push_back((k, hi));
+            }
+            None => done.push((lo, hi, own)),
+        }
     }
+    done.sort_by_key(|&(lo, _, _)| lo);
+    done
+}
+
+/// The presorted columnar layout the dense splitter runs over: the value
+/// column plus exclusive prefix arrays of the three integer statistics the
+/// naïve/Chao92 pipeline consumes. Every statistic of a candidate range
+/// `[lo, hi)` is two array reads and a subtraction — exact, because `n`,
+/// `f1` and `Σ m(m−1)` are order-independent integer sums — while the one
+/// order-sensitive float statistic (`φ_K`) is re-accumulated sequentially
+/// over `values[lo..hi]`, in exactly the item order
+/// [`SampleView::from_observed_items`] uses, to keep parity bit-for-bit.
+struct DenseSorted {
+    values: Vec<f64>,
+    /// `prefix_n[i]` = Σ multiplicity over items `[0, i)`.
+    prefix_n: Vec<u64>,
+    /// `prefix_f1[i]` = singleton count over items `[0, i)`.
+    prefix_f1: Vec<u64>,
+    /// `prefix_sii[i]` = Σ m(m−1) over items `[0, i)` — identical to the
+    /// ladder sum `Σ_i i(i−1)f_i` of the range, exactly, in u64.
+    prefix_sii: Vec<u64>,
+}
+
+impl DenseSorted {
+    fn new(sorted: &[&ObservedItem]) -> Self {
+        let len = sorted.len();
+        let mut values = Vec::with_capacity(len);
+        let mut prefix_n = Vec::with_capacity(len + 1);
+        let mut prefix_f1 = Vec::with_capacity(len + 1);
+        let mut prefix_sii = Vec::with_capacity(len + 1);
+        let (mut n, mut f1, mut sii) = (0u64, 0u64, 0u64);
+        prefix_n.push(0);
+        prefix_f1.push(0);
+        prefix_sii.push(0);
+        for item in sorted {
+            values.push(item.value);
+            n += item.multiplicity;
+            f1 += u64::from(item.multiplicity == 1);
+            sii += item.multiplicity * (item.multiplicity - 1);
+            prefix_n.push(n);
+            prefix_f1.push(f1);
+            prefix_sii.push(sii);
+        }
+        DenseSorted {
+            values,
+            prefix_n,
+            prefix_f1,
+            prefix_sii,
+        }
+    }
+
+    /// The naïve(Chao92) Δ of range `[lo, hi)` — what the row path computes
+    /// as `NaiveEstimator::default().estimate_delta(&subview(..))`, without
+    /// building the subview.
+    fn delta_of(&self, lo: usize, hi: usize) -> DeltaEstimate {
+        let c = (hi - lo) as u64;
+        let n = self.prefix_n[hi] - self.prefix_n[lo];
+        let f1 = self.prefix_f1[hi] - self.prefix_f1[lo];
+        let sii = self.prefix_sii[hi] - self.prefix_sii[lo];
+        match chao92_from_counts(n, c, f1, sii).value() {
+            Some(n_hat) => {
+                let observed_sum: f64 = self.values[lo..hi].iter().sum();
+                NaiveEstimator::delta_from_stats(c, observed_sum, n_hat)
+            }
+            None => DeltaEstimate::UNDEFINED,
+        }
+    }
+
+    fn report(&self, lo: usize, hi: usize, estimate: DeltaEstimate) -> BucketReport {
+        let observed_sum: f64 = self.values[lo..hi].iter().sum();
+        BucketReport {
+            lo: self.values.get(lo).copied().unwrap_or(f64::NAN),
+            hi: if hi > lo {
+                self.values[hi - 1]
+            } else {
+                f64::NAN
+            },
+            c: (hi - lo) as u64,
+            n: self.prefix_n[hi] - self.prefix_n[lo],
+            f1: self.prefix_f1[hi] - self.prefix_f1[lo],
+            observed_sum,
+            estimate,
+        }
+    }
+}
+
+/// The dense columnar splitter: one pass to build [`DenseSorted`], then
+/// Algorithm 1 with O(1)-statistics candidate evaluation. No intermediate
+/// `SampleView`/`ObservedItem` allocation anywhere on the path.
+fn bucketize_sorted_dense(sorted: &[&ObservedItem]) -> Vec<BucketReport> {
+    let dense = DenseSorted::new(sorted);
+    let ranges = split_ranges_with(
+        sorted.len(),
+        |k| dense.values[k - 1] == dense.values[k],
+        |lo, hi| dense.delta_of(lo, hi),
+    );
+    ranges
+        .into_iter()
+        .map(|(lo, hi, est)| dense.report(lo, hi, est))
+        .collect()
 }
 
 impl SumEstimator for DynamicBucketEstimator {
@@ -381,6 +515,7 @@ impl SumEstimator for StaticBucketEstimator {
 mod tests {
     use super::*;
     use crate::frequency::FrequencyEstimator;
+    use proptest::prelude::*;
 
     fn toy_before() -> SampleView {
         SampleView::from_value_multiplicities([(1000.0, 1), (2000.0, 2), (10_000.0, 4)])
@@ -547,5 +682,52 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_buckets_panics() {
         StaticBucketEstimator::new(StaticStrategy::EquiWidth, 0);
+    }
+
+    #[test]
+    fn dense_path_taken_only_for_default_inner() {
+        // `with_inner` must stay on the row reference path even when handed
+        // a NaiveEstimator, because `inner_is_default` is what the dense
+        // splitter's Chao92 specialisation keys on.
+        let s = toy_after();
+        let sorted = s.items_sorted_by_value();
+        let custom = DynamicBucketEstimator::with_inner(NaiveEstimator::default());
+        let stock = DynamicBucketEstimator::default();
+        assert_eq!(
+            custom.bucketize_sorted(&sorted),
+            stock.bucketize_sorted(&sorted)
+        );
+        assert_eq!(
+            stock.bucketize_sorted(&sorted),
+            stock.bucketize_sorted_rows(&sorted)
+        );
+    }
+
+    proptest! {
+        /// The dense columnar splitter is bit-for-bit identical to the row
+        /// reference (subview-materialising) splitter: same ranges, same
+        /// per-bucket statistics, same `f64` bits in every Δ and N̂.
+        #[test]
+        fn dense_splitter_matches_row_reference(
+            pairs in proptest::collection::vec((0.0f64..10_000.0, 1u64..8), 0..60)
+        ) {
+            let s = SampleView::from_value_multiplicities(pairs.iter().copied());
+            let sorted = s.items_sorted_by_value();
+            let est = DynamicBucketEstimator::default();
+            prop_assert_eq!(est.bucketize_sorted(&sorted), est.bucketize_sorted_rows(&sorted));
+        }
+
+        /// Same property over quantized values, so duplicate-value runs (the
+        /// `same_value` candidate suppression) are actually exercised.
+        #[test]
+        fn dense_splitter_matches_row_reference_with_duplicates(
+            pairs in proptest::collection::vec((0u32..8, 1u64..6), 0..80)
+        ) {
+            let s = SampleView::from_value_multiplicities(
+                pairs.iter().map(|&(v, m)| (f64::from(v) * 10.0, m)));
+            let sorted = s.items_sorted_by_value();
+            let est = DynamicBucketEstimator::default();
+            prop_assert_eq!(est.bucketize_sorted(&sorted), est.bucketize_sorted_rows(&sorted));
+        }
     }
 }

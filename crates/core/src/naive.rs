@@ -59,12 +59,20 @@ impl NaiveEstimator {
     /// `n_hat` — shared with the Monte-Carlo estimator, which plugs its own
     /// `N̂_MC` into the same value model (§3.4.2).
     pub fn delta_for_count(sample: &SampleView, n_hat: f64) -> DeltaEstimate {
-        let c = sample.c() as f64;
+        NaiveEstimator::delta_from_stats(sample.c(), sample.observed_sum(), n_hat)
+    }
+
+    /// [`NaiveEstimator::delta_for_count`] from the raw statistics it
+    /// consumes, without a materialised [`SampleView`]. The dense bucket
+    /// splitter derives `c` and `φ_K` of candidate sub-ranges from presorted
+    /// columns; the float operations here match the view-based path exactly.
+    pub fn delta_from_stats(c: u64, observed_sum: f64, n_hat: f64) -> DeltaEstimate {
+        let c = c as f64;
         if c == 0.0 {
             return DeltaEstimate::UNDEFINED;
         }
         let missing = (n_hat - c).max(0.0);
-        let mean = sample.observed_sum() / c;
+        let mean = observed_sum / c;
         DeltaEstimate::new(mean * missing, n_hat)
     }
 }

@@ -153,6 +153,25 @@ impl<'a> ViewProfile<'a> {
         }
     }
 
+    /// A profile over `view` whose value sort is pre-filled from an
+    /// externally computed permutation: `sorted_idx` holds indices into
+    /// `view.items()` in ascending-value order, exactly as a stable
+    /// `total_cmp` sort (= [`SampleView::items_sorted_by_value`]) would
+    /// produce them. This is the sort-permutation-reuse entry point for
+    /// columnar tables, which memoize one full-column sort per
+    /// `(column, version)` and derive each selection's order by filtering
+    /// that permutation instead of re-sorting. Every other statistic is
+    /// computed lazily as usual; `sort_builds` stays 0.
+    pub fn with_sorted_indices(view: &'a SampleView, sorted_idx: &[u32]) -> Self {
+        let profile = ViewProfile::new(view);
+        let items = view.items();
+        debug_assert_eq!(sorted_idx.len(), items.len(), "permutation covers the view");
+        let _ = profile
+            .sorted
+            .set(sorted_idx.iter().map(|&i| &items[i as usize]).collect());
+        profile
+    }
+
     /// The profiled view.
     pub fn view(&self) -> &'a SampleView {
         self.view
@@ -353,6 +372,39 @@ impl ProfileSnapshot {
         }
     }
 
+    /// [`ProfileSnapshot::capture`] with the value-sort permutation supplied
+    /// by the caller instead of recomputed: columnar tables derive each
+    /// selection's order by filtering a memoized full-column sort, and this
+    /// entry point freezes that permutation directly. `sorted_idx` must hold
+    /// indices into `view.items()` in ascending-value order exactly as a
+    /// stable `total_cmp` sort would produce them (the invariant the
+    /// `columnar_parity` suite pins); statistics are bit-for-bit those of
+    /// `capture`.
+    pub fn capture_presorted(view: SampleView, sorted_idx: Vec<u32>) -> Self {
+        let (species, buckets, bucket_delta, diagnostics, recommendation, ranks) = {
+            let profile = ViewProfile::with_sorted_indices(&view, &sorted_idx);
+            profile.warm();
+            (
+                profile.species.all_estimates(),
+                profile.bucket_reports().to_vec(),
+                profile.bucket_delta(),
+                profile.diagnostics(),
+                profile.recommendation(),
+                profile.rank_multiplicities().to_vec(),
+            )
+        };
+        ProfileSnapshot {
+            view,
+            species,
+            sorted_idx,
+            buckets,
+            bucket_delta,
+            diagnostics,
+            recommendation,
+            ranks,
+        }
+    }
+
     /// The frozen view.
     pub fn view(&self) -> &SampleView {
         &self.view
@@ -371,9 +423,13 @@ impl ProfileSnapshot {
             .iter()
             .map(|item| size_of::<ObservedItem>() + size_of_val(item.source_counts.as_slice()))
             .sum();
+        // The frequency ladder `f_1..f_max` lives behind the view too; its
+        // heap buffer is one `u64` per multiplicity level.
+        let ladder_bytes = self.view.freq().max_multiplicity() as usize * size_of::<u64>();
         size_of::<Self>()
             + item_bytes
             + size_of_val(self.view.source_sizes())
+            + ladder_bytes
             + size_of_val(self.sorted_idx.as_slice())
             + size_of_val(self.buckets.as_slice())
             + size_of_val(self.ranks.as_slice())
@@ -849,6 +905,43 @@ mod tests {
         assert_eq!(thawed_sorted, direct_sorted);
         // The hit path never rebuilds a statistic.
         assert_eq!(thawed.metrics().total_builds(), 0);
+    }
+
+    #[test]
+    fn presorted_profile_reuses_the_permutation_without_sorting() {
+        let v = lineage_sample();
+        let items = v.items();
+        let mut idx: Vec<u32> = (0..items.len() as u32).collect();
+        idx.sort_by(|&a, &b| items[a as usize].value.total_cmp(&items[b as usize].value));
+        let reference = ViewProfile::new(&v);
+        let presorted = ViewProfile::with_sorted_indices(&v, &idx);
+        let got: Vec<f64> = presorted.sorted_items().iter().map(|i| i.value).collect();
+        let want: Vec<f64> = reference.sorted_items().iter().map(|i| i.value).collect();
+        assert_eq!(got, want);
+        assert_eq!(presorted.metrics().sort_builds, 0);
+        assert_eq!(presorted.bucket_delta(), reference.bucket_delta());
+        assert_eq!(presorted.recommendation(), reference.recommendation());
+    }
+
+    #[test]
+    fn capture_presorted_matches_capture_bit_for_bit() {
+        let v = lineage_sample();
+        let items = v.items();
+        let mut idx: Vec<u32> = (0..items.len() as u32).collect();
+        idx.sort_by(|&a, &b| items[a as usize].value.total_cmp(&items[b as usize].value));
+        let from_scratch = ProfileSnapshot::capture(v.clone());
+        let presorted = ProfileSnapshot::capture_presorted(v, idx);
+        let a = from_scratch.profile();
+        let b = presorted.profile();
+        for est in SpeciesEstimator::ALL {
+            assert_eq!(a.species(est), b.species(est));
+        }
+        assert_eq!(a.bucket_reports(), b.bucket_reports());
+        assert_eq!(a.bucket_delta(), b.bucket_delta());
+        assert_eq!(a.diagnostics(), b.diagnostics());
+        assert_eq!(a.recommendation(), b.recommendation());
+        assert_eq!(a.rank_multiplicities(), b.rank_multiplicities());
+        assert_eq!(from_scratch.approx_bytes(), presorted.approx_bytes());
     }
 
     #[test]

@@ -195,8 +195,15 @@ pub fn execute(
     if query.group_by.is_some() {
         return Err(ExecError::GroupedQuery);
     }
-    let view = table.sample_view(query.column.as_deref(), &query.predicate)?;
-    Ok(compute(query.to_string(), query.agg, &view, method))
+    let (view, sorted) =
+        table.sample_view_with_sorted(query.column.as_deref(), &query.predicate)?;
+    Ok(compute(
+        query.to_string(),
+        query.agg,
+        &view,
+        &sorted,
+        method,
+    ))
 }
 
 fn check_table(table: &IntegratedTable, query: &AggregateQuery) -> Result<(), ExecError> {
@@ -237,8 +244,11 @@ pub fn execute_grouped(
             result,
         }]);
     };
-    let groups =
-        table.grouped_sample_views(query.column.as_deref(), &query.predicate, group_column)?;
+    let groups = table.grouped_sample_views_with_sorted(
+        query.column.as_deref(),
+        &query.predicate,
+        group_column,
+    )?;
     Ok(compute_groups(query, group_column, groups, method))
 }
 
@@ -248,12 +258,12 @@ pub fn execute_grouped(
 fn compute_groups(
     query: &AggregateQuery,
     group_column: &str,
-    groups: Vec<(crate::value::Value, SampleView)>,
+    groups: Vec<(crate::value::Value, SampleView, Vec<u32>)>,
     method: CorrectionMethod,
 ) -> Vec<GroupResult> {
-    uu_core::exec::global().map_indexed(groups, |_, (key, view)| {
+    uu_core::exec::global().map_indexed(groups, |_, (key, view, sorted)| {
         let label = format!("{query} [{group_column} = {key}]");
-        let result = compute(label, query.agg, &view, method);
+        let result = compute(label, query.agg, &view, &sorted, method);
         GroupResult { key, result }
     })
 }
@@ -346,17 +356,20 @@ pub fn selection(
         return Ok((hit, true));
     }
     let universes = match query.group_by.as_deref() {
-        Some(group_column) => {
-            table.grouped_sample_views(query.column.as_deref(), &query.predicate, group_column)?
+        Some(group_column) => table.grouped_sample_views_with_sorted(
+            query.column.as_deref(),
+            &query.predicate,
+            group_column,
+        )?,
+        None => {
+            let (view, sorted) =
+                table.sample_view_with_sorted(query.column.as_deref(), &query.predicate)?;
+            vec![(crate::value::Value::Null, view, sorted)]
         }
-        None => vec![(
-            crate::value::Value::Null,
-            table.sample_view(query.column.as_deref(), &query.predicate)?,
-        )],
     };
     let snapshots = Arc::new(
-        uu_core::exec::global().map_indexed(universes, |_, (group, view)| {
-            (group, ProfileSnapshot::capture(view))
+        uu_core::exec::global().map_indexed(universes, |_, (group, view, sorted)| {
+            (group, ProfileSnapshot::capture_presorted(view, sorted))
         }),
     );
     cache.insert_weighted(key, Arc::clone(&snapshots), selection_bytes(&snapshots));
@@ -438,14 +451,21 @@ pub fn execute_grouped_cached(
 
 /// Computes the dual answer for one estimation universe, sharing one
 /// [`ViewProfile`] between the correction, the §5 strategies and the result
-/// metadata.
+/// metadata. The profile starts with its value sort pre-filled from the
+/// table's memoized column permutation, so no estimation path re-sorts.
 fn compute(
     query_display: String,
     agg: AggregateFunction,
     view: &SampleView,
+    sorted_idx: &[u32],
     method: CorrectionMethod,
 ) -> QueryResult {
-    compute_profiled(query_display, agg, &ViewProfile::new(view), method)
+    compute_profiled(
+        query_display,
+        agg,
+        &ViewProfile::with_sorted_indices(view, sorted_idx),
+        method,
+    )
 }
 
 /// [`compute`] over a caller-supplied profile — the entry point for cached

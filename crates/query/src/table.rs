@@ -6,7 +6,10 @@
 //! deduplicated view; the estimators consume the lineage.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use crate::columnar::{self, GroupKey, Projection};
 use crate::predicate::{Predicate, PredicateError};
 use crate::record::{Record, RecordError};
 use crate::schema::{ColumnType, Schema};
@@ -104,12 +107,21 @@ pub struct IntegratedTable {
     /// also part of the cache key: two distinct tables that happen to share a
     /// name and a version can never serve each other's cached profiles.
     instance: u64,
+    /// The cached columnar [`Projection`] of the current version, built
+    /// lazily on the first cold read and shared by every query until the
+    /// next mutation invalidates it.
+    projection: Mutex<Option<Arc<Projection>>>,
+    /// Projections built (cold reads after a mutation or on a fresh table).
+    projection_builds: AtomicU64,
+    /// Reads served by the cached projection.
+    projection_reuses: AtomicU64,
 }
 
 impl Clone for IntegratedTable {
     /// Clones the contents but assigns a **fresh instance id**: the clone is
     /// a different table that may diverge from the original, so it must not
-    /// share cached profiles with it.
+    /// share cached profiles with it. The columnar projection and its
+    /// counters start cold.
     fn clone(&self) -> Self {
         IntegratedTable {
             name: self.name.clone(),
@@ -119,6 +131,9 @@ impl Clone for IntegratedTable {
             index: self.index.clone(),
             version: self.version,
             instance: next_instance(),
+            projection: Mutex::new(None),
+            projection_builds: AtomicU64::new(0),
+            projection_reuses: AtomicU64::new(0),
         }
     }
 }
@@ -142,6 +157,9 @@ impl IntegratedTable {
             index: HashMap::new(),
             version: 0,
             instance: next_instance(),
+            projection: Mutex::new(None),
+            projection_builds: AtomicU64::new(0),
+            projection_reuses: AtomicU64::new(0),
         })
     }
 
@@ -205,6 +223,9 @@ impl IntegratedTable {
             Err(pos) => entity.source_counts.insert(pos, (source_id, 1)),
         }
         self.version += 1;
+        // Drop the now-stale projection eagerly (reads would reject it by
+        // version anyway; this just frees the buffers sooner).
+        *self.projection.get_mut().expect("projection lock") = None;
         Ok(())
     }
 
@@ -235,28 +256,147 @@ impl IntegratedTable {
             .map(|&i| &self.entities[i])
     }
 
-    /// Builds the estimator input for `AGG(attr_column) WHERE predicate`:
-    /// entities passing the predicate, with the attribute as the value and
-    /// full lineage. Entities whose attribute is NULL are skipped (SQL
-    /// aggregate semantics).
-    pub fn sample_view(
-        &self,
-        attr_column: Option<&str>,
-        predicate: &Predicate,
-    ) -> Result<SampleView, TableError> {
-        let attr_idx = match attr_column {
+    /// Resolves and validates the aggregate attribute column.
+    fn checked_attr(&self, attr_column: Option<&str>) -> Result<Option<usize>, TableError> {
+        match attr_column {
             Some(name) => {
                 let idx = self
                     .schema
                     .index_of(name)
                     .ok_or_else(|| TableError::UnknownColumn(name.to_string()))?;
                 match self.schema.column(idx).ty {
-                    ColumnType::Int | ColumnType::Float => Some(idx),
-                    ColumnType::Str => return Err(TableError::NonNumericColumn(name.to_string())),
+                    ColumnType::Int | ColumnType::Float => Ok(Some(idx)),
+                    ColumnType::Str => Err(TableError::NonNumericColumn(name.to_string())),
                 }
             }
-            None => None, // COUNT(*): values are irrelevant
-        };
+            None => Ok(None), // COUNT(*): values are irrelevant
+        }
+    }
+
+    /// The columnar [`Projection`] of the current table state, building and
+    /// caching it when the cache is cold or a mutation made it stale.
+    pub fn projection(&self) -> Arc<Projection> {
+        let mut guard = self.projection.lock().expect("projection lock");
+        if let Some(p) = guard.as_ref() {
+            if p.version() == self.version {
+                self.projection_reuses.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(p);
+            }
+        }
+        let p = Arc::new(Projection::build(
+            &self.schema,
+            &self.entities,
+            self.version,
+        ));
+        self.projection_builds.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(Arc::clone(&p));
+        p
+    }
+
+    /// `(builds, reuses)` of the projection cache since construction.
+    pub fn projection_metrics(&self) -> (u64, u64) {
+        (
+            self.projection_builds.load(Ordering::Relaxed),
+            self.projection_reuses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Heap bytes held by the materialized projection, 0 when none is
+    /// cached for the current version.
+    pub fn projection_bytes(&self) -> usize {
+        self.projection
+            .lock()
+            .expect("projection lock")
+            .as_ref()
+            .filter(|p| p.version() == self.version)
+            .map_or(0, |p| p.approx_bytes())
+    }
+
+    /// Pre-builds the columnar projection and, when an aggregate column is
+    /// given, its sort permutation, so a later cold query finds both ready.
+    pub fn warm_projection(&self, attr_column: Option<&str>) -> Result<(), TableError> {
+        let attr_idx = self.checked_attr(attr_column)?;
+        if self.entities.is_empty() {
+            return Ok(());
+        }
+        let proj = self.projection();
+        if let Some(idx) = attr_idx {
+            let _ = proj.sort_perm(idx);
+        }
+        Ok(())
+    }
+
+    /// Builds the estimator input for `AGG(attr_column) WHERE predicate`:
+    /// entities passing the predicate, with the attribute as the value and
+    /// full lineage. Entities whose attribute is NULL are skipped (SQL
+    /// aggregate semantics).
+    ///
+    /// Runs over the columnar projection; results are bit-for-bit those of
+    /// the per-record reference path [`IntegratedTable::sample_view_rows`].
+    pub fn sample_view(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+    ) -> Result<SampleView, TableError> {
+        Ok(self.columnar_view(attr_column, predicate, false)?.0)
+    }
+
+    /// [`IntegratedTable::sample_view`] plus the selection's value-sort
+    /// permutation (indices into the view's items, ascending, stable),
+    /// derived from the projection's memoized full-column sort — the input
+    /// to [`uu_core::profile::ProfileSnapshot::capture_presorted`].
+    pub fn sample_view_with_sorted(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+    ) -> Result<(SampleView, Vec<u32>), TableError> {
+        let (view, sorted) = self.columnar_view(attr_column, predicate, true)?;
+        Ok((view, sorted.expect("sorted permutation requested")))
+    }
+
+    fn columnar_view(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+        want_sorted: bool,
+    ) -> Result<(SampleView, Option<Vec<u32>>), TableError> {
+        let attr_idx = self.checked_attr(attr_column)?;
+        // An empty table evaluates the predicate on no record, so even an
+        // unknown predicate column is not an error there — skip compilation
+        // to match.
+        if self.entities.is_empty() {
+            let sorted = want_sorted.then(Vec::new);
+            return Ok((SampleView::from_observed_items(Vec::new()), sorted));
+        }
+        let proj = self.projection();
+        let mut selected = proj.selection_mask(&self.schema, predicate)?;
+        if let Some(idx) = attr_idx {
+            // NULL attributes are excluded from AGG.
+            columnar::and_in_place(&mut selected, proj.valid_bits(idx));
+        }
+        let count = columnar::count_ones(&selected);
+        let mut items = Vec::with_capacity(count);
+        columnar::for_each_set(&selected, |row| {
+            let value = attr_idx.map_or(0.0, |c| proj.float_at(c, row));
+            items.push(ObservedItem {
+                value,
+                multiplicity: proj.mults()[row],
+                source_counts: self.entities[row].source_counts.clone(),
+            });
+        });
+        let sorted =
+            want_sorted.then(|| columnar::sorted_idx_filtered(&proj, attr_idx, &selected, count));
+        Ok((SampleView::from_observed_items(items), sorted))
+    }
+
+    /// Per-record reference implementation of [`IntegratedTable::sample_view`]
+    /// (the pre-columnar code path, kept for parity tests).
+    pub fn sample_view_rows(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+    ) -> Result<SampleView, TableError> {
+        let attr_idx = self.checked_attr(attr_column)?;
         let mut items = Vec::new();
         for entity in &self.entities {
             if !predicate.eval(&self.schema, &entity.record)? {
@@ -290,23 +430,139 @@ impl IntegratedTable {
         predicate: &Predicate,
         group_column: &str,
     ) -> Result<Vec<(Value, SampleView)>, TableError> {
+        Ok(self
+            .columnar_grouped(attr_column, predicate, group_column, false)?
+            .into_iter()
+            .map(|(value, view, _)| (value, view))
+            .collect())
+    }
+
+    /// [`IntegratedTable::grouped_sample_views`] plus each group's
+    /// value-sort permutation (see
+    /// [`IntegratedTable::sample_view_with_sorted`]).
+    pub fn grouped_sample_views_with_sorted(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+        group_column: &str,
+    ) -> Result<Vec<(Value, SampleView, Vec<u32>)>, TableError> {
+        self.columnar_grouped(attr_column, predicate, group_column, true)
+    }
+
+    fn columnar_grouped(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+        group_column: &str,
+        want_sorted: bool,
+    ) -> Result<Vec<(Value, SampleView, Vec<u32>)>, TableError> {
         let group_idx = self
             .schema
             .index_of(group_column)
             .ok_or_else(|| TableError::UnknownColumn(group_column.to_string()))?;
-        let attr_idx = match attr_column {
-            Some(name) => {
-                let idx = self
-                    .schema
-                    .index_of(name)
-                    .ok_or_else(|| TableError::UnknownColumn(name.to_string()))?;
-                match self.schema.column(idx).ty {
-                    ColumnType::Int | ColumnType::Float => Some(idx),
-                    ColumnType::Str => return Err(TableError::NonNumericColumn(name.to_string())),
+        let attr_idx = self.checked_attr(attr_column)?;
+        if self.entities.is_empty() {
+            return Ok(Vec::new());
+        }
+        let proj = self.projection();
+        if proj.lossy_ints(group_idx) {
+            // The group column holds an INT beyond 2^53: entity-key grouping
+            // keys on the exact decimal string, which the widened floats
+            // cannot reproduce — group via the row path and argsort each
+            // group's items (the same stable sort `capture` performs).
+            let groups = self.grouped_sample_views_rows(attr_column, predicate, group_column)?;
+            return Ok(groups
+                .into_iter()
+                .map(|(value, view)| {
+                    let sorted = if want_sorted {
+                        argsort_items(&view)
+                    } else {
+                        Vec::new()
+                    };
+                    (value, view, sorted)
+                })
+                .collect());
+        }
+        let mut selected = proj.selection_mask(&self.schema, predicate)?;
+        if let Some(idx) = attr_idx {
+            columnar::and_in_place(&mut selected, proj.valid_bits(idx));
+        }
+        // One pass over the selected rows assigns groups; each row remembers
+        // its group and its item index within it, so the memoized column
+        // sort can be scattered into per-group permutations in a second
+        // single pass.
+        let rows = self.entities.len();
+        let mut row_group = vec![u32::MAX; rows];
+        let mut row_slot = vec![0u32; rows];
+        let mut by_key: HashMap<GroupKey, u32> = HashMap::new();
+        let mut reps: Vec<Value> = Vec::new();
+        let mut buckets: Vec<Vec<ObservedItem>> = Vec::new();
+        columnar::for_each_set(&selected, |row| {
+            let key = proj.group_key(group_idx, row);
+            let g = *by_key.entry(key).or_insert_with(|| {
+                reps.push(self.entities[row].record.value(group_idx).clone());
+                buckets.push(Vec::new());
+                (reps.len() - 1) as u32
+            });
+            let bucket = &mut buckets[g as usize];
+            row_group[row] = g;
+            row_slot[row] = bucket.len() as u32;
+            let value = attr_idx.map_or(0.0, |c| proj.float_at(c, row));
+            bucket.push(ObservedItem {
+                value,
+                multiplicity: proj.mults()[row],
+                source_counts: self.entities[row].source_counts.clone(),
+            });
+        });
+        let sorted: Vec<Vec<u32>> = if !want_sorted {
+            vec![Vec::new(); buckets.len()]
+        } else {
+            match attr_idx {
+                // No aggregate column: every value ties, stable order is
+                // item order.
+                None => buckets
+                    .iter()
+                    .map(|b| (0..b.len() as u32).collect())
+                    .collect(),
+                Some(c) => {
+                    let mut sorted: Vec<Vec<u32>> = buckets
+                        .iter()
+                        .map(|b| Vec::with_capacity(b.len()))
+                        .collect();
+                    for &r in proj.sort_perm(c) {
+                        let row = r as usize;
+                        if row_group[row] != u32::MAX {
+                            sorted[row_group[row] as usize].push(row_slot[row]);
+                        }
+                    }
+                    sorted
                 }
             }
-            None => None,
         };
+        let mut out: Vec<(Value, SampleView, Vec<u32>)> = reps
+            .into_iter()
+            .zip(buckets.into_iter().map(SampleView::from_observed_items))
+            .zip(sorted)
+            .map(|((value, view), idx)| (value, view, idx))
+            .collect();
+        out.sort_by_key(|(value, _, _)| value.entity_key());
+        Ok(out)
+    }
+
+    /// Per-record reference implementation of
+    /// [`IntegratedTable::grouped_sample_views`] (kept for parity tests and
+    /// as the exact-grouping fallback).
+    pub fn grouped_sample_views_rows(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+        group_column: &str,
+    ) -> Result<Vec<(Value, SampleView)>, TableError> {
+        let group_idx = self
+            .schema
+            .index_of(group_column)
+            .ok_or_else(|| TableError::UnknownColumn(group_column.to_string()))?;
+        let attr_idx = self.checked_attr(attr_column)?;
         // Group key (canonical string) → (representative value, items).
         let mut groups: HashMap<String, (Value, Vec<ObservedItem>)> = HashMap::new();
         for entity in &self.entities {
@@ -337,6 +593,15 @@ impl IntegratedTable {
         out.sort_by_key(|(value, _)| value.entity_key());
         Ok(out)
     }
+}
+
+/// Stable ascending argsort of a view's items by value — the permutation
+/// `items_sorted_by_value` realises.
+fn argsort_items(view: &SampleView) -> Vec<u32> {
+    let items = view.items();
+    let mut idx: Vec<u32> = (0..items.len() as u32).collect();
+    idx.sort_by(|&a, &b| items[a as usize].value.total_cmp(&items[b as usize].value));
+    idx
 }
 
 #[cfg(test)]
@@ -535,6 +800,136 @@ mod tests {
         assert_eq!(groups.len(), 2);
         let null_group = groups.iter().find(|(k, _)| k.is_null()).unwrap();
         assert_eq!(null_group.1.c(), 2);
+    }
+
+    #[test]
+    fn columnar_path_matches_rows_and_caches_the_projection() {
+        let t = tech_table();
+        let pred = Predicate::cmp("state", CmpOp::Eq, Value::from("CA")).or(Predicate::cmp(
+            "employees",
+            CmpOp::Ge,
+            Value::from(10_000.0),
+        )
+        .not());
+        let columnar = t.sample_view(Some("employees"), &pred).unwrap();
+        let rows = t.sample_view_rows(Some("employees"), &pred).unwrap();
+        assert_eq!(columnar, rows);
+        // One build on the first read, reuses afterwards.
+        let _ = t.sample_view(None, &Predicate::True).unwrap();
+        let (builds, reuses) = t.projection_metrics();
+        assert_eq!(builds, 1);
+        assert!(reuses >= 1);
+        assert!(t.projection_bytes() > 0);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_projection() {
+        let mut t = tech_table();
+        let _ = t.sample_view(None, &Predicate::True).unwrap();
+        assert_eq!(t.projection_metrics().0, 1);
+        t.insert_observation(
+            4,
+            vec![Value::from("E"), Value::from(50.0), Value::from("NY")],
+        )
+        .unwrap();
+        assert_eq!(t.projection_bytes(), 0);
+        let v = t.sample_view(Some("employees"), &Predicate::True).unwrap();
+        assert_eq!(v.c(), 4);
+        assert_eq!(t.projection_metrics().0, 2);
+    }
+
+    #[test]
+    fn sorted_permutation_matches_items_sorted_by_value() {
+        let t = tech_table();
+        let pred = Predicate::cmp("employees", CmpOp::Lt, Value::from(10_000.0));
+        let (view, sorted) = t.sample_view_with_sorted(Some("employees"), &pred).unwrap();
+        let items = view.items();
+        let via_perm: Vec<f64> = sorted.iter().map(|&i| items[i as usize].value).collect();
+        let reference: Vec<f64> = view
+            .items_sorted_by_value()
+            .iter()
+            .map(|i| i.value)
+            .collect();
+        assert_eq!(via_perm, reference);
+        // COUNT(*): all values tie, the stable order is item order.
+        let (view, sorted) = t.sample_view_with_sorted(None, &Predicate::True).unwrap();
+        assert_eq!(sorted, (0..view.items().len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grouped_with_sorted_matches_rows() {
+        let t = tech_table();
+        let grouped = t
+            .grouped_sample_views_with_sorted(Some("employees"), &Predicate::True, "state")
+            .unwrap();
+        let reference = t
+            .grouped_sample_views_rows(Some("employees"), &Predicate::True, "state")
+            .unwrap();
+        assert_eq!(grouped.len(), reference.len());
+        for ((value, view, sorted), (rvalue, rview)) in grouped.iter().zip(&reference) {
+            assert_eq!(value, rvalue);
+            assert_eq!(view, rview);
+            let via_perm: Vec<f64> = sorted
+                .iter()
+                .map(|&i| view.items()[i as usize].value)
+                .collect();
+            let want: Vec<f64> = view
+                .items_sorted_by_value()
+                .iter()
+                .map(|i| i.value)
+                .collect();
+            assert_eq!(via_perm, want);
+        }
+    }
+
+    #[test]
+    fn empty_table_ignores_unknown_predicate_columns() {
+        let schema = Schema::new([("k", ColumnType::Str), ("x", ColumnType::Float)]);
+        let t = IntegratedTable::new("t", schema, "k").unwrap();
+        let pred = Predicate::cmp("missing", CmpOp::Eq, Value::Int(1));
+        // The row path never evaluates the predicate on an empty table, so
+        // the columnar path must not error either.
+        assert!(t.sample_view(Some("x"), &pred).unwrap().is_empty());
+        assert!(t.sample_view_rows(Some("x"), &pred).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lossy_int_group_column_falls_back_to_exact_grouping() {
+        let schema = Schema::new([("k", ColumnType::Str), ("g", ColumnType::Float)]);
+        let mut t = IntegratedTable::new("t", schema, "k").unwrap();
+        // Two INTs beyond 2^53 that collide once widened to f64.
+        let a = (1i64 << 53) + 1;
+        let b = 1i64 << 53;
+        t.insert_observation(0, vec![Value::from("a"), Value::Int(a)])
+            .unwrap();
+        t.insert_observation(0, vec![Value::from("b"), Value::Int(b)])
+            .unwrap();
+        let grouped = t.grouped_sample_views(None, &Predicate::True, "g").unwrap();
+        let reference = t
+            .grouped_sample_views_rows(None, &Predicate::True, "g")
+            .unwrap();
+        assert_eq!(grouped, reference);
+        assert_eq!(grouped.len(), 2);
+    }
+
+    #[test]
+    fn warm_projection_builds_buffers_and_checks_columns() {
+        let t = tech_table();
+        t.warm_projection(Some("employees")).unwrap();
+        assert_eq!(t.projection_metrics().0, 1);
+        assert!(t.projection_bytes() > 0);
+        // A warmed table serves reads without another build.
+        let _ = t.sample_view(Some("employees"), &Predicate::True).unwrap();
+        let (builds, reuses) = t.projection_metrics();
+        assert_eq!((builds, reuses), (1, 1));
+        assert!(matches!(
+            t.warm_projection(Some("missing")),
+            Err(TableError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            t.warm_projection(Some("company")),
+            Err(TableError::NonNumericColumn(_))
+        ));
     }
 
     #[test]

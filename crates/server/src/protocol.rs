@@ -22,8 +22,9 @@ use uu_query::value::Value;
 /// Protocol revision; bumped on incompatible changes. Servers echo it in
 /// `stats` responses. Revision 2 added named server-side sessions, prepared
 /// queries, `server_info`, per-session counters in `stats`, and the
-/// `frame_too_large` error code.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `frame_too_large` error code. Revision 3 added the columnar-projection
+/// counters (`projection` builds/reuses/bytes) to `stats`.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Decode failure for a request or response line.
 #[derive(Debug, Clone, PartialEq)]
@@ -853,6 +854,18 @@ pub struct WireExecStats {
     pub peak_workers: u64,
 }
 
+/// Columnar-projection counters in a `stats` response, aggregated over every
+/// registered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireProjectionStats {
+    /// Projections materialized from row storage.
+    pub builds: u64,
+    /// Requests served by an already-current projection.
+    pub reuses: u64,
+    /// Bytes held by currently-valid projections (stale ones count zero).
+    pub bytes: u64,
+}
+
 /// One named session's counters in a `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireSessionStats {
@@ -892,6 +905,8 @@ pub struct StatsReply {
     pub sessions: Vec<WireSessionStats>,
     /// Profile-cache counters.
     pub cache: WireCacheStats,
+    /// Columnar-projection counters.
+    pub projection: WireProjectionStats,
     /// Shared-executor counters.
     pub exec: WireExecStats,
 }
@@ -1138,6 +1153,14 @@ impl Response {
                     ]),
                 ),
                 (
+                    "projection",
+                    Json::obj([
+                        ("builds", Json::Int(s.projection.builds as i64)),
+                        ("reuses", Json::Int(s.projection.reuses as i64)),
+                        ("bytes", Json::Int(s.projection.bytes as i64)),
+                    ]),
+                ),
+                (
                     "exec",
                     Json::obj([
                         ("threads", Json::Int(s.exec.threads as i64)),
@@ -1269,6 +1292,9 @@ impl Response {
             })),
             "stats" => {
                 let cache = json.get("cache").ok_or_else(|| missing("cache"))?;
+                let projection = json
+                    .get("projection")
+                    .ok_or_else(|| missing("projection"))?;
                 let exec = json.get("exec").ok_or_else(|| missing("exec"))?;
                 let sessions = json
                     .get("sessions")
@@ -1307,6 +1333,11 @@ impl Response {
                         capacity: req_u64(cache, "capacity")?,
                         byte_budget: opt_f64(cache, "byte_budget")?,
                         ttl_ms: opt_f64(cache, "ttl_ms")?,
+                    },
+                    projection: WireProjectionStats {
+                        builds: req_u64(projection, "builds")?,
+                        reuses: req_u64(projection, "reuses")?,
+                        bytes: req_u64(projection, "bytes")?,
                     },
                     exec: WireExecStats {
                         threads: req_u64(exec, "threads")?,
@@ -1551,6 +1582,11 @@ mod tests {
                 capacity: 128,
                 byte_budget: Some(1e6),
                 ttl_ms: None,
+            },
+            projection: WireProjectionStats {
+                builds: 3,
+                reuses: 17,
+                bytes: 65_536,
             },
             exec: WireExecStats {
                 threads: 8,

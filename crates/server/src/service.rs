@@ -36,7 +36,7 @@ use std::time::Instant;
 use crate::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
     ServerInfoReply, StatsReply, WireCacheStats, WireError, WireEstimate, WireExecStats,
-    WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+    WireProjectionStats, WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
 };
 use uu_core::engine::{EstimationSession, EstimatorKind};
 use uu_query::catalog::Catalog;
@@ -658,6 +658,7 @@ impl Service {
         let catalog = self.catalog.read().expect("catalog lock");
         let cache = catalog.cache();
         let cache_metrics = cache.metrics();
+        let (projection_builds, projection_reuses, projection_bytes) = catalog.projection_stats();
         let exec_metrics = uu_core::exec::global().metrics();
         let sessions = self
             .sessions
@@ -698,6 +699,11 @@ impl Service {
                 capacity: cache.capacity() as u64,
                 byte_budget: cache.byte_budget().map(|b| b as f64),
                 ttl_ms: cache.ttl().map(|t| t.as_secs_f64() * 1e3),
+            },
+            projection: WireProjectionStats {
+                builds: projection_builds,
+                reuses: projection_reuses,
+                bytes: projection_bytes as u64,
             },
             exec: WireExecStats {
                 threads: exec_metrics.threads as u64,

@@ -7,7 +7,6 @@
 //! ecology baselines included for ablation benchmarks and cross-checks.
 
 use crate::coverage::sample_coverage;
-use crate::cv::cv_squared;
 use crate::freq::FrequencyStatistics;
 
 /// The outcome of a species-richness estimation.
@@ -78,19 +77,35 @@ impl CountEstimate {
 /// assert!((n_hat - (3.5 + 7.0 / 36.0)).abs() < 1e-9);
 /// ```
 pub fn chao92(f: &FrequencyStatistics) -> CountEstimate {
-    let Some(coverage) = sample_coverage(f) else {
+    chao92_from_counts(f.n(), f.c(), f.singletons(), f.sum_i_i_minus_one_f_i())
+}
+
+/// [`chao92`] from the four raw counts it actually consumes, without a
+/// materialised [`FrequencyStatistics`]. The dense bucket-splitting path
+/// evaluates thousands of candidate sub-ranges whose counts come from prefix
+/// arrays; this entry point keeps that path allocation-free while staying
+/// bit-for-bit identical to `chao92` (the float operations are performed in
+/// exactly the same order as `sample_coverage` + `cv_squared`).
+pub fn chao92_from_counts(n: u64, c: u64, f1: u64, sum_i_i_minus_one_f_i: u64) -> CountEstimate {
+    if n == 0 {
         return CountEstimate::Undefined;
-    };
+    }
+    let coverage = (1.0 - f1 as f64 / n as f64).clamp(0.0, 1.0);
     if coverage <= 0.0 {
         return CountEstimate::Undefined;
     }
-    let n = f.n() as f64;
-    let c = f.c() as f64;
+    let nf = n as f64;
+    let cf = c as f64;
     // γ̂² is undefined only when coverage is 0 or n < 2; in the n < 2 case the
     // skew correction is vacuous, so fall back to 0 (pure coverage estimate).
-    let gamma2 = cv_squared(f).unwrap_or(0.0);
-    let n_hat = c / coverage + n * (1.0 - coverage) / coverage * gamma2;
-    CountEstimate::from_raw(n_hat, c)
+    let gamma2 = if n < 2 {
+        0.0
+    } else {
+        let sum = sum_i_i_minus_one_f_i as f64;
+        ((cf / coverage) * sum / (nf * (nf - 1.0)) - 1.0).max(0.0)
+    };
+    let n_hat = cf / coverage + nf * (1.0 - coverage) / coverage * gamma2;
+    CountEstimate::from_raw(n_hat, cf)
 }
 
 /// Chao92 with the skew correction forced to zero: `N̂ = c/Ĉ`.
@@ -472,6 +487,18 @@ mod tests {
     }
 
     proptest! {
+        /// The dense-counts entry point is the same function as `chao92`,
+        /// bit-for-bit, for every reachable ladder.
+        #[test]
+        fn chao92_from_counts_matches_chao92(
+            ms in proptest::collection::vec(1u64..20, 0..150)
+        ) {
+            let f = FrequencyStatistics::from_multiplicities(ms);
+            let dense = chao92_from_counts(
+                f.n(), f.c(), f.singletons(), f.sum_i_i_minus_one_f_i());
+            prop_assert_eq!(dense, chao92(&f));
+        }
+
         #[test]
         fn estimates_are_at_least_c(ms in proptest::collection::vec(1u64..20, 1..150)) {
             let f = FrequencyStatistics::from_multiplicities(ms);

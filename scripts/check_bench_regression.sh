@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Guards the cold query path: compares a fresh BENCH_server_roundtrip.json
+# against the committed baseline and fails if the uncached round-trip mean
+# regressed by more than the allowed factor (default 2x — CI boxes are noisy,
+# but a genuine fall off the columnar path costs ~10x and will trip this).
+#
+# Usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]
+#
+# Plain grep/awk over the flat one-case-per-line JSON the benches emit; no
+# jq/python so the script runs anywhere the benches do.
+set -euo pipefail
+
+fresh="${1:?usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]}"
+baseline="${2:-$(dirname "$0")/../bench-baselines/BENCH_server_roundtrip.json}"
+factor="${3:-2}"
+
+mean_ns() { # <file> <case> -> mean in ns
+    awk -v name="\"$2\":" '$1 == name {
+        for (i = 1; i <= NF; i++) if ($i == "\"mean\":") {
+            gsub(/,/, "", $(i + 1)); print $(i + 1); exit
+        }
+    }' "$1"
+}
+
+check_case() { # <case>
+    local case="$1" base_mean fresh_mean
+    base_mean=$(mean_ns "$baseline" "$case")
+    fresh_mean=$(mean_ns "$fresh" "$case")
+    if [ -z "$base_mean" ] || [ -z "$fresh_mean" ]; then
+        echo "check_bench_regression: case \"$case\" missing from $baseline or $fresh" >&2
+        return 1
+    fi
+    if awk -v f="$fresh_mean" -v b="$base_mean" -v x="$factor" \
+        'BEGIN { exit !(f <= b * x) }'; then
+        echo "ok: $case ${fresh_mean}ns vs baseline ${base_mean}ns (limit ${factor}x)"
+    else
+        echo "REGRESSION: $case ${fresh_mean}ns > ${factor}x baseline ${base_mean}ns" >&2
+        return 1
+    fi
+}
+
+check_case uncached
+check_case cold_columnar

@@ -12,7 +12,8 @@ use uu_query::value::Value;
 use uu_server::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
     ServerInfoReply, StatsReply, WireCacheStats, WireDiagnostics, WireError, WireEstimate,
-    WireExecStats, WireExtreme, WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+    WireExecStats, WireExtreme, WireProjectionStats, WireResult, WireSessionStats, WireValue,
+    PROTOCOL_VERSION,
 };
 
 /// An interesting `f64` from two generated numbers: finite values of many
@@ -208,6 +209,11 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                 capacity: sel[1],
                 byte_budget: opt_float(sel[2], numbers[0].abs()),
                 ttl_ms: opt_float(sel[3], numbers[1].abs()),
+            },
+            projection: WireProjectionStats {
+                builds: sel[2],
+                reuses: sel[3],
+                bytes: sel[4],
             },
             exec: WireExecStats {
                 threads: sel[4],

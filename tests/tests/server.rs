@@ -361,6 +361,16 @@ fn warm_verb_prefills_the_cache() {
     assert!(already, "second warm is a no-op");
     let reply = client.query(sql, &["bucket"], true).unwrap();
     assert!(reply.cache_hit, "query after warm is a pure hit");
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.projection.builds >= 1,
+        "warm materializes the columnar projection (builds={})",
+        stats.projection.builds
+    );
+    assert!(
+        stats.projection.bytes > 0,
+        "a current projection reports its footprint"
+    );
     handle.shutdown();
 }
 
