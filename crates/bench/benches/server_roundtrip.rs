@@ -7,9 +7,13 @@
 //! snapshots — the repeated-query workload the server exists for), the
 //! **prepared-query path** (named session, parse + selection frozen at
 //! `prepare`, repeats skip both the parser and the cache lookup), the
-//! uncached path, and a grouped query. Like `grouped_batch`, every variant
-//! is re-timed explicitly and written as machine-readable JSON to
-//! `BENCH_server_roundtrip.json` (in `$BENCH_JSON_DIR` when set).
+//! uncached path, and a grouped query, plus the **saturation** case: the
+//! same cache-hit round-trip re-measured while ~1k idle connections are
+//! parked on the reactor (`UU_BENCH_IDLE` overrides the count) — the
+//! readiness-driven connection layer must keep the active client's latency
+//! flat. Like `grouped_batch`, every variant is re-timed explicitly and
+//! written as machine-readable JSON to `BENCH_server_roundtrip.json` (in
+//! `$BENCH_JSON_DIR` when set).
 
 use std::time::Instant;
 
@@ -157,6 +161,15 @@ fn bench_server(c: &mut Criterion) {
                 black_box(reply.elapsed_us);
             }),
         );
+        // The saturation comparison's explicit N=0 point: same path as
+        // `cache_hit`, named so the idle0/idle1k pair is self-contained.
+        record(
+            "cache_hit_idle0",
+            Box::new(|| {
+                let reply = client.borrow_mut().query(SQL, ESTIMATORS, true).unwrap();
+                black_box(reply.elapsed_us);
+            }),
+        );
         record(
             "prepared_hit",
             Box::new(|| {
@@ -189,6 +202,51 @@ fn bench_server(c: &mut Criterion) {
         );
     }
 
+    // --- saturation: park ~1k idle connections on the reactor and
+    // re-measure the cache-hit path. The parked sockets never send a byte,
+    // so they must cost the active client nothing. ---
+    let idle_target: usize = std::env::var("UU_BENCH_IDLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    // Both ends of every parked connection live in this process.
+    let _ = uu_server::reactor::raise_nofile_limit(2 * idle_target as u64 + 512);
+    let idles: Vec<std::net::TcpStream> = (0..idle_target)
+        .map_while(|_| std::net::TcpStream::connect(handle.addr()).ok())
+        .collect();
+    let parked = idles.len();
+    // Wait until the reactor has accepted the whole herd (connect()
+    // completes on the kernel backlog, ahead of the server's accept).
+    let accept_deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while client.stats().unwrap().conn.open < parked as u64 + 1 {
+        if Instant::now() >= accept_deadline {
+            println!("server_roundtrip: only part of the idle herd was accepted in time");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut group = c.benchmark_group("server_roundtrip/saturation");
+    group.sample_size(10);
+    group.bench_function("cache_hit_idle1k", |b| {
+        b.iter(|| {
+            let reply = client.query(SQL, ESTIMATORS, true).unwrap();
+            assert!(reply.cache_hit);
+            black_box(reply.groups.len())
+        })
+    });
+    group.finish();
+    {
+        let client = std::cell::RefCell::new(&mut client);
+        record(
+            "cache_hit_idle1k",
+            Box::new(|| {
+                let reply = client.borrow_mut().query(SQL, ESTIMATORS, true).unwrap();
+                black_box(reply.elapsed_us);
+            }),
+        );
+    }
+    drop(idles);
+
     let stats = client.stats().unwrap();
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -206,6 +264,10 @@ fn bench_server(c: &mut Criterion) {
     json.push_str(&format!(
         "  \"projection\": {{ \"builds\": {}, \"reuses\": {}, \"bytes\": {} }},\n",
         stats.projection.builds, stats.projection.reuses, stats.projection.bytes
+    ));
+    json.push_str(&format!(
+        "  \"conn\": {{ \"backend\": \"{}\", \"idle_parked\": {parked}, \"peak_open\": {}, \"backpressure\": {} }},\n",
+        stats.conn.backend, stats.conn.peak_open, stats.conn.backpressure
     ));
     json.push_str("  \"roundtrip_ns\": {\n");
     for (i, (name, mean, min)) in results.iter().enumerate() {

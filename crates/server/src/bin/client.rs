@@ -149,7 +149,7 @@ fn run() -> Result<(), String> {
         }
         "stats" => {
             let stats = client.stats().map_err(fail)?;
-            println!("{}", Response::Stats(stats).encode());
+            println!("{}", Response::Stats(Box::new(stats)).encode());
         }
         "warm" => {
             let (universes, already) = client.warm(args.required("sql")?).map_err(fail)?;

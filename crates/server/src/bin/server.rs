@@ -3,7 +3,7 @@
 //! ```text
 //! uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]
 //!           [--pgwire-port PORT] [--pgwire-port-file PATH]
-//!           [--max-frame-bytes N]
+//!           [--max-frame-bytes N] [--idle-timeout-ms N]
 //!           [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]
 //! ```
 //!
@@ -23,15 +23,17 @@ use uu_server::server::{spawn, ServerConfig};
 fn usage() -> &'static str {
     "usage: uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]\n\
      \x20                [--pgwire-port PORT] [--pgwire-port-file PATH]\n\
-     \x20                [--max-frame-bytes N]\n\
+     \x20                [--max-frame-bytes N] [--idle-timeout-ms N]\n\
      \x20                [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]\n\
      \n\
      Serves the line-delimited JSON estimation protocol (see README,\n\
      \"Service architecture\"); --pgwire-port also enables the pgwire-lite\n\
      front (psql-compatible simple queries) on the same host.\n\
+     --idle-timeout-ms reaps connections with no complete frame for the\n\
+     window (default: never).\n\
      Defaults: --addr 127.0.0.1:7878, pgwire off, workers = UU_THREADS (or\n\
-     detected cores), 16 MiB frame bound, cache capacity 128 entries, no\n\
-     byte budget, no TTL."
+     detected cores), 16 MiB frame bound, no idle timeout, cache capacity\n\
+     128 entries, no byte budget, no TTL."
 }
 
 struct Parsed {
@@ -74,6 +76,13 @@ fn parse_args() -> Result<Parsed, String> {
                 config.max_frame_bytes = value("--max-frame-bytes")?
                     .parse()
                     .map_err(|_| "--max-frame-bytes expects an integer".to_string())?
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Some(Duration::from_millis(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--idle-timeout-ms expects an integer".to_string())?,
+                ))
             }
             "--cache-capacity" => {
                 config.cache_capacity = value("--cache-capacity")?
@@ -128,6 +137,9 @@ fn main() -> ExitCode {
         }
     };
     let config = parsed.config;
+    // Best effort: a C10K front wants headroom above the usual 1024-fd soft
+    // limit. Failure is fine — the reactor degrades to whatever fds we get.
+    let _ = uu_server::reactor::raise_nofile_limit(65_536);
     let workers = config.effective_workers();
     let handle = match spawn(config.clone()) {
         Ok(handle) => handle,
@@ -152,7 +164,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "uu-server listening on {addr} (pgwire={}, workers={workers}, max_frame_bytes={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
+        "uu-server listening on {addr} (pgwire={}, workers={workers}, max_frame_bytes={}, idle_timeout_ms={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
         handle
             .pgwire_addr()
             .map_or_else(|| "off".to_string(), |a| a.to_string()),
@@ -161,6 +173,9 @@ fn main() -> ExitCode {
         } else {
             config.max_frame_bytes
         },
+        config
+            .idle_timeout
+            .map_or_else(|| "none".to_string(), |t| t.as_millis().to_string()),
         config.cache_capacity,
         config
             .cache_bytes

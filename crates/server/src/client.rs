@@ -111,7 +111,7 @@ impl Client {
     /// Fetches the server counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.request(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
+            Response::Stats(stats) => Ok(*stats),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Unexpected(other.encode())),
         }

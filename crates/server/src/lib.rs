@@ -13,9 +13,14 @@
 //!   with no socket types anywhere. Every front routes through it.
 //! * [`protocol`] — the typed request/response structs and their wire
 //!   encoding, shared by server, client, tests and benches.
-//! * [`server`] — the transport layer: accept loops, the fixed handler pool
-//!   (sized to the shared executor budget; no per-connection spawn) and the
-//!   line-JSON framing.
+//! * [`server`] — the transport layer: listener setup, the reactor thread,
+//!   and the executor-backed worker pool (sized to the shared executor
+//!   budget; no per-connection spawn) that runs dispatches for complete
+//!   frames only.
+//! * [`reactor`] — the readiness-driven I/O core: one thread owns every
+//!   socket in non-blocking mode (epoll on Linux, poll fallback), assembles
+//!   frames incrementally in per-connection buffers, and applies write
+//!   backpressure, so 10k mostly-idle connections cost no worker threads.
 //! * [`pgwire`] — the pgwire-lite front: hand-rolled PostgreSQL wire
 //!   messages (startup/auth-ok, simple query, error responses) over the same
 //!   service, plus the raw-socket driver the tests and CI use instead of
@@ -36,13 +41,17 @@
 //! handle.join();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one FFI module behind the reactor's
+// readiness syscalls can opt in with a scoped `allow`; everything else in
+// the crate still refuses `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod json;
 pub mod pgwire;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 

@@ -20,8 +20,14 @@
 //! so the numbers are bit-for-bit the JSON front's answers (floats render
 //! with Rust's shortest round-trip form).
 //!
-//! Connections are multiplexed through the same fixed handler pool as the
-//! JSON front — `peak_workers ≤ UU_THREADS` holds with both fronts live.
+//! Connections are owned by the readiness-driven reactor
+//! ([`crate::reactor`]) like the JSON front's: [`PgCodec`] is the
+//! **resumable** framing state machine — the reactor feeds it the
+//! per-connection read buffer as bytes arrive (no blocking `read_exact`),
+//! and each [`PgStep`] it yields is either protocol bytes to queue
+//! (handshake, declines, errors) or one complete simple query to hand to
+//! the worker pool. `peak_workers ≤ UU_THREADS` holds with both fronts live
+//! and any number of idle connections parked.
 //!
 //! The module also carries [`PgClient`], a minimal raw-socket driver for the
 //! protocol (startup + simple query) used by the loopback tests, the
@@ -32,8 +38,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{ErrorCode, QueryReply, QueryRequest, Request, Response, WireError};
-use crate::server::ServerState;
-use crate::service::SessionCtx;
+use crate::service::{Service, SessionCtx};
 use uu_core::engine::EstimatorKind;
 use uu_query::value::Value;
 
@@ -55,211 +60,142 @@ pub type PgRow = Vec<Option<String>>;
 // Server side
 // ---------------------------------------------------------------------------
 
-/// One pgwire connection as the handler pool sees it: the stream plus
-/// everything that must survive a requeue.
-pub(crate) struct PgwireConn {
-    stream: TcpStream,
-    /// Bytes read but not yet consumed as a full message.
-    pending: Vec<u8>,
-    /// Whether the startup handshake completed.
-    ready: bool,
-    /// Per-connection service context (ad-hoc estimator memo).
-    ctx: SessionCtx,
-}
-
-impl PgwireConn {
-    pub(crate) fn new(stream: TcpStream) -> Self {
-        PgwireConn {
-            stream,
-            pending: Vec::new(),
-            ready: false,
-            ctx: SessionCtx::new(),
-        }
-    }
-}
-
-/// Outcome of trying to slice one message out of the pending buffer.
-enum Framed {
-    /// A full startup-phase packet (length prefix stripped): the i32 code
-    /// plus its payload.
-    Startup(Vec<u8>),
-    /// A full ready-phase message: type byte plus body.
-    Message(u8, Vec<u8>),
-    /// Not enough bytes buffered yet.
-    Incomplete,
-    /// The peer announced a frame beyond the service's frame bound.
-    TooLarge(usize),
-    /// The length prefix is malformed.
-    Malformed,
-}
-
 fn be_i32(bytes: &[u8]) -> i32 {
     i32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
 }
 
-fn try_frame(conn: &PgwireConn, max_frame: usize) -> Framed {
-    let pending = &conn.pending;
-    if !conn.ready {
-        if pending.len() < 4 {
-            return Framed::Incomplete;
-        }
-        let len = be_i32(&pending[..4]);
-        if len < 8 {
-            return Framed::Malformed;
-        }
-        let len = len as usize;
-        if len > max_frame {
-            return Framed::TooLarge(len);
-        }
-        if pending.len() < len {
-            return Framed::Incomplete;
-        }
-        Framed::Startup(pending[4..len].to_vec())
-    } else {
-        if pending.len() < 5 {
-            return Framed::Incomplete;
-        }
-        let kind = pending[0];
-        let len = be_i32(&pending[1..5]);
-        if len < 4 {
-            return Framed::Malformed;
-        }
-        let len = len as usize;
-        if len > max_frame {
-            return Framed::TooLarge(len);
-        }
-        if pending.len() < 1 + len {
-            return Framed::Incomplete;
-        }
-        Framed::Message(kind, pending[5..1 + len].to_vec())
+/// One step the codec asks the reactor to take. Every yielded step consumed
+/// exactly one complete inbound frame.
+pub(crate) enum PgStep {
+    /// Queue these protocol bytes (handshake replies, unsupported-message
+    /// errors followed by `ReadyForQuery`) and keep framing.
+    Reply(Vec<u8>),
+    /// Like [`PgStep::Reply`] but counts a protocol error.
+    ErrorReply(Vec<u8>),
+    /// One complete simple query; the SQL bytes are in the scratch buffer.
+    /// Hand it to the worker pool.
+    Query,
+    /// The peer ended the conversation cleanly (`Terminate`, or a
+    /// `CancelRequest` connection): flush and close.
+    Close,
+    /// Unrecoverable framing state: queue these error bytes, flush, close.
+    Fatal(Vec<u8>),
+}
+
+/// The **resumable** pgwire framing state machine: the reactor feeds it the
+/// per-connection read buffer; it consumes at most one complete frame per
+/// call and never blocks. Partial frames stay buffered — a peer dribbling
+/// one byte per write assembles exactly the same frames as one sending them
+/// whole.
+pub(crate) struct PgCodec {
+    /// Whether the startup handshake completed (startup packets have no
+    /// type byte; ready-phase messages do).
+    ready: bool,
+}
+
+impl PgCodec {
+    pub(crate) fn new() -> Self {
+        PgCodec { ready: false }
     }
-}
 
-/// Consumes the frame that [`try_frame`] just returned.
-fn consume_frame(conn: &mut PgwireConn) {
-    let len = if conn.ready {
-        1 + be_i32(&conn.pending[1..5]) as usize
-    } else {
-        be_i32(&conn.pending[..4]) as usize
-    };
-    conn.pending.drain(..len);
-}
-
-/// Serves one pgwire connection until the peer terminates, an I/O error
-/// occurs, the server shuts down, or another connection needs the handler
-/// (in which case the connection comes back `Some` to be requeued) — the
-/// same multiplexing contract as the JSON front.
-pub(crate) fn serve(state: &ServerState, mut conn: PgwireConn) -> Option<PgwireConn> {
-    let service = state.service();
-    let max_frame = service.max_frame_bytes();
-    loop {
-        match try_frame(&conn, max_frame) {
-            Framed::Startup(packet) => {
-                // Consume before handling: SSL/GSSENC declines loop back to
-                // the startup phase for the real startup packet.
-                consume_frame(&mut conn);
-                match be_i32(&packet[..4]) {
-                    SSL_REQUEST | GSSENC_REQUEST => {
-                        if conn.stream.write_all(b"N").is_err() {
-                            return None;
-                        }
-                    }
-                    CANCEL_REQUEST => return None,
-                    PROTOCOL_V3 => {
-                        if startup_ok(&mut conn.stream).is_err() {
-                            return None;
-                        }
-                        conn.ready = true;
-                    }
-                    other => {
-                        service.note_error();
-                        let _ = write_error(
-                            &mut conn.stream,
-                            "08P01",
-                            &format!("unsupported protocol code {other}"),
-                        );
-                        return None;
-                    }
-                }
+    /// Tries to consume one frame from `buf`. Returns `None` when no
+    /// complete frame is buffered yet. On [`PgStep::Query`] the SQL bytes
+    /// are left in `scratch` (reused across frames, no per-query `String`).
+    pub(crate) fn next_step(
+        &mut self,
+        buf: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+        max_frame: usize,
+    ) -> Option<PgStep> {
+        if !self.ready {
+            if buf.len() < 4 {
+                return None;
             }
-            Framed::Message(kind, body) => {
-                consume_frame(&mut conn);
-                match kind {
-                    b'Q' => {
-                        let sql = body
-                            .split(|&b| b == 0)
-                            .next()
-                            .map(|s| String::from_utf8_lossy(s).into_owned())
-                            .unwrap_or_default();
-                        if simple_query_response(state, &mut conn, &sql).is_err() {
-                            return None;
-                        }
-                        if state.has_waiters() && conn.pending.is_empty() {
-                            return Some(conn);
-                        }
-                    }
-                    b'X' => return None,
-                    other => {
-                        // Extended-protocol or unknown message: answer a
-                        // clean error, stay in sync (messages are length
-                        // framed, so we already skipped the body).
-                        service.note_error();
-                        if write_error(
-                            &mut conn.stream,
-                            "0A000",
-                            &format!(
-                                "message {:?} is not supported by pgwire-lite (simple query only)",
-                                other as char
-                            ),
-                        )
-                        .and_then(|()| ready_for_query(&mut conn.stream))
-                        .is_err()
-                        {
-                            return None;
-                        }
-                    }
-                }
+            let len = be_i32(&buf[..4]);
+            if len < 8 {
+                return Some(PgStep::Fatal(error_bytes(
+                    "08P01",
+                    "malformed message length",
+                )));
             }
-            Framed::Incomplete => {
-                let mut buf = [0u8; 4096];
-                match conn.stream.read(&mut buf) {
-                    Ok(0) => return None,
-                    Ok(n) => conn.pending.extend_from_slice(&buf[..n]),
-                    Err(e)
-                        if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut =>
-                    {
-                        if state.is_shutting_down() {
-                            return None;
-                        }
-                        if state.has_waiters() {
-                            return Some(conn);
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(_) => return None,
-                }
-            }
-            Framed::TooLarge(len) => {
-                service.note_error();
-                let _ = write_error(
-                    &mut conn.stream,
+            let len = len as usize;
+            if len > max_frame {
+                return Some(PgStep::Fatal(error_bytes(
                     "54000",
                     &format!("frame of {len} bytes exceeds the {max_frame}-byte limit"),
-                );
+                )));
+            }
+            if buf.len() < len {
                 return None;
             }
-            Framed::Malformed => {
-                service.note_error();
-                let _ = write_error(&mut conn.stream, "08P01", "malformed message length");
+            let code = be_i32(&buf[4..8]);
+            buf.drain(..len);
+            match code {
+                SSL_REQUEST | GSSENC_REQUEST => Some(PgStep::Reply(b"N".to_vec())),
+                CANCEL_REQUEST => Some(PgStep::Close),
+                PROTOCOL_V3 => {
+                    self.ready = true;
+                    Some(PgStep::Reply(startup_ok_bytes()))
+                }
+                other => Some(PgStep::Fatal(error_bytes(
+                    "08P01",
+                    &format!("unsupported protocol code {other}"),
+                ))),
+            }
+        } else {
+            if buf.len() < 5 {
                 return None;
             }
+            let kind = buf[0];
+            let len = be_i32(&buf[1..5]);
+            if len < 4 {
+                return Some(PgStep::Fatal(error_bytes(
+                    "08P01",
+                    "malformed message length",
+                )));
+            }
+            let len = len as usize;
+            if len > max_frame {
+                return Some(PgStep::Fatal(error_bytes(
+                    "54000",
+                    &format!("frame of {len} bytes exceeds the {max_frame}-byte limit"),
+                )));
+            }
+            if buf.len() < 1 + len {
+                return None;
+            }
+            let step = match kind {
+                b'Q' => {
+                    let body = &buf[5..1 + len];
+                    let sql = body.split(|&b| b == 0).next().unwrap_or(body);
+                    scratch.clear();
+                    scratch.extend_from_slice(sql);
+                    PgStep::Query
+                }
+                b'X' => PgStep::Close,
+                other => {
+                    // Extended-protocol or unknown message: answer a clean
+                    // error, stay in sync (messages are length framed, so
+                    // the body is skipped by the drain below).
+                    let mut bytes = error_bytes(
+                        "0A000",
+                        &format!(
+                            "message {:?} is not supported by pgwire-lite (simple query only)",
+                            other as char
+                        ),
+                    );
+                    bytes.extend_from_slice(&message(b'Z', b"I"));
+                    PgStep::ErrorReply(bytes)
+                }
+            };
+            buf.drain(..1 + len);
+            Some(step)
         }
     }
 }
 
 /// AuthenticationOk + parameter status + backend key + ReadyForQuery.
-fn startup_ok(stream: &mut TcpStream) -> io::Result<()> {
+fn startup_ok_bytes() -> Vec<u8> {
     let mut out = Vec::new();
     // AuthenticationOk.
     out.extend_from_slice(&message(b'R', &0i32.to_be_bytes()));
@@ -280,51 +216,42 @@ fn startup_ok(stream: &mut TcpStream) -> io::Result<()> {
     body.extend_from_slice(&0i32.to_be_bytes());
     out.extend_from_slice(&message(b'K', &body));
     out.extend_from_slice(&message(b'Z', b"I"));
-    stream.write_all(&out)?;
-    stream.flush()
+    out
 }
 
-fn ready_for_query(stream: &mut TcpStream) -> io::Result<()> {
-    stream.write_all(&message(b'Z', b"I"))?;
-    stream.flush()
-}
-
-/// Answers one simple query: one `Request::Query` dispatch per registry
-/// estimator, all against the same cached selection, rendered as one text
-/// row per (group ×) estimator. Errors become `ErrorResponse` and the
-/// connection stays usable.
-fn simple_query_response(state: &ServerState, conn: &mut PgwireConn, sql: &str) -> io::Result<()> {
-    if sql.trim().is_empty() {
-        conn.stream.write_all(&message(b'I', b""))?;
-        return ready_for_query(&mut conn.stream);
-    }
-    match panel(state, &mut conn.ctx, sql) {
-        Ok((columns, rows)) => {
-            let mut out = row_description(&columns);
-            for row in &rows {
-                out.extend_from_slice(&data_row(row));
+/// Answers one simple query as encoded bytes: one `Request::Query` dispatch
+/// per registry estimator, all against the same cached selection, rendered
+/// as one text row per (group ×) estimator. Errors become `ErrorResponse`
+/// and the connection stays usable. Runs on a worker thread — no sockets.
+pub(crate) fn simple_query_bytes(service: &Service, ctx: &mut SessionCtx, sql: &str) -> Vec<u8> {
+    let mut out = if sql.trim().is_empty() {
+        message(b'I', b"")
+    } else {
+        match panel(service, ctx, sql) {
+            Ok((columns, rows)) => {
+                let mut out = row_description(&columns);
+                for row in &rows {
+                    out.extend_from_slice(&data_row(row));
+                }
+                let mut tag = Vec::new();
+                push_cstr(&mut tag, &format!("SELECT {}", rows.len()));
+                out.extend_from_slice(&message(b'C', &tag));
+                out
             }
-            let mut tag = Vec::new();
-            push_cstr(&mut tag, &format!("SELECT {}", rows.len()));
-            out.extend_from_slice(&message(b'C', &tag));
-            conn.stream.write_all(&out)?;
-            ready_for_query(&mut conn.stream)
+            Err(e) => error_bytes(sqlstate(e.code), &e.message),
         }
-        Err(e) => {
-            write_error(&mut conn.stream, sqlstate(e.code), &e.message)?;
-            ready_for_query(&mut conn.stream)
-        }
-    }
+    };
+    out.extend_from_slice(&message(b'Z', b"I"));
+    out
 }
 
 /// The full-panel answer for one SQL text: dispatches one query per registry
 /// estimator through the service and lays the replies out as text rows.
 fn panel(
-    state: &ServerState,
+    service: &Service,
     ctx: &mut SessionCtx,
     sql: &str,
 ) -> Result<(Vec<String>, Vec<PgRow>), WireError> {
-    let service = state.service();
     let mut replies: Vec<(&'static str, QueryReply)> = Vec::new();
     for kind in EstimatorKind::all() {
         let response = service.dispatch(
@@ -480,7 +407,8 @@ fn data_row(cells: &[Option<String>]) -> Vec<u8> {
     message(b'D', &body)
 }
 
-fn write_error(stream: &mut TcpStream, sqlstate: &str, message_text: &str) -> io::Result<()> {
+/// An `ErrorResponse` message with severity/SQLSTATE/message fields.
+fn error_bytes(sqlstate: &str, message_text: &str) -> Vec<u8> {
     let mut body = Vec::new();
     body.push(b'S');
     push_cstr(&mut body, "ERROR");
@@ -491,8 +419,7 @@ fn write_error(stream: &mut TcpStream, sqlstate: &str, message_text: &str) -> io
     body.push(b'M');
     push_cstr(&mut body, message_text);
     body.push(0);
-    stream.write_all(&message(b'E', &body))?;
-    stream.flush()
+    message(b'E', &body)
 }
 
 // ---------------------------------------------------------------------------
@@ -860,5 +787,108 @@ mod tests {
         let parsed = parse_error(&body);
         assert_eq!(parsed.sqlstate, "42P01");
         assert_eq!(parsed.message, "unknown table \"t\"");
+    }
+
+    fn startup_packet() -> Vec<u8> {
+        let mut params = Vec::new();
+        params.extend_from_slice(&PROTOCOL_V3.to_be_bytes());
+        push_cstr(&mut params, "user");
+        push_cstr(&mut params, "uu");
+        params.push(0);
+        let mut packet = Vec::new();
+        packet.extend_from_slice(&((params.len() as i32 + 4).to_be_bytes()));
+        packet.extend_from_slice(&params);
+        packet
+    }
+
+    #[test]
+    fn codec_assembles_the_handshake_and_query_byte_at_a_time() {
+        // The same wire bytes, dribbled one byte per feed, must yield
+        // exactly the same steps as arriving whole: this is the resumable
+        // contract the reactor depends on.
+        let mut wire = Vec::new();
+        let mut ssl = Vec::new();
+        ssl.extend_from_slice(&8i32.to_be_bytes());
+        ssl.extend_from_slice(&SSL_REQUEST.to_be_bytes());
+        wire.extend_from_slice(&ssl);
+        wire.extend_from_slice(&startup_packet());
+        let mut q = Vec::new();
+        push_cstr(&mut q, "SELECT SUM(v) FROM t");
+        wire.extend_from_slice(&message(b'Q', &q));
+        wire.extend_from_slice(&message(b'X', b""));
+
+        let mut codec = PgCodec::new();
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        let mut steps = Vec::new();
+        for &b in &wire {
+            buf.push(b);
+            while let Some(step) = codec.next_step(&mut buf, &mut scratch, 16 << 20) {
+                steps.push(step);
+            }
+        }
+        assert!(buf.is_empty(), "every frame fully consumed");
+        assert_eq!(steps.len(), 4);
+        assert!(matches!(&steps[0], PgStep::Reply(b) if b == b"N"));
+        assert!(matches!(&steps[1], PgStep::Reply(b) if b == &startup_ok_bytes()));
+        assert!(matches!(steps[2], PgStep::Query));
+        assert_eq!(scratch, b"SELECT SUM(v) FROM t");
+        assert!(matches!(steps[3], PgStep::Close));
+    }
+
+    #[test]
+    fn codec_bounds_apply_to_the_declared_frame_length() {
+        // A header declaring a frame beyond the bound is fatal immediately —
+        // no buffering of the oversized body.
+        let mut codec = PgCodec::new();
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        buf.extend_from_slice(&(1_000_000i32).to_be_bytes());
+        match codec.next_step(&mut buf, &mut scratch, 4096) {
+            Some(PgStep::Fatal(bytes)) => {
+                let e = parse_error(&bytes[5..]);
+                assert_eq!(e.sqlstate, "54000");
+                assert!(e.message.contains("4096"));
+            }
+            _ => panic!("expected a fatal step"),
+        }
+        // Same in the ready phase.
+        let mut codec = PgCodec { ready: true };
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&(1_000_000i32).to_be_bytes());
+        assert!(matches!(
+            codec.next_step(&mut buf, &mut scratch, 4096),
+            Some(PgStep::Fatal(_))
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_malformed_lengths_and_unknown_messages() {
+        let mut scratch = Vec::new();
+        // Startup length below the minimum is malformed.
+        let mut codec = PgCodec::new();
+        let mut buf = 4i32.to_be_bytes().to_vec();
+        match codec.next_step(&mut buf, &mut scratch, 4096) {
+            Some(PgStep::Fatal(bytes)) => {
+                assert_eq!(parse_error(&bytes[5..]).sqlstate, "08P01");
+            }
+            _ => panic!("expected a fatal step"),
+        }
+        // An unsupported ready-phase message answers an error plus
+        // ReadyForQuery and the connection survives.
+        let mut codec = PgCodec { ready: true };
+        let mut buf = message(b'P', b"\0\0");
+        buf.extend_from_slice(&message(b'X', b""));
+        match codec.next_step(&mut buf, &mut scratch, 4096) {
+            Some(PgStep::ErrorReply(bytes)) => {
+                assert_eq!(parse_error(&bytes[5..]).sqlstate, "0A000");
+                assert_eq!(&bytes[bytes.len() - 6..], &message(b'Z', b"I")[..]);
+            }
+            _ => panic!("expected an error-reply step"),
+        }
+        assert!(matches!(
+            codec.next_step(&mut buf, &mut scratch, 4096),
+            Some(PgStep::Close)
+        ));
     }
 }

@@ -23,8 +23,10 @@ use uu_query::value::Value;
 /// `stats` responses. Revision 2 added named server-side sessions, prepared
 /// queries, `server_info`, per-session counters in `stats`, and the
 /// `frame_too_large` error code. Revision 3 added the columnar-projection
-/// counters (`projection` builds/reuses/bytes) to `stats`.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// counters (`projection` builds/reuses/bytes) to `stats`. Revision 4 added
+/// the connection-layer counters (`conn` open/peak/frames/bytes/reaps/
+/// backpressure/backend) to `stats`.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Decode failure for a request or response line.
 #[derive(Debug, Clone, PartialEq)]
@@ -866,6 +868,29 @@ pub struct WireProjectionStats {
     pub bytes: u64,
 }
 
+/// Connection-layer (reactor) counters in a `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireConnStats {
+    /// Connections currently open.
+    pub open: u64,
+    /// High-water mark of concurrently open connections.
+    pub peak_open: u64,
+    /// Complete inbound frames assembled (JSON lines + pgwire messages).
+    pub frames_in: u64,
+    /// Outbound replies queued.
+    pub frames_out: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Connections closed by the idle-timeout reaper.
+    pub idle_reaped: u64,
+    /// Write-backpressure trips (reads paused at the high-water mark).
+    pub backpressure: u64,
+    /// The readiness backend the reactor selected (`epoll` or `poll`).
+    pub backend: String,
+}
+
 /// One named session's counters in a `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireSessionStats {
@@ -909,6 +934,8 @@ pub struct StatsReply {
     pub projection: WireProjectionStats,
     /// Shared-executor counters.
     pub exec: WireExecStats,
+    /// Connection-layer (reactor) counters.
+    pub conn: WireConnStats,
 }
 
 /// A `server_info` response.
@@ -987,8 +1014,9 @@ pub enum Response {
     },
     /// Answer to [`Request::ServerInfo`].
     Info(ServerInfoReply),
-    /// Answer to [`Request::Stats`].
-    Stats(StatsReply),
+    /// Answer to [`Request::Stats`] (boxed: the reply is by far the widest
+    /// variant and would otherwise bloat every `Response`).
+    Stats(Box<StatsReply>),
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Shutdown`]; the server drains and exits.
@@ -1174,6 +1202,20 @@ impl Response {
                         ("peak_workers", Json::Int(s.exec.peak_workers as i64)),
                     ]),
                 ),
+                (
+                    "conn",
+                    Json::obj([
+                        ("open", Json::Int(s.conn.open as i64)),
+                        ("peak_open", Json::Int(s.conn.peak_open as i64)),
+                        ("frames_in", Json::Int(s.conn.frames_in as i64)),
+                        ("frames_out", Json::Int(s.conn.frames_out as i64)),
+                        ("bytes_in", Json::Int(s.conn.bytes_in as i64)),
+                        ("bytes_out", Json::Int(s.conn.bytes_out as i64)),
+                        ("idle_reaped", Json::Int(s.conn.idle_reaped as i64)),
+                        ("backpressure", Json::Int(s.conn.backpressure as i64)),
+                        ("backend", Json::Str(s.conn.backend.clone())),
+                    ]),
+                ),
             ]),
             Response::Pong => {
                 Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))])
@@ -1296,6 +1338,7 @@ impl Response {
                     .get("projection")
                     .ok_or_else(|| missing("projection"))?;
                 let exec = json.get("exec").ok_or_else(|| missing("exec"))?;
+                let conn = json.get("conn").ok_or_else(|| missing("conn"))?;
                 let sessions = json
                     .get("sessions")
                     .and_then(Json::as_arr)
@@ -1312,7 +1355,7 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, ProtoError>>()?;
-                Ok(Response::Stats(StatsReply {
+                Ok(Response::Stats(Box::new(StatsReply {
                     protocol: req_u64(&json, "protocol")?,
                     tables: req_str_arr(&json, "tables")?,
                     workers: req_u64(&json, "workers")?,
@@ -1347,7 +1390,18 @@ impl Response {
                         steals: req_u64(exec, "steals")?,
                         peak_workers: req_u64(exec, "peak_workers")?,
                     },
-                }))
+                    conn: WireConnStats {
+                        open: req_u64(conn, "open")?,
+                        peak_open: req_u64(conn, "peak_open")?,
+                        frames_in: req_u64(conn, "frames_in")?,
+                        frames_out: req_u64(conn, "frames_out")?,
+                        bytes_in: req_u64(conn, "bytes_in")?,
+                        bytes_out: req_u64(conn, "bytes_out")?,
+                        idle_reaped: req_u64(conn, "idle_reaped")?,
+                        backpressure: req_u64(conn, "backpressure")?,
+                        backend: req_str(conn, "backend")?,
+                    },
+                })))
             }
             "ping" => Ok(Response::Pong),
             "shutdown" => Ok(Response::Bye),
@@ -1554,7 +1608,7 @@ mod tests {
 
     #[test]
     fn stats_reply_round_trips() {
-        let stats = Response::Stats(StatsReply {
+        let stats = Response::Stats(Box::new(StatsReply {
             protocol: PROTOCOL_VERSION,
             tables: vec!["companies".into(), "t".into()],
             workers: 4,
@@ -1596,7 +1650,18 @@ mod tests {
                 steals: 9,
                 peak_workers: 8,
             },
-        });
+            conn: WireConnStats {
+                open: 1003,
+                peak_open: 1005,
+                frames_in: 90,
+                frames_out: 92,
+                bytes_in: 16_384,
+                bytes_out: 65_000,
+                idle_reaped: 4,
+                backpressure: 1,
+                backend: "epoll".into(),
+            },
+        }));
         assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
     }
 

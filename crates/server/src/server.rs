@@ -1,44 +1,47 @@
-//! The transport layer: listeners, the fixed handler pool, and the
-//! line-JSON framing.
+//! The transport layer: the readiness-driven reactor thread plus the
+//! executor-backed worker pool.
 //!
 //! Everything the server *means* lives in [`crate::service`] — this module
-//! only owns sockets. A bound [`TcpListener`] per enabled front (line-JSON
-//! always; pgwire-lite with [`ServerConfig::pgwire_addr`]) feeds accepted
-//! connections into **one** queue drained by a fixed pool of handler threads
-//! sized to the shared executor budget (`UU_THREADS`) — there is no
-//! per-connection spawn, and each handler runs its connection inside
-//! [`Executor::run_inline`], so the statistics work it triggers runs inline
-//! on the handler itself instead of borrowing pool helpers. Concurrency
-//! across connections *is* the parallelism; a fleet of clients on either
-//! front (or both at once) never sees more than the executor budget of
-//! compute threads, which the concurrent-connection integration test pins
-//! via `exec::global().metrics().peak_workers`.
+//! only owns threads and queues; the sockets themselves live in
+//! [`crate::reactor`]. One `uu-server-reactor` thread owns **all** sockets
+//! of both fronts in non-blocking mode (epoll on Linux, `poll(2)` fallback),
+//! performs buffered reads with incremental frame assembly, and pushes only
+//! *complete* requests onto the work queue drained by a fixed pool of worker
+//! threads sized to the shared executor budget (`UU_THREADS`). Each worker
+//! runs its request inside [`Executor::run_inline`], so the statistics work
+//! it triggers runs inline on the worker itself instead of borrowing pool
+//! helpers: any number of connections — including 10,000+ mostly-idle ones —
+//! never sees more than the executor budget of compute threads, which the
+//! concurrent-connection integration test pins via
+//! `exec::global().metrics().peak_workers`. Idle connections cost one
+//! registered fd and **zero** worker or executor activity.
 //!
-//! The line-JSON front here is deliberately thin: read one newline-framed
-//! line (bounded by [`Service::max_frame_bytes`]; an oversized frame answers
-//! a structured `frame_too_large` error), hand it to
-//! [`Service::dispatch_line`], write the response line back. The pgwire
-//! framing lives in [`crate::pgwire`] and routes through the same
-//! [`Service::dispatch`].
+//! Responses travel back as [`Completion`]s: a worker pushes the encoded
+//! bytes plus the connection's reclaimed `SessionCtx`/scratch buffer and
+//! wakes the reactor through the wakeup pipe; the reactor queues the bytes
+//! on the connection under `EPOLLOUT`-driven write backpressure. The
+//! pgwire framing lives in [`crate::pgwire`]; both fronts route through the
+//! same [`Service::dispatch`].
 
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::pgwire::PgwireConn;
-use crate::protocol::{ErrorCode, Response, WireError};
-use crate::service::{Service, SessionCtx};
+use crate::protocol::Response;
+use crate::reactor::{Completion, FrontKind, Payload, Reactor, Work};
+use crate::service::Service;
 use uu_query::catalog::Catalog;
 use uu_query::exec::QueryProfileCache;
 use uu_stats::exec::Executor;
 
-/// How long blocking socket operations wait before re-checking the shutdown
-/// flag (accept poll, connection reads).
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How long a worker blocked on the work queue waits before re-checking the
+/// shutdown flag (a safety net; shutdown also notifies the condvar).
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Server configuration; every field has a production-safe default.
 #[derive(Debug, Clone)]
@@ -49,12 +52,13 @@ pub struct ServerConfig {
     /// Optional bind address for the pgwire-lite front (`--pgwire-port`);
     /// `None` leaves it disabled.
     pub pgwire_addr: Option<String>,
-    /// Connection-handler pool size; 0 means the shared executor budget
+    /// Request-worker pool size; 0 means the shared executor budget
     /// (`UU_THREADS` / detected cores).
     pub workers: usize,
     /// Bound on one inbound frame (a JSON request line or a pgwire message);
     /// 0 means [`crate::service::DEFAULT_MAX_FRAME_BYTES`]. Oversized frames
-    /// answer a structured `frame_too_large` error.
+    /// answer a structured `frame_too_large` error. The bound applies to the
+    /// accumulated per-connection read buffer, not per-read chunks.
     pub max_frame_bytes: usize,
     /// Profile-cache entry capacity.
     pub cache_capacity: usize,
@@ -62,6 +66,11 @@ pub struct ServerConfig {
     pub cache_bytes: Option<usize>,
     /// Optional profile-cache TTL (`--cache-ttl-ms`).
     pub cache_ttl: Option<Duration>,
+    /// Optional idle-connection timeout (`--idle-timeout-ms`): a connection
+    /// that completes no frame for the window is reaped — nothing is
+    /// written, the socket just closes. `None` (the default) disables
+    /// reaping.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +83,7 @@ impl Default for ServerConfig {
             cache_capacity: uu_core::profile::DEFAULT_PROFILE_CACHE_CAPACITY,
             cache_bytes: None,
             cache_ttl: None,
+            idle_timeout: None,
         }
     }
 }
@@ -91,8 +101,8 @@ impl ServerConfig {
         cache
     }
 
-    /// The effective handler-pool size: the configured value, **clamped to
-    /// the shared executor budget**. Handlers compute inline, so a pool
+    /// The effective worker-pool size: the configured value, **clamped to
+    /// the shared executor budget**. Workers compute inline, so a pool
     /// larger than `UU_THREADS` would silently oversubscribe the very budget
     /// the executor exists to enforce (and invisibly to `peak_workers`,
     /// which only counts executor-spawned work).
@@ -106,44 +116,17 @@ impl ServerConfig {
     }
 }
 
-/// One live connection as the pool sees it: each variant carries its
-/// framing state and the per-client [`SessionCtx`], so connections survive
-/// a requeue mid-stream.
-enum Connection {
-    /// Line-JSON protocol.
-    Json(JsonConn),
-    /// pgwire-lite protocol.
-    Pgwire(PgwireConn),
-}
-
-/// A line-JSON connection: the stream plus everything that must survive a
-/// requeue — buffered bytes that arrived ahead of a newline, and the
-/// per-client service context.
-struct JsonConn {
-    stream: TcpStream,
-    /// Bytes read but not yet consumed as a full line.
-    pending: Vec<u8>,
-    /// Per-client dispatch state (ad-hoc estimator memo).
-    ctx: SessionCtx,
-}
-
-impl JsonConn {
-    fn new(stream: TcpStream) -> Self {
-        JsonConn {
-            stream,
-            pending: Vec::new(),
-            ctx: SessionCtx::new(),
-        }
-    }
-}
-
-/// Shared state between the accept loops, the handler pool and the owner.
+/// Shared state between the reactor thread, the worker pool and the owner.
 /// Transport-only: the meaning of requests lives in the [`Service`].
 pub struct ServerState {
     service: Arc<Service>,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<Connection>>,
-    available: Condvar,
+    work: Mutex<VecDeque<Work>>,
+    work_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the reactor's wakeup pipe (a `UnixStream` pair — the
+    /// read end lives in the reactor and is registered with the poller).
+    waker: UnixStream,
 }
 
 impl ServerState {
@@ -154,26 +137,43 @@ impl ServerState {
 
     pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake every handler blocked on the queue so it can observe the flag.
-        self.available.notify_all();
+        // Wake every worker blocked on the queue and the reactor blocked in
+        // its poll so both observe the flag.
+        self.work_ready.notify_all();
+        self.wake_reactor();
     }
 
     pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// True when another connection is waiting for a handler — the signal
-    /// for a handler to requeue its current (idle or just-served) connection
-    /// and multiplex instead of monopolising itself.
-    pub(crate) fn has_waiters(&self) -> bool {
-        !self.queue.lock().expect("connection queue lock").is_empty()
+    /// Queues one complete request for the worker pool (reactor side).
+    pub(crate) fn push_work(&self, work: Work) {
+        let mut queue = self.work.lock().expect("work queue lock");
+        queue.push_back(work);
+        drop(queue);
+        self.work_ready.notify_one();
     }
 
-    fn enqueue(&self, conn: Connection) {
-        let mut queue = self.queue.lock().expect("connection queue lock");
-        queue.push_back(conn);
-        drop(queue);
-        self.available.notify_one();
+    /// Queues one finished response for the reactor (worker side) and wakes
+    /// it.
+    pub(crate) fn push_completion(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("completion queue lock")
+            .push(completion);
+        self.wake_reactor();
+    }
+
+    /// Drains the completion queue (reactor side).
+    pub(crate) fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("completion queue lock"))
+    }
+
+    /// Writes one byte down the wakeup pipe; a full pipe means a wake is
+    /// already pending, so `WouldBlock` is success.
+    fn wake_reactor(&self) {
+        let _ = (&self.waker).write(&[1]);
     }
 }
 
@@ -182,8 +182,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     pgwire_addr: Option<SocketAddr>,
     state: Arc<ServerState>,
-    accepts: Vec<JoinHandle<()>>,
-    handlers: Vec<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -213,11 +213,11 @@ impl ServerHandle {
     /// Blocks until the server exits (a client sent `shutdown`, or
     /// [`ServerHandle::request_shutdown`] ran).
     pub fn join(mut self) {
-        for accept in self.accepts.drain(..) {
-            let _ = accept.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        for handler in self.handlers.drain(..) {
-            let _ = handler.join();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 
@@ -230,8 +230,8 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        // Don't leak an accept loop if the owner forgets to join; threads
-        // observe the flag within one poll interval.
+        // Don't leak the reactor if the owner forgets to join; the threads
+        // observe the flag on the next wake.
         self.state.initiate_shutdown();
     }
 }
@@ -248,13 +248,8 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
 pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<ServerHandle> {
     let listener = bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
     let pgwire_listener = match &config.pgwire_addr {
-        Some(addr) => {
-            let listener = bind(addr)?;
-            listener.set_nonblocking(true)?;
-            Some(listener)
-        }
+        Some(addr) => Some(bind(addr)?),
         None => None,
     };
     let pgwire_addr = pgwire_listener
@@ -269,36 +264,36 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
     if pgwire_listener.is_some() {
         service.register_front("pgwire");
     }
+
+    let (waker, wake_rx) = UnixStream::pair()?;
+    waker.set_nonblocking(true)?;
     let state = Arc::new(ServerState {
         service,
         shutdown: AtomicBool::new(false),
-        queue: Mutex::new(VecDeque::new()),
-        available: Condvar::new(),
+        work: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        completions: Mutex::new(Vec::new()),
+        waker,
     });
 
-    let mut accepts = Vec::new();
-    let accept_state = Arc::clone(&state);
-    accepts.push(
-        std::thread::Builder::new()
-            .name("uu-server-accept".to_string())
-            .spawn(move || accept_loop(&accept_state, listener, Connection::json))?,
-    );
+    // Build the reactor on this thread so bind/poller errors surface in the
+    // spawn result rather than killing a detached thread.
+    let mut listeners = vec![(listener, FrontKind::Json)];
     if let Some(listener) = pgwire_listener {
-        let accept_state = Arc::clone(&state);
-        accepts.push(
-            std::thread::Builder::new()
-                .name("uu-server-pgwire-accept".to_string())
-                .spawn(move || accept_loop(&accept_state, listener, Connection::pgwire))?,
-        );
+        listeners.push((listener, FrontKind::Pgwire));
     }
+    let reactor = Reactor::new(Arc::clone(&state), listeners, wake_rx, config.idle_timeout)?;
+    let reactor_handle = std::thread::Builder::new()
+        .name("uu-server-reactor".to_string())
+        .spawn(move || reactor.run())?;
 
-    let mut handlers = Vec::with_capacity(workers);
+    let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
-        let handler_state = Arc::clone(&state);
-        handlers.push(
+        let worker_state = Arc::clone(&state);
+        worker_handles.push(
             std::thread::Builder::new()
                 .name(format!("uu-server-worker-{i}"))
-                .spawn(move || handler_loop(&handler_state))?,
+                .spawn(move || worker_loop(&worker_state))?,
         );
     }
 
@@ -306,19 +301,9 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
         addr,
         pgwire_addr,
         state,
-        accepts,
-        handlers,
+        reactor: Some(reactor_handle),
+        workers: worker_handles,
     })
-}
-
-impl Connection {
-    fn json(stream: TcpStream) -> Connection {
-        Connection::Json(JsonConn::new(stream))
-    }
-
-    fn pgwire(stream: TcpStream) -> Connection {
-        Connection::Pgwire(PgwireConn::new(stream))
-    }
 }
 
 fn bind(addr: &str) -> io::Result<TcpListener> {
@@ -326,171 +311,74 @@ fn bind(addr: &str) -> io::Result<TcpListener> {
     TcpListener::bind(&addrs[..])
 }
 
-/// Accepts connections for one front and hands them to the shared pool;
-/// never spawns.
-fn accept_loop(state: &ServerState, listener: TcpListener, wrap: fn(TcpStream) -> Connection) {
-    while !state.is_shutting_down() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-                state.service.connection_opened();
-                state.enqueue(wrap(stream));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-    // Unblock any handler still waiting.
-    state.available.notify_all();
-}
-
-/// One resident handler: pop a connection (either front), serve it inside
-/// the executor's inline scope, repeat. A connection that goes idle (or
-/// finishes a request) while other connections wait is **requeued** rather
-/// than monopolising the handler — the fixed pool multiplexes any number of
-/// connections over the executor's thread budget, so more clients than
-/// workers make progress round-robin instead of starving.
-fn handler_loop(state: &ServerState) {
+/// One resident worker: pop a complete request (either front), serve it
+/// inside the executor's inline scope, push the completion, repeat. Workers
+/// never touch sockets; idle connections never reach the queue — the pool's
+/// size bounds *compute*, not connection count.
+fn worker_loop(state: &Arc<ServerState>) {
     loop {
-        let conn = {
-            let mut queue = state.queue.lock().expect("connection queue lock");
+        let work = {
+            let mut queue = state.work.lock().expect("work queue lock");
             loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
+                if let Some(work) = queue.pop_front() {
+                    break Some(work);
                 }
                 if state.is_shutting_down() {
                     break None;
                 }
                 let (guard, _timeout) = state
-                    .available
+                    .work_ready
                     .wait_timeout(queue, POLL_INTERVAL)
-                    .expect("connection queue lock");
+                    .expect("work queue lock");
                 queue = guard;
             }
         };
-        let Some(conn) = conn else {
+        let Some(work) = work else {
             return;
         };
-        // The handler *is* the worker: statistics regions triggered by this
-        // connection run inline rather than borrowing executor helpers, so
-        // `workers` handlers never exceed the executor's thread budget.
-        if let Some(conn) = Executor::run_inline(|| serve(state, conn)) {
-            state.enqueue(conn);
+        // The worker *is* the executor worker: statistics regions triggered
+        // by this request run inline rather than borrowing executor helpers,
+        // so `workers` threads never exceed the executor's thread budget.
+        let completion = Executor::run_inline(|| execute(state, work));
+        let shutdown = completion.shutdown;
+        // Push before initiating shutdown so the reactor's drain still
+        // flushes this response (the `shutdown` verb's `Bye`).
+        state.push_completion(completion);
+        if shutdown {
+            state.initiate_shutdown();
         }
     }
 }
 
-/// Serves one connection of either front; `Some` means "requeue me".
-fn serve(state: &ServerState, conn: Connection) -> Option<Connection> {
-    match conn {
-        Connection::Json(conn) => serve_json(state, conn).map(Connection::Json),
-        Connection::Pgwire(conn) => crate::pgwire::serve(state, conn).map(Connection::Pgwire),
-    }
-}
-
-/// Outcome of one blocking line read.
-enum LineRead {
-    Line(String),
-    TimedOut,
-    Closed,
-    /// The peer exceeded the frame bound without sending a newline.
-    Oversized,
-}
-
-/// Reads one newline-framed request from the connection, buffering partial
-/// lines across calls (and across requeues) in `conn.pending`. Timeouts
-/// surface so the handler can multiplex and re-check the shutdown flag.
-fn read_line(conn: &mut JsonConn, max_frame: usize) -> io::Result<LineRead> {
-    loop {
-        if let Some(pos) = conn.pending.iter().position(|&b| b == b'\n') {
-            // The bound is on the line itself, not on read-chunk granularity:
-            // a complete-but-oversized line is rejected too.
-            if pos > max_frame {
-                return Ok(LineRead::Oversized);
-            }
-            let mut line: Vec<u8> = conn.pending.drain(..=pos).collect();
-            line.pop(); // the newline
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
+/// Serves one complete request and encodes the response bytes. The
+/// connection's `SessionCtx` and scratch buffer ride along and return in the
+/// completion — no per-request allocation of either.
+fn execute(state: &ServerState, work: Work) -> Completion {
+    let mut ctx = work.ctx;
+    let scratch = work.scratch;
+    let (bytes, close, shutdown) = match work.payload {
+        Payload::JsonLine => {
+            let line = String::from_utf8_lossy(&scratch);
+            let response = state.service.dispatch_line(&mut ctx, &line);
+            let bye = matches!(response, Response::Bye);
+            let mut encoded = response.encode();
+            encoded.push('\n');
+            (encoded.into_bytes(), bye, bye)
         }
-        if conn.pending.len() > max_frame {
-            return Ok(LineRead::Oversized);
+        Payload::PgQuery => {
+            let sql = String::from_utf8_lossy(&scratch).into_owned();
+            let bytes = crate::pgwire::simple_query_bytes(&state.service, &mut ctx, &sql);
+            (bytes, false, false)
         }
-        let mut buf = [0u8; 4096];
-        match conn.stream.read(&mut buf) {
-            Ok(0) => return Ok(LineRead::Closed),
-            Ok(n) => conn.pending.extend_from_slice(&buf[..n]),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return Ok(LineRead::TimedOut)
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Serves one line-JSON connection until the peer closes, an I/O error
-/// occurs, the server shuts down, or another connection needs the handler
-/// (in which case the connection comes back `Some` to be requeued). Protocol
-/// errors are responses, never disconnects; the framing layer's only own
-/// error is the frame bound.
-fn serve_json(state: &ServerState, mut conn: JsonConn) -> Option<JsonConn> {
-    let max_frame = state.service.max_frame_bytes();
-    loop {
-        match read_line(&mut conn, max_frame) {
-            Ok(LineRead::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let response = state.service.dispatch_line(&mut conn.ctx, &line);
-                let shutting_down = matches!(response, Response::Bye);
-                let mut encoded = response.encode();
-                encoded.push('\n');
-                if conn.stream.write_all(encoded.as_bytes()).is_err()
-                    || conn.stream.flush().is_err()
-                {
-                    return None;
-                }
-                if shutting_down {
-                    state.initiate_shutdown();
-                    return None;
-                }
-                // Fairness point: another connection is waiting and this one
-                // has no complete request buffered — hand the handler over.
-                if state.has_waiters() && !conn.pending.contains(&b'\n') {
-                    return Some(conn);
-                }
-            }
-            Ok(LineRead::TimedOut) => {
-                if state.is_shutting_down() {
-                    return None;
-                }
-                if state.has_waiters() {
-                    return Some(conn);
-                }
-            }
-            Ok(LineRead::Oversized) => {
-                // Can't resynchronise on a line boundary we never saw:
-                // answer with a structured error, then drop the connection.
-                state.service.note_error();
-                let mut encoded = Response::Error(WireError::new(
-                    ErrorCode::FrameTooLarge,
-                    format!("request line exceeds {max_frame} bytes"),
-                ))
-                .encode();
-                encoded.push('\n');
-                let _ = conn.stream.write_all(encoded.as_bytes());
-                return None;
-            }
-            Ok(LineRead::Closed) | Err(_) => return None,
-        }
+    };
+    Completion {
+        slot: work.slot,
+        generation: work.generation,
+        ctx,
+        scratch,
+        bytes,
+        close,
+        shutdown,
     }
 }
 
@@ -504,6 +392,7 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.pgwire_addr, None);
         assert_eq!(config.max_frame_bytes, 0);
+        assert_eq!(config.idle_timeout, None, "idle reaping defaults off");
         assert!(config.effective_workers() >= 1);
         let cache = config.build_cache();
         assert_eq!(

@@ -35,8 +35,8 @@ use std::time::Instant;
 
 use crate::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
-    ServerInfoReply, StatsReply, WireCacheStats, WireError, WireEstimate, WireExecStats,
-    WireProjectionStats, WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+    ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireError, WireEstimate,
+    WireExecStats, WireProjectionStats, WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
 };
 use uu_core::engine::{EstimationSession, EstimatorKind};
 use uu_query::catalog::Catalog;
@@ -123,6 +123,24 @@ pub struct Service {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    conn: ConnCounters,
+}
+
+/// Connection-layer counters maintained by the reactor (the I/O thread that
+/// owns every socket): live/peak gauges, frame and byte totals, idle reaps
+/// and write-backpressure trips. All relaxed — these are monotone metrics,
+/// not synchronization.
+#[derive(Default)]
+struct ConnCounters {
+    open: AtomicU64,
+    peak_open: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    idle_reaped: AtomicU64,
+    backpressure: AtomicU64,
+    backend: Mutex<String>,
 }
 
 impl Service {
@@ -143,6 +161,7 @@ impl Service {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            conn: ConnCounters::default(),
         }
     }
 
@@ -164,9 +183,55 @@ impl Service {
         }
     }
 
-    /// Counts one accepted connection (any front).
+    /// Counts one accepted connection (any front) and moves the live/peak
+    /// gauges.
     pub fn connection_opened(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        let now_open = self.conn.open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conn.peak_open.fetch_max(now_open, Ordering::Relaxed);
+    }
+
+    /// Moves the live-connection gauge back down when a connection closes
+    /// (peer hangup, fatal framing error, idle reap, shutdown drain).
+    pub fn connection_closed(&self) {
+        self.conn.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records which readiness backend the reactor selected (`epoll` or
+    /// `poll`), reported by `stats`.
+    pub fn set_reactor_backend(&self, name: &str) {
+        *self.conn.backend.lock().expect("backend lock") = name.to_string();
+    }
+
+    /// Counts one complete inbound frame (a JSON line or a pgwire message).
+    pub fn note_frame_in(&self) {
+        self.conn.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one queued outbound reply.
+    pub fn note_frame_out(&self) {
+        self.conn.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to the inbound byte total.
+    pub fn note_bytes_in(&self, n: u64) {
+        self.conn.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the outbound byte total.
+    pub fn note_bytes_out(&self, n: u64) {
+        self.conn.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one connection closed by the idle-timeout reaper.
+    pub fn note_idle_reaped(&self) {
+        self.conn.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one write-backpressure trip (a connection's unflushed output
+    /// crossed the high-water mark and its reads were paused).
+    pub fn note_backpressure(&self) {
+        self.conn.backpressure.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts an error produced by a front outside [`Service::dispatch`]
@@ -204,7 +269,7 @@ impl Service {
         match request {
             Request::Ping => Response::Pong,
             Request::Shutdown => Response::Bye,
-            Request::Stats => Response::Stats(self.stats()),
+            Request::Stats => Response::Stats(Box::new(self.stats())),
             Request::ServerInfo => Response::Info(self.server_info()),
             Request::Warm { sql } => {
                 let catalog = self.catalog.read().expect("catalog lock");
@@ -712,6 +777,17 @@ impl Service {
                 tasks: exec_metrics.tasks,
                 steals: exec_metrics.steals,
                 peak_workers: exec_metrics.peak_workers as u64,
+            },
+            conn: WireConnStats {
+                open: self.conn.open.load(Ordering::Relaxed),
+                peak_open: self.conn.peak_open.load(Ordering::Relaxed),
+                frames_in: self.conn.frames_in.load(Ordering::Relaxed),
+                frames_out: self.conn.frames_out.load(Ordering::Relaxed),
+                bytes_in: self.conn.bytes_in.load(Ordering::Relaxed),
+                bytes_out: self.conn.bytes_out.load(Ordering::Relaxed),
+                idle_reaped: self.conn.idle_reaped.load(Ordering::Relaxed),
+                backpressure: self.conn.backpressure.load(Ordering::Relaxed),
+                backend: self.conn.backend.lock().expect("backend lock").clone(),
             },
         }
     }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Guards the cold query path: compares a fresh BENCH_server_roundtrip.json
-# against the committed baseline and fails if the uncached round-trip mean
-# regressed by more than the allowed factor (default 2x — CI boxes are noisy,
-# but a genuine fall off the columnar path costs ~10x and will trip this).
+# Guards the cold query path and the connection layer: compares a fresh
+# BENCH_server_roundtrip.json against the committed baseline and fails if
+# the uncached round-trip mean regressed by more than the allowed factor
+# (default 2x — CI boxes are noisy, but a genuine fall off the columnar
+# path costs ~10x and will trip this), or if the cache-hit round-trip
+# under 1k parked idle connections strays beyond the factor of the plain
+# cache-hit baseline (idle sockets must cost the active client nothing).
 #
 # Usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]
 #
@@ -39,5 +42,27 @@ check_case() { # <case>
     fi
 }
 
+check_cross() { # <fresh-case> <baseline-case>
+    local fresh_case="$1" base_case="$2" base_mean fresh_mean
+    base_mean=$(mean_ns "$baseline" "$base_case")
+    fresh_mean=$(mean_ns "$fresh" "$fresh_case")
+    if [ -z "$base_mean" ] || [ -z "$fresh_mean" ]; then
+        echo "check_bench_regression: case \"$fresh_case\"/\"$base_case\" missing from $fresh or $baseline" >&2
+        return 1
+    fi
+    if awk -v f="$fresh_mean" -v b="$base_mean" -v x="$factor" \
+        'BEGIN { exit !(f <= b * x) }'; then
+        echo "ok: $fresh_case ${fresh_mean}ns vs baseline $base_case ${base_mean}ns (limit ${factor}x)"
+    else
+        echo "REGRESSION: $fresh_case ${fresh_mean}ns > ${factor}x baseline $base_case ${base_mean}ns" >&2
+        return 1
+    fi
+}
+
 check_case uncached
 check_case cold_columnar
+check_case cache_hit_idle1k
+# Active-client latency under 1k parked idles must stay within the factor
+# of the *unloaded* cache-hit baseline: idle sockets are not allowed to tax
+# the hot path.
+check_cross cache_hit_idle1k cache_hit

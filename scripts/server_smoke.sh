@@ -16,8 +16,11 @@ PORT_FILE="$(mktemp)"
 PGWIRE_PORT_FILE="$(mktemp)"
 trap 'rm -f "$PORT_FILE" "$PGWIRE_PORT_FILE"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
+# A generous idle timeout exercises the reaper wiring without ever firing
+# for the active demo clients.
 "$BIN_DIR/uu-server" --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
-    --pgwire-port 0 --pgwire-port-file "$PGWIRE_PORT_FILE" &
+    --pgwire-port 0 --pgwire-port-file "$PGWIRE_PORT_FILE" \
+    --idle-timeout-ms 60000 &
 SERVER_PID=$!
 
 # Wait (up to ~10s) for the server to report its ephemeral addresses.

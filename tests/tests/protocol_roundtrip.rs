@@ -11,9 +11,9 @@ use proptest::prelude::*;
 use uu_query::value::Value;
 use uu_server::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
-    ServerInfoReply, StatsReply, WireCacheStats, WireDiagnostics, WireError, WireEstimate,
-    WireExecStats, WireExtreme, WireProjectionStats, WireResult, WireSessionStats, WireValue,
-    PROTOCOL_VERSION,
+    ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireDiagnostics, WireError,
+    WireEstimate, WireExecStats, WireExtreme, WireProjectionStats, WireResult, WireSessionStats,
+    WireValue, PROTOCOL_VERSION,
 };
 
 /// An interesting `f64` from two generated numbers: finite values of many
@@ -181,7 +181,7 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
             },
             workers: sel[2],
         }),
-        8 => Response::Stats(StatsReply {
+        8 => Response::Stats(Box::new(StatsReply {
             protocol: PROTOCOL_VERSION,
             tables: vec![text.to_string()],
             workers: sel[0],
@@ -223,7 +223,22 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                 steals: sel[0],
                 peak_workers: sel[1],
             },
-        }),
+            conn: WireConnStats {
+                open: sel[5],
+                peak_open: sel[6],
+                frames_in: sel[7],
+                frames_out: sel[0],
+                bytes_in: sel[1],
+                bytes_out: sel[2],
+                idle_reaped: sel[3],
+                backpressure: sel[4],
+                backend: if sel[5] % 2 == 0 {
+                    "epoll".to_string()
+                } else {
+                    "poll".to_string()
+                },
+            },
+        })),
         _ => match selector % 4 {
             0 => Response::Pong,
             1 => Response::Bye,

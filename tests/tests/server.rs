@@ -12,8 +12,9 @@
 //! process) so the `peak_workers` executor assertion is not perturbed by
 //! sibling tests.
 
-use std::io::Write as _;
-use std::time::Instant;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use uu_core::engine::EstimationSession;
 use uu_query::catalog::Catalog;
@@ -329,6 +330,92 @@ fn oversized_frames_answer_frame_too_large() {
     // Fresh connection: normal requests keep working under the bound.
     let mut client = Client::connect(handle.addr()).unwrap();
     client.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn the_frame_bound_applies_to_the_accumulated_line_not_per_chunk() {
+    let config = ServerConfig {
+        max_frame_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config).unwrap();
+    // 8 KiB with no newline, sent in 1 KiB chunks: every individual read
+    // is under the bound, the accumulated partial frame is not — the
+    // server must answer `frame_too_large` without ever seeing a line end.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let chunk = [b'x'; 1024];
+    for _ in 0..8 {
+        if stream.write_all(&chunk).is_err() {
+            break; // the server may already have answered and closed
+        }
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let line = text.lines().next().unwrap_or_default();
+    match Response::decode(line) {
+        Ok(Response::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::FrameTooLarge, "{}", e.message);
+            assert!(e.message.contains("4096"), "{}", e.message);
+        }
+        other => panic!("expected frame_too_large, got {other:?} from {text:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_after_the_timeout_and_active_ones_survive() {
+    let handle = spawn(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut idle = TcpStream::connect(handle.addr()).unwrap();
+    // A connection dribbling bytes but never completing a frame is idle
+    // too: only complete frames reset the deadline.
+    let mut dribbler = TcpStream::connect(handle.addr()).unwrap();
+    let mut active = Client::connect(handle.addr()).unwrap();
+    // The active connection outlives several windows because every request
+    // resets its deadline…
+    for _ in 0..8 {
+        active.ping().unwrap();
+        let _ = dribbler.write_all(b"x");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // …while the idle one was silently closed: EOF, no farewell frame.
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    match idle.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!(
+            "idle connection got {n} bytes instead of a silent close: {:?}",
+            String::from_utf8_lossy(&buf[..n])
+        ),
+    }
+    dribbler
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match dribbler.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("dribbling connection got {n} bytes instead of a silent close"),
+    }
+    let stats = active.stats().unwrap();
+    assert!(
+        stats.conn.idle_reaped >= 2,
+        "idle_reaped={} after two reapable connections",
+        stats.conn.idle_reaped
+    );
+    active.ping().unwrap();
     handle.shutdown();
 }
 

@@ -1,17 +1,25 @@
-//! Concurrent-connection test for `uu-server`, isolated in its own test
-//! binary: the final assertion reads the global executor's `peak_workers`
-//! high-water mark, which sibling tests running in the same process would
-//! perturb.
+//! Concurrent-connection tests for `uu-server`, isolated in their own test
+//! binary: the assertions read the global executor's counters
+//! (`peak_workers`, `tasks`), which sibling tests running in the same
+//! process would perturb — `EXEC_GATE` serializes the tests in this binary
+//! for the same reason.
 //!
 //! N line-JSON clients issue interleaved cached/uncached and grouped
 //! queries concurrently **while M pgwire clients hammer the pgwire-lite
 //! front of the same server**; every reply on either front must be
 //! bit-for-bit identical to its expectation, and the executor must never
-//! exceed its `UU_THREADS` worker budget — the server's single handler pool
-//! multiplexes both fronts *inside* the executor's inline scope instead of
-//! stacking helpers on top of it.
+//! exceed its `UU_THREADS` worker budget — complete frames are handed to
+//! the worker pool which serves *inside* the executor's inline scope
+//! instead of stacking helpers on top of it. A second test parks ≥1k idle
+//! connections (scalable to 10k via `UU_IDLE_CONNS`) on the reactor and
+//! pins that they cost zero executor tasks and zero worker threads; a third
+//! dribbles requests one byte per write and pins that incremental frame
+//! assembly answers bit-for-bit identically on both fronts.
 
-use std::sync::Arc;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use uu_core::engine::{EstimationSession, EstimatorKind};
 use uu_query::catalog::Catalog;
@@ -21,8 +29,12 @@ use uu_query::schema::{ColumnType, Schema};
 use uu_query::table::IntegratedTable;
 use uu_server::client::Client;
 use uu_server::pgwire::{panel_rows, PgClient, PgRow};
-use uu_server::protocol::{LoadCsvRequest, Request, Response, WireEstimate};
+use uu_server::protocol::{LoadCsvRequest, QueryRequest, Request, Response, WireEstimate};
 use uu_server::server::{spawn, ServerConfig};
+
+/// Serializes the tests in this binary: each one reads global executor
+/// counters that concurrent server traffic would perturb.
+static EXEC_GATE: Mutex<()> = Mutex::new(());
 
 const CLIENTS: usize = 8;
 const PG_CLIENTS: usize = 4;
@@ -137,6 +149,7 @@ fn expected(catalog: &Catalog, case: &Case) -> Vec<String> {
 
 #[test]
 fn concurrent_clients_get_direct_catalog_answers_within_the_thread_budget() {
+    let _gate = EXEC_GATE.lock().unwrap();
     let csv = observation_log();
     let handle = spawn(ServerConfig {
         pgwire_addr: Some("127.0.0.1:0".to_string()),
@@ -267,6 +280,234 @@ fn concurrent_clients_get_direct_catalog_answers_within_the_thread_budget() {
         exec.peak_workers,
         exec.threads
     );
+
+    admin.shutdown().unwrap();
+    handle.join();
+}
+
+/// ≥1k mostly-idle connections parked on the reactor must cost **zero**
+/// executor tasks and zero worker threads — the whole point of the
+/// readiness-driven connection layer. Scale with `UU_IDLE_CONNS=10000`.
+#[test]
+fn a_thousand_idle_connections_cost_no_executor_tokens() {
+    let _gate = EXEC_GATE.lock().unwrap();
+    let n: usize = std::env::var("UU_IDLE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    // Client and server sockets live in this one process: budget two fds
+    // per parked connection plus slack. Best effort — if the hard limit is
+    // lower we find out from the connect loop, with a clear message.
+    let _ = uu_server::reactor::raise_nofile_limit(2 * n as u64 + 512);
+    let handle = spawn(ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let mut admin = Client::connect(addr).unwrap();
+
+    let idles: Vec<TcpStream> = (0..n)
+        .map(|i| {
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connection {i} of {n}: {e}"))
+        })
+        .collect();
+    // Wait until the reactor has accepted every parked socket (connect()
+    // completes on the kernel backlog, ahead of the server's accept).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = admin.stats().unwrap();
+        if stats.conn.open > n as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {} idle connections accepted",
+            stats.conn.open,
+            n + 1
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let before = admin.stats().unwrap();
+    // An active client keeps getting served promptly among the idle herd.
+    let mut active = Client::connect(addr).unwrap();
+    for _ in 0..20 {
+        active.ping().unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let after = admin.stats().unwrap();
+
+    assert!(
+        after.conn.peak_open >= n as u64 + 2,
+        "peak_open {} never saw the idle herd",
+        after.conn.peak_open
+    );
+    assert_eq!(
+        after.exec.tasks, before.exec.tasks,
+        "idle sockets spawned executor tasks"
+    );
+    assert!(
+        after.exec.peak_workers <= after.exec.threads,
+        "peak_workers {} exceeds the UU_THREADS budget {} with {n} idle connections parked",
+        after.exec.peak_workers,
+        after.exec.threads
+    );
+
+    drop(idles);
+    admin.shutdown().unwrap();
+    handle.join();
+}
+
+/// Writes `bytes` one byte per `write` call, with pauses, so the reactor
+/// sees the frame arrive in (at least mostly) single-byte reads.
+fn dribble(stream: &mut TcpStream, bytes: &[u8]) {
+    for &b in bytes {
+        stream.write_all(&[b]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Reads one line-JSON response (through the trailing newline).
+fn read_json_line(stream: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut b = [0u8; 1];
+    loop {
+        let n = stream.read(&mut b).unwrap();
+        assert!(n > 0, "peer closed before a full line");
+        out.push(b[0]);
+        if b[0] == b'\n' {
+            return out;
+        }
+    }
+}
+
+/// Reads whole pgwire messages until (and including) `ReadyForQuery`.
+fn read_pg_until_ready(stream: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let mut header = [0u8; 5];
+        stream.read_exact(&mut header).unwrap();
+        let len = i32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        let mut body = vec![0u8; len - 4];
+        stream.read_exact(&mut body).unwrap();
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&body);
+        if header[0] == b'Z' {
+            return out;
+        }
+    }
+}
+
+/// A pgwire v3 `StartupMessage` (no SSL probe — optional in the protocol).
+fn pg_startup_bytes() -> Vec<u8> {
+    let mut params = Vec::new();
+    params.extend_from_slice(&196_608i32.to_be_bytes());
+    params.extend_from_slice(b"user\0uu\0database\0uu\0\0");
+    let mut out = Vec::new();
+    out.extend_from_slice(&((params.len() as i32 + 4).to_be_bytes()));
+    out.extend_from_slice(&params);
+    out
+}
+
+/// A pgwire simple-query (`Q`) message.
+fn pg_query_bytes(sql: &str) -> Vec<u8> {
+    let mut out = vec![b'Q'];
+    out.extend_from_slice(&((sql.len() as i32 + 5).to_be_bytes()));
+    out.extend_from_slice(sql.as_bytes());
+    out.push(0);
+    out
+}
+
+/// Byte-at-a-time writes must assemble into exactly the frames whole writes
+/// produce, on both fronts: deterministic responses (ping, pgwire panels)
+/// compare bit-for-bit; query replies compare on their canonical group
+/// renders (the reply carries a wall-clock `elapsed_us`).
+#[test]
+fn byte_at_a_time_writes_assemble_identical_responses_on_both_fronts() {
+    let _gate = EXEC_GATE.lock().unwrap();
+    let handle = spawn(ServerConfig {
+        pgwire_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let pg_addr = handle.pgwire_addr().expect("pgwire front enabled");
+
+    let mut admin = Client::connect(addr).unwrap();
+    let response = admin
+        .request(&Request::LoadCsv(LoadCsvRequest {
+            table: "t".into(),
+            columns: vec![("k".into(), "str".into()), ("v".into(), "float".into())],
+            entity_column: "k".into(),
+            source_column: "worker".into(),
+            csv: "worker,k,v\n0,A,10\n0,B,20\n1,A,10\n1,C,30\n".into(),
+            append: false,
+        }))
+        .unwrap();
+    assert!(matches!(response, Response::Loaded { .. }));
+    let sql = "SELECT SUM(v) FROM t";
+    // Warm the cache so whole and dribbled queries are both cache hits.
+    admin.query(sql, &["bucket"], true).unwrap();
+
+    let ping_line = b"{\"op\":\"ping\"}\n".to_vec();
+    let query_line = {
+        let mut line = Request::Query(QueryRequest {
+            sql: sql.into(),
+            estimators: vec!["bucket".into()],
+            cached: true,
+        })
+        .encode();
+        line.push('\n');
+        line.into_bytes()
+    };
+
+    // --- JSON front: whole writes vs dribbled writes ---
+    let mut whole = TcpStream::connect(addr).unwrap();
+    whole.set_nodelay(true).unwrap();
+    whole.write_all(&ping_line).unwrap();
+    let whole_ping = read_json_line(&mut whole);
+    whole.write_all(&query_line).unwrap();
+    let whole_query = read_json_line(&mut whole);
+
+    let mut dribbled = TcpStream::connect(addr).unwrap();
+    dribbled.set_nodelay(true).unwrap();
+    dribble(&mut dribbled, &ping_line);
+    let dribbled_ping = read_json_line(&mut dribbled);
+    dribble(&mut dribbled, &query_line);
+    let dribbled_query = read_json_line(&mut dribbled);
+
+    assert_eq!(whole_ping, dribbled_ping, "ping responses diverged");
+    let canonical_groups = |raw: &[u8]| -> Vec<String> {
+        let line = std::str::from_utf8(raw).unwrap();
+        match Response::decode(line.trim_end()).unwrap() {
+            Response::Query(reply) => {
+                assert!(reply.cache_hit, "expected a cache hit: {line}");
+                reply.groups.iter().map(|g| g.result.canonical()).collect()
+            }
+            other => panic!("expected a query reply, got {}", other.encode()),
+        }
+    };
+    assert_eq!(
+        canonical_groups(&whole_query),
+        canonical_groups(&dribbled_query),
+        "query answers diverged"
+    );
+
+    // --- pgwire front: the full byte stream compares bit-for-bit ---
+    let mut whole = TcpStream::connect(pg_addr).unwrap();
+    whole.set_nodelay(true).unwrap();
+    whole.write_all(&pg_startup_bytes()).unwrap();
+    let whole_startup = read_pg_until_ready(&mut whole);
+    whole.write_all(&pg_query_bytes(sql)).unwrap();
+    let whole_panel = read_pg_until_ready(&mut whole);
+
+    let mut dribbled = TcpStream::connect(pg_addr).unwrap();
+    dribbled.set_nodelay(true).unwrap();
+    dribble(&mut dribbled, &pg_startup_bytes());
+    let dribbled_startup = read_pg_until_ready(&mut dribbled);
+    dribble(&mut dribbled, &pg_query_bytes(sql));
+    let dribbled_panel = read_pg_until_ready(&mut dribbled);
+
+    assert_eq!(whole_startup, dribbled_startup, "startup replies diverged");
+    assert_eq!(whole_panel, dribbled_panel, "panel bytes diverged");
 
     admin.shutdown().unwrap();
     handle.join();
