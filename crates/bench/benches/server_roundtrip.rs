@@ -11,8 +11,16 @@
 //! same cache-hit round-trip re-measured while ~1k idle connections are
 //! parked on the reactor (`UU_BENCH_IDLE` overrides the count) — the
 //! readiness-driven connection layer must keep the active client's latency
-//! flat. Like `grouped_batch`, every variant is re-timed explicitly and
-//! written as machine-readable JSON to `BENCH_server_roundtrip.json` (in
+//! flat. The **incremental-append** cases run against a dedicated third
+//! table: `append_then_hit` (warm query → `append_stream` 100 new-entity
+//! rows → re-query; the timed part is the post-append query, which must
+//! land on the re-frozen snapshot instead of paying a cold rebuild) and
+//! `append_stream_sustained` (a stream of small 10-row appends — the timed
+//! part is the append itself, i.e. the full delta-maintenance cost). Both
+//! are measured only through the explicit record below — not the criterion
+//! group — so the table's growth stays bounded by the sample count. Like
+//! `grouped_batch`, every variant is re-timed explicitly and written as
+//! machine-readable JSON to `BENCH_server_roundtrip.json` (in
 //! `$BENCH_JSON_DIR` when set).
 
 use std::time::Instant;
@@ -34,6 +42,9 @@ const GROUPED_SQL: &str = "SELECT SUM(v) FROM t GROUP BY g";
 /// measurement: its one round-trip pays the projection build **and** the
 /// vectorized statistics, with no cache anywhere.
 const COLD_SQL: &str = "SELECT SUM(v) FROM t_cold";
+/// A third twin reserved for the incremental-append cases, so the appends
+/// never perturb the tables behind the cache-hit measurements.
+const APPEND_SQL: &str = "SELECT SUM(v) FROM t_app";
 const ESTIMATORS: &[&str] = &["bucket", "naive", "freq"];
 
 fn build_table(name: &str) -> IntegratedTable {
@@ -66,7 +77,21 @@ fn catalog() -> Catalog {
     let mut catalog = Catalog::new();
     catalog.register(build_table("t")).unwrap();
     catalog.register(build_table("t_cold")).unwrap();
+    catalog.register(build_table("t_app")).unwrap();
     catalog
+}
+
+/// A CSV batch of `rows` observations over brand-new entity keys
+/// (`a{start}`, `a{start+1}`, …). Fresh keys keep every cached selection on
+/// the pure-append fast path: nothing previously frozen is ever touched, so
+/// re-freezing in place is always legal.
+fn append_csv(start: u64, rows: u64) -> String {
+    let mut csv = String::from("worker,k,v,g\n");
+    for id in start..start + rows {
+        let (worker, v, g) = (id % 8, (id % 40) + 1, id % GROUPS as u64);
+        csv.push_str(&format!("{worker},a{id},{v}.0,g{g}\n"));
+    }
+    csv
 }
 
 fn bench_server(c: &mut Criterion) {
@@ -89,6 +114,10 @@ fn bench_server(c: &mut Criterion) {
     let cold_columnar = client.query(COLD_SQL, ESTIMATORS, false).unwrap();
     let cold_columnar_ns = start.elapsed().as_secs_f64() * 1e9;
     assert!(!cold_columnar.cache_hit);
+    // Warm the append table's selection once: every `append_then_hit`
+    // iteration below must find it already frozen and re-freeze it in place.
+    let warm_app = client.query(APPEND_SQL, ESTIMATORS, true).unwrap();
+    assert!(!warm_app.cache_hit);
 
     // Prepared-query session: the same SQL frozen behind a named session.
     client
@@ -152,6 +181,7 @@ fn bench_server(c: &mut Criterion) {
         }
         results.push((name.to_string(), total / samples as f64, best));
     };
+    let appended = std::cell::Cell::new(0u64);
     {
         let client = std::cell::RefCell::new(&mut client);
         record(
@@ -200,8 +230,22 @@ fn bench_server(c: &mut Criterion) {
                 client.borrow_mut().ping().unwrap();
             }),
         );
+        // A stream of small appends with no query in between: the honest
+        // ingest cost of the delta path (CSV parse + batched dictionary
+        // growth + sorted merge-insert + statistics re-freeze per batch).
+        record(
+            "append_stream_sustained",
+            Box::new(|| {
+                let start = appended.get();
+                appended.set(start + 10);
+                let outcome = client
+                    .borrow_mut()
+                    .append_stream("t_app", "worker", &append_csv(start, 10))
+                    .unwrap();
+                black_box(outcome.observations);
+            }),
+        );
     }
-
     // --- saturation: park ~1k idle connections on the reactor and
     // re-measure the cache-hit path. The parked sockets never send a byte,
     // so they must cost the active client nothing. ---
@@ -247,6 +291,34 @@ fn bench_server(c: &mut Criterion) {
     }
     drop(idles);
 
+    // Incremental maintenance's payoff case: each sample appends a 100-row
+    // batch of new entities (untimed — the maintenance cost is what
+    // `append_stream_sustained` measures) and then times the very next
+    // query. Without delta maintenance that query is a full cold rebuild
+    // (`cold_columnar`); with it, the re-frozen snapshot answers as a cache
+    // hit — the ratio the regression gate pins at 0.25x.
+    {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let start_row = appended.get();
+            appended.set(start_row + 100);
+            let outcome = client
+                .append_stream("t_app", "worker", &append_csv(start_row, 100))
+                .unwrap();
+            let start = Instant::now();
+            let reply = client.query(APPEND_SQL, ESTIMATORS, true).unwrap();
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            if outcome.incremental {
+                assert!(reply.cache_hit, "append must re-freeze, not evict");
+            }
+            black_box(reply.elapsed_us);
+            best = best.min(ns);
+            total += ns;
+        }
+        results.push(("append_then_hit".to_string(), total / samples as f64, best));
+    }
+
     let stats = client.stats().unwrap();
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -268,6 +340,14 @@ fn bench_server(c: &mut Criterion) {
     json.push_str(&format!(
         "  \"conn\": {{ \"backend\": \"{}\", \"idle_parked\": {parked}, \"peak_open\": {}, \"backpressure\": {} }},\n",
         stats.conn.backend, stats.conn.peak_open, stats.conn.backpressure
+    ));
+    json.push_str(&format!(
+        "  \"incremental\": {{ \"delta_batches\": {}, \"rows_appended\": {}, \"permutation_merges\": {}, \"snapshots_refrozen\": {}, \"fallback_rebuilds\": {} }},\n",
+        stats.incremental.delta_batches,
+        stats.incremental.rows_appended,
+        stats.incremental.permutation_merges,
+        stats.incremental.snapshots_refrozen,
+        stats.incremental.fallback_rebuilds
     ));
     json.push_str("  \"roundtrip_ns\": {\n");
     for (i, (name, mean, min)) in results.iter().enumerate() {

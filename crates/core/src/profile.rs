@@ -410,6 +410,61 @@ impl ProfileSnapshot {
         &self.view
     }
 
+    /// Delta-maintains the snapshot under an append: `bumps` are
+    /// already-observed items that gained observations (same value, higher
+    /// multiplicity — see [`SampleView::extended`]), `appended` are brand-new
+    /// items in row order. The owned view updates from the delta alone, and
+    /// the frozen value-sort permutation absorbs the appended items by a
+    /// sorted merge-insert — `O(k log k + c)` for a `k`-item delta instead of
+    /// the `O(c log c)` re-sort `capture` would pay — before the dependent
+    /// statistics (species ladder, bucket partition, diagnostics, ranks)
+    /// re-freeze over the presorted items.
+    ///
+    /// Bit-for-bit identical to capturing the extended view from scratch:
+    /// appended items carry strictly higher indices than every frozen item,
+    /// so an old-wins-ties merge reproduces the stable `total_cmp` sort
+    /// exactly, and bumps never move an item (values are unchanged).
+    pub fn refreeze(&self, bumps: &[(usize, ObservedItem)], appended: Vec<ObservedItem>) -> Self {
+        let old_len = self.view.items().len() as u32;
+        let appended_len = appended.len() as u32;
+        let view = self.view.extended(bumps, appended);
+        let items = view.items();
+        // Stable-sort the delta indices by value (ties keep row order), then
+        // merge into the frozen permutation with old-first on ties.
+        let mut delta_idx: Vec<u32> = (old_len..old_len + appended_len).collect();
+        delta_idx.sort_by(|&a, &b| items[a as usize].value.total_cmp(&items[b as usize].value));
+        let mut merged = Vec::with_capacity(items.len());
+        let mut old_iter = self.sorted_idx.iter().copied().peekable();
+        let mut new_iter = delta_idx.into_iter().peekable();
+        loop {
+            match (old_iter.peek(), new_iter.peek()) {
+                (Some(&o), Some(&n)) => {
+                    if items[o as usize]
+                        .value
+                        .total_cmp(&items[n as usize].value)
+                        .is_le()
+                    {
+                        merged.push(o);
+                        old_iter.next();
+                    } else {
+                        merged.push(n);
+                        new_iter.next();
+                    }
+                }
+                (Some(&o), None) => {
+                    merged.push(o);
+                    old_iter.next();
+                }
+                (None, Some(&n)) => {
+                    merged.push(n);
+                    new_iter.next();
+                }
+                (None, None) => break,
+            }
+        }
+        ProfileSnapshot::capture_presorted(view, merged)
+    }
+
     /// Approximate heap footprint of the snapshot in bytes: the owned view's
     /// items (with their lineage vectors) plus the frozen statistics. The
     /// figure backs [`ProfileCache`]'s byte-budget mode, so it only needs to
@@ -702,6 +757,30 @@ impl<V> ProfileCache<V> {
         removed
     }
 
+    /// Removes and returns every entry belonging to `table` (same canonical
+    /// form as the keys), value included — the walk behind incremental
+    /// append: the caller re-freezes each drained selection against the new
+    /// table state and re-inserts it, instead of evicting and paying a cold
+    /// rebuild on next touch. Not counted under `invalidations`; re-inserted
+    /// entries count as ordinary insertions.
+    pub fn drain_table(&self, table: &str) -> Vec<(ProfileKey, V)> {
+        let mut inner = self.inner.lock().expect("profile cache lock");
+        let keys: Vec<ProfileKey> = inner
+            .map
+            .keys()
+            .filter(|key| key.table == table)
+            .cloned()
+            .collect();
+        let mut drained = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(entry) = inner.map.remove(&key) {
+                inner.bytes -= entry.bytes;
+                drained.push((key, entry.value));
+            }
+        }
+        drained
+    }
+
     /// Drops every entry.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("profile cache lock");
@@ -942,6 +1021,97 @@ mod tests {
         assert_eq!(a.recommendation(), b.recommendation());
         assert_eq!(a.rank_multiplicities(), b.rank_multiplicities());
         assert_eq!(from_scratch.approx_bytes(), presorted.approx_bytes());
+    }
+
+    #[test]
+    fn refreeze_matches_capture_of_the_extended_view() {
+        let v = lineage_sample();
+        let frozen = ProfileSnapshot::capture(v.clone());
+        // One duplicate observation of item 0, two brand-new items (one of
+        // them tying an existing value so the merge's tie-break is exercised).
+        let mut bumped = v.items()[0].clone();
+        bumped.multiplicity += 1;
+        if let Some(first) = bumped.source_counts.first_mut() {
+            first.1 += 1;
+        }
+        let tie_value = v.items()[2].value;
+        let appended = vec![
+            ObservedItem {
+                value: tie_value,
+                multiplicity: 1,
+                source_counts: vec![(3, 1)],
+            },
+            ObservedItem {
+                value: -5.0,
+                multiplicity: 2,
+                source_counts: vec![(0, 2)],
+            },
+        ];
+        let refrozen = frozen.refreeze(&[(0, bumped.clone())], appended.clone());
+        let mut rebuilt_items = v.items().to_vec();
+        rebuilt_items[0] = bumped;
+        rebuilt_items.extend(appended);
+        let rebuilt = ProfileSnapshot::capture(SampleView::from_observed_items(rebuilt_items));
+        assert_eq!(refrozen.view(), rebuilt.view());
+        assert_eq!(refrozen.sorted_idx, rebuilt.sorted_idx);
+        let a = refrozen.profile();
+        let b = rebuilt.profile();
+        for est in SpeciesEstimator::ALL {
+            assert_eq!(a.species(est), b.species(est));
+        }
+        assert_eq!(a.bucket_reports(), b.bucket_reports());
+        assert_eq!(a.bucket_delta(), b.bucket_delta());
+        assert_eq!(a.diagnostics(), b.diagnostics());
+        assert_eq!(a.recommendation(), b.recommendation());
+        assert_eq!(a.rank_multiplicities(), b.rank_multiplicities());
+    }
+
+    #[test]
+    fn refreeze_from_an_empty_snapshot_bootstraps_cleanly() {
+        let empty =
+            ProfileSnapshot::capture(SampleView::from_value_multiplicities(std::iter::empty()));
+        let appended = vec![
+            ObservedItem {
+                value: 2.0,
+                multiplicity: 1,
+                source_counts: vec![(0, 1)],
+            },
+            ObservedItem {
+                value: 1.0,
+                multiplicity: 3,
+                source_counts: vec![(1, 3)],
+            },
+        ];
+        let refrozen = empty.refreeze(&[], appended.clone());
+        let rebuilt = ProfileSnapshot::capture(SampleView::from_observed_items(appended));
+        assert_eq!(refrozen.view(), rebuilt.view());
+        assert_eq!(refrozen.sorted_idx, rebuilt.sorted_idx);
+    }
+
+    #[test]
+    fn drain_table_hands_back_entries_with_their_bytes_released() {
+        let cache: ProfileCache<u32> = ProfileCache::new(8).with_byte_budget(1000);
+        cache.insert_weighted(key("t", 0, "a"), 1, 100);
+        cache.insert_weighted(key("t", 0, "b"), 2, 60);
+        cache.insert_weighted(key("u", 0, "a"), 3, 40);
+        let mut drained = cache.drain_table("t");
+        drained.sort_by(|(ka, _), (kb, _)| ka.predicate.cmp(&kb.predicate));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].1, 1);
+        assert_eq!(drained[1].1, 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 40);
+        assert_eq!(
+            cache.metrics().invalidations,
+            0,
+            "a drain is not an invalidation"
+        );
+        // Re-inserting at a new version is an ordinary insertion.
+        for (mut k, v) in drained {
+            k.version += 1;
+            cache.insert_weighted(k, v, 10);
+        }
+        assert_eq!(cache.get(&key("t", 1, "a")), Some(1));
     }
 
     #[test]

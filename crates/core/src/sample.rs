@@ -118,6 +118,115 @@ impl SampleView {
         }
     }
 
+    /// Delta-extends the view: `bumps` replaces already-observed items (same
+    /// value, higher multiplicity / extended lineage — an appended duplicate
+    /// observation), `appended` adds brand-new items at the end. Everything
+    /// derived updates from the delta alone — frequency ladder rungs move in
+    /// `O(1)` per bump ([`FrequencyStatistics::bump`] /
+    /// [`FrequencyStatistics::observe_item`]), per-source sizes apply integer
+    /// lineage deltas, and the running sums append in item order — except
+    /// `singleton_sum`, which is re-summed in item order when a bump moves an
+    /// item out of singleton status (subtracting from a float accumulator
+    /// would break bit-for-bit parity with a from-scratch rebuild).
+    ///
+    /// The result is bit-identical to `from_observed_items` over the final
+    /// item list; a proptest pins that.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`SampleView::from_observed_items`] invariants, on a
+    /// bump index out of range, and on a bump that changes an item's value
+    /// or lowers its multiplicity.
+    pub fn extended(&self, bumps: &[(usize, ObservedItem)], appended: Vec<ObservedItem>) -> Self {
+        let mut items = self.items.clone();
+        let mut freq = self.freq.clone();
+        let mut source_sizes = self.source_sizes.clone();
+        let mut singleton_left = false;
+        for (idx, item) in bumps {
+            let old = &items[*idx];
+            assert_eq!(
+                old.value.to_bits(),
+                item.value.to_bits(),
+                "a bump may not change an item's value"
+            );
+            freq.bump(old.multiplicity, item.multiplicity);
+            singleton_left |= old.multiplicity == 1 && item.multiplicity > 1;
+            if !item.source_counts.is_empty() {
+                let total: u64 = item.source_counts.iter().map(|&(_, k)| k as u64).sum();
+                assert_eq!(
+                    total, item.multiplicity,
+                    "lineage counts must sum to the multiplicity"
+                );
+                let mut old_counts = old.source_counts.iter().peekable();
+                for &(sid, k) in &item.source_counts {
+                    let before = match old_counts.peek() {
+                        Some(&&(old_sid, old_k)) if old_sid == sid => {
+                            old_counts.next();
+                            old_k as u64
+                        }
+                        _ => 0,
+                    };
+                    let sid = sid as usize;
+                    if sid >= source_sizes.len() {
+                        source_sizes.resize(sid + 1, 0);
+                    }
+                    source_sizes[sid] += k as u64 - before;
+                }
+                assert!(
+                    old_counts.next().is_none(),
+                    "a bump may not drop a lineage source"
+                );
+            }
+            items[*idx] = item.clone();
+        }
+        let mut observed_sum = self.observed_sum;
+        let mut singleton_sum = self.singleton_sum;
+        for item in &appended {
+            assert!(item.value.is_finite(), "attribute values must be finite");
+            assert!(
+                item.multiplicity > 0,
+                "observed items need multiplicity > 0"
+            );
+            freq.observe_item(item.multiplicity);
+            observed_sum += item.value;
+            if item.multiplicity == 1 {
+                singleton_sum += item.value;
+            }
+            if !item.source_counts.is_empty() {
+                let total: u64 = item.source_counts.iter().map(|&(_, k)| k as u64).sum();
+                assert_eq!(
+                    total, item.multiplicity,
+                    "lineage counts must sum to the multiplicity"
+                );
+                for &(sid, k) in &item.source_counts {
+                    let sid = sid as usize;
+                    if sid >= source_sizes.len() {
+                        source_sizes.resize(sid + 1, 0);
+                    }
+                    source_sizes[sid] += k as u64;
+                }
+            }
+        }
+        items.extend(appended);
+        if singleton_left {
+            // An old singleton gained observations: re-sum the survivors in
+            // item order, the exact addition sequence a rebuild would run
+            // (an explicit fold from +0.0 — `Iterator::sum` folds from -0.0,
+            // which would leak a -0.0 when no singleton survives).
+            singleton_sum = items
+                .iter()
+                .filter(|i| i.multiplicity == 1)
+                .fold(0.0, |acc, i| acc + i.value);
+        }
+        SampleView {
+            items,
+            freq,
+            source_sizes,
+            observed_sum,
+            singleton_sum,
+        }
+    }
+
     /// The unique observed items (order unspecified).
     pub fn items(&self) -> &[ObservedItem] {
         &self.items
@@ -466,6 +575,52 @@ mod tests {
             prop_assert!((s.observed_sum() - manual).abs() < 1e-9);
             let n: u64 = pairs.iter().map(|&(_, m)| m).sum();
             prop_assert_eq!(s.n(), n);
+        }
+
+        #[test]
+        fn extended_matches_from_scratch_rebuild(
+            base in proptest::collection::vec((0.0f64..100.0, 1u64..4, 0u32..3), 0..40),
+            dup_hits in proptest::collection::vec((0usize..40, 0u32..3), 0..20),
+            fresh in proptest::collection::vec((0.0f64..100.0, 1u64..4, 0u32..3), 0..20),
+        ) {
+            // Base items with single-source lineage.
+            let item = |&(v, m, s): &(f64, u64, u32)| ObservedItem {
+                value: v,
+                multiplicity: m,
+                source_counts: vec![(s, m as u32)],
+            };
+            let base_items: Vec<ObservedItem> = base.iter().map(item).collect();
+            let view = SampleView::from_observed_items(base_items.clone());
+            // Duplicate observations bump existing items (value unchanged).
+            let mut final_items = base_items;
+            let mut bumped: std::collections::HashMap<usize, ObservedItem> =
+                std::collections::HashMap::new();
+            if !final_items.is_empty() {
+                for &(slot, src) in &dup_hits {
+                    let slot = slot % final_items.len();
+                    let it = &mut final_items[slot];
+                    it.multiplicity += 1;
+                    match it.source_counts.binary_search_by_key(&src, |&(s, _)| s) {
+                        Ok(i) => it.source_counts[i].1 += 1,
+                        Err(i) => it.source_counts.insert(i, (src, 1)),
+                    }
+                    bumped.insert(slot, it.clone());
+                }
+            }
+            let appended: Vec<ObservedItem> = fresh.iter().map(item).collect();
+            final_items.extend(appended.iter().cloned());
+            let bumps: Vec<(usize, ObservedItem)> = {
+                let mut b: Vec<_> = bumped.into_iter().collect();
+                b.sort_by_key(|&(i, _)| i);
+                b
+            };
+            let inc = view.extended(&bumps, appended);
+            let rebuilt = SampleView::from_observed_items(final_items);
+            prop_assert_eq!(inc.items(), rebuilt.items());
+            prop_assert_eq!(inc.freq(), rebuilt.freq());
+            prop_assert_eq!(inc.source_sizes(), rebuilt.source_sizes());
+            prop_assert_eq!(inc.observed_sum().to_bits(), rebuilt.observed_sum().to_bits());
+            prop_assert_eq!(inc.singleton_sum().to_bits(), rebuilt.singleton_sum().to_bits());
         }
 
         #[test]

@@ -1,13 +1,17 @@
 //! A catalog of integrated tables, for multi-table databases.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::exec::{
-    execute_cached, execute_grouped, execute_grouped_cached, execute_sql as exec_one, selection,
-    CorrectionMethod, ExecError, GroupResult, QueryProfileCache, QueryResult, SelectionSnapshots,
+    execute_cached, execute_grouped, execute_grouped_cached, execute_sql as exec_one,
+    refreeze_selection, selection, selection_bytes, CorrectionMethod, ExecError, GroupResult,
+    QueryProfileCache, QueryResult, SelectionSnapshots,
 };
 use crate::sql::parse;
-use crate::table::IntegratedTable;
+use crate::table::{AppendDelta, IntegratedTable};
+use crate::value::Value;
 
 /// Errors from catalog operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +31,34 @@ impl std::fmt::Display for CatalogError {
 }
 
 impl std::error::Error for CatalogError {}
+
+/// Incremental-maintenance counters, updated by
+/// [`Catalog::append_observations`].
+#[derive(Debug, Default)]
+struct IncrementalCounters {
+    delta_batches: AtomicU64,
+    rows_appended: AtomicU64,
+    permutation_merges: AtomicU64,
+    snapshots_refrozen: AtomicU64,
+    fallback_rebuilds: AtomicU64,
+}
+
+/// A point-in-time snapshot of the incremental-maintenance telemetry — the
+/// numbers behind the server `stats` verb's `incremental` block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Append batches applied through the delta path.
+    pub delta_batches: u64,
+    /// Observations accepted by those batches.
+    pub rows_appended: u64,
+    /// Sort permutations absorbed by merge instead of a re-sort.
+    pub permutation_merges: u64,
+    /// Per-universe profile snapshots re-frozen from delta rows alone.
+    pub snapshots_refrozen: u64,
+    /// Cached selections dropped to a rebuild instead (incremental mode
+    /// off, stale version, or a grouped selection with a touched row).
+    pub fallback_rebuilds: u64,
+}
 
 /// A set of named integrated tables with SQL dispatch.
 ///
@@ -55,7 +87,11 @@ pub struct Catalog {
     /// Cross-query profile cache behind the `*_cached` execution methods.
     /// Keys carry the table version, and [`Catalog::get_mut`] invalidates a
     /// table's entries eagerly, so the cache can never serve a stale state.
+    /// [`Catalog::append_observations`] instead *re-freezes* a table's
+    /// entries at the new version, keeping them warm across appends.
     cache: QueryProfileCache,
+    /// Telemetry for the append path.
+    incremental: IncrementalCounters,
 }
 
 impl Catalog {
@@ -73,6 +109,7 @@ impl Catalog {
         Catalog {
             tables: HashMap::new(),
             cache,
+            incremental: IncrementalCounters::default(),
         }
     }
 
@@ -99,6 +136,79 @@ impl Catalog {
         let table = self.tables.get_mut(&key)?;
         self.cache.invalidate_table(&key);
         Some(table)
+    }
+
+    /// Appends a batch of observations to a registered table through the
+    /// delta-maintenance path: the table applies the batch as an append
+    /// (growing its columnar projection and sort permutations in place) and
+    /// every cached selection of the table is re-frozen at the new version
+    /// from the delta rows alone, instead of being evicted. Selections that
+    /// cannot be maintained incrementally are dropped (counted as fallback
+    /// rebuilds) — the next query rebuilds them, so results are identical
+    /// either way. Returns the table's [`AppendDelta`] and the number of
+    /// selections re-frozen.
+    ///
+    /// This is the append notification [`Catalog::get_mut`]'s whole-table
+    /// eviction is too coarse for: `append_stream` and CSV appends route
+    /// here.
+    pub fn append_observations(
+        &mut self,
+        name: &str,
+        batch: Vec<(u32, Vec<Value>)>,
+    ) -> Result<(AppendDelta, u64), ExecError> {
+        let key = name.to_ascii_lowercase();
+        let delta = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| ExecError::UnknownTable(name.to_string()))?
+            .append_batch(batch)?;
+        self.incremental
+            .delta_batches
+            .fetch_add(1, Ordering::Relaxed);
+        self.incremental.rows_appended.fetch_add(
+            delta.version_after - delta.version_before,
+            Ordering::Relaxed,
+        );
+        self.incremental
+            .permutation_merges
+            .fetch_add(delta.perm_merges, Ordering::Relaxed);
+        let table = self.tables.get(&key).expect("table was just appended to");
+        let mut refrozen = 0u64;
+        for (mut entry_key, selection) in self.cache.drain_table(&key) {
+            let fresh = (entry_key.instance == table.instance()
+                && entry_key.version == delta.version_before)
+                .then(|| refreeze_selection(table, &selection, &delta))
+                .flatten();
+            match fresh {
+                Some(refreshed) => {
+                    entry_key.version = delta.version_after;
+                    self.incremental
+                        .snapshots_refrozen
+                        .fetch_add(refreshed.len() as u64, Ordering::Relaxed);
+                    let refreshed = Arc::new(refreshed);
+                    let bytes = selection_bytes(&refreshed);
+                    self.cache.insert_weighted(entry_key, refreshed, bytes);
+                    refrozen += 1;
+                }
+                None => {
+                    self.incremental
+                        .fallback_rebuilds
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok((delta, refrozen))
+    }
+
+    /// A snapshot of the incremental-maintenance counters.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            delta_batches: self.incremental.delta_batches.load(Ordering::Relaxed),
+            rows_appended: self.incremental.rows_appended.load(Ordering::Relaxed),
+            permutation_merges: self.incremental.permutation_merges.load(Ordering::Relaxed),
+            snapshots_refrozen: self.incremental.snapshots_refrozen.load(Ordering::Relaxed),
+            fallback_rebuilds: self.incremental.fallback_rebuilds.load(Ordering::Relaxed),
+        }
     }
 
     /// The embedded cross-query profile cache (for instrumentation; the
@@ -393,6 +503,94 @@ mod tests {
         let (builds, reuses, _) = catalog.projection_stats();
         assert_eq!(builds, 1);
         assert!(reuses >= 1);
+    }
+
+    #[test]
+    fn append_observations_refreezes_instead_of_evicting() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        let plain = "SELECT SUM(v) FROM t WHERE v < 3";
+        let grouped = "SELECT SUM(v) FROM t GROUP BY k";
+        let before_plain = catalog
+            .execute_sql_cached(plain, CorrectionMethod::Bucket)
+            .unwrap();
+        let _ = catalog
+            .execute_sql_grouped_cached(grouped, CorrectionMethod::Bucket)
+            .unwrap();
+        // Append two new entities and re-observe an existing one.
+        let (delta, refrozen) = catalog
+            .append_observations(
+                "T",
+                vec![
+                    (7, vec![Value::from("e9"), Value::from(9.0)]),
+                    (7, vec![Value::from("e0"), Value::from(0.0)]),
+                    (8, vec![Value::from("e8"), Value::from(8.0)]),
+                ],
+            )
+            .unwrap();
+        assert!(delta.incremental);
+        assert_eq!(delta.touched, vec![0]);
+        // The ungrouped selection re-froze; the grouped one fell back
+        // because the touched row sits inside it.
+        assert_eq!(refrozen, 1);
+        let stats = catalog.incremental_stats();
+        assert_eq!(stats.delta_batches, 1);
+        assert_eq!(stats.rows_appended, 3);
+        assert_eq!(stats.snapshots_refrozen, 1);
+        assert_eq!(stats.fallback_rebuilds, 1);
+        // The refrozen entry serves the new version as a pure hit…
+        let hits_before = catalog.cache().metrics().hits;
+        let after_plain = catalog
+            .execute_sql_cached(plain, CorrectionMethod::Bucket)
+            .unwrap();
+        assert_eq!(catalog.cache().metrics().hits, hits_before + 1);
+        // …bit-for-bit equal to a from-scratch execution.
+        let rebuilt = catalog
+            .execute_sql(plain, CorrectionMethod::Bucket)
+            .unwrap();
+        assert_eq!(after_plain.observed.to_bits(), rebuilt.observed.to_bits());
+        assert_eq!(
+            after_plain.corrected.map(f64::to_bits),
+            rebuilt.corrected.map(f64::to_bits)
+        );
+        // e0's re-observation left the closed-world sum alone (no new item
+        // entered the selection) but flowed into the frequency ladder.
+        assert_eq!(after_plain.observed, before_plain.observed);
+        let grouped_after = catalog
+            .execute_sql_grouped_cached(grouped, CorrectionMethod::Bucket)
+            .unwrap();
+        assert_eq!(grouped_after.len(), 6);
+    }
+
+    #[test]
+    fn append_observations_with_incremental_off_counts_fallbacks() {
+        let mut catalog = Catalog::new();
+        catalog.register(table("t")).unwrap();
+        catalog.get_mut("t").unwrap().set_incremental(false);
+        let sql = "SELECT SUM(v) FROM t";
+        let _ = catalog
+            .execute_sql_cached(sql, CorrectionMethod::None)
+            .unwrap();
+        let (delta, refrozen) = catalog
+            .append_observations("t", vec![(7, vec![Value::from("e9"), Value::from(9.0)])])
+            .unwrap();
+        assert!(!delta.incremental);
+        assert_eq!(refrozen, 0);
+        assert_eq!(catalog.incremental_stats().fallback_rebuilds, 1);
+        // Correctness is unaffected: the next query rebuilds.
+        let r = catalog
+            .execute_sql_cached(sql, CorrectionMethod::None)
+            .unwrap();
+        assert_eq!(r.observed, 15.0);
+    }
+
+    #[test]
+    fn append_observations_to_unknown_table_errors() {
+        let mut catalog = Catalog::new();
+        assert!(matches!(
+            catalog.append_observations("missing", Vec::new()),
+            Err(ExecError::UnknownTable(name)) if name == "missing"
+        ));
     }
 
     #[test]

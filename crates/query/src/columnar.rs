@@ -25,6 +25,7 @@
 //! `as_f64` widening, `total_cmp` ordering, and three-valued comparison
 //! rules — which the `columnar_parity` suite pins.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use crate::predicate::{CmpOp, Predicate, PredicateError};
@@ -171,11 +172,21 @@ enum ColumnData {
     Float(Vec<f64>),
     /// INT column, kept exact for grouping.
     Int(Vec<i64>),
-    /// TEXT column, dictionary-encoded: `codes[row]` is the rank of the
-    /// cell's string in the sorted, deduplicated `pool`, so ordered
-    /// comparisons against a literal reduce to one rank lookup plus integer
-    /// compares per row.
-    Str { codes: Vec<u32>, pool: Vec<String> },
+    /// TEXT column, dictionary-encoded: `codes[row]` indexes the
+    /// deduplicated `pool`, and `rank` maps a pool index to its
+    /// lexicographic rank, so ordered comparisons against a literal reduce
+    /// to one rank lookup plus integer compares per row. At build time the
+    /// pool is sorted, making `sorted` and `rank` the identity; appends push
+    /// new strings onto the pool end and splice them into `sorted`, so old
+    /// codes never need re-coding when the dictionary widens.
+    Str {
+        codes: Vec<u32>,
+        pool: Vec<String>,
+        /// Pool indices in lexicographic order of their strings.
+        sorted: Vec<u32>,
+        /// Pool index → lexicographic rank (inverse permutation of `sorted`).
+        rank: Vec<u32>,
+    },
 }
 
 /// One projected column: primitive data plus validity.
@@ -280,7 +291,14 @@ impl Projection {
                                 valid[row / WORD] |= 1 << (row % WORD);
                             }
                         }
-                        ColumnData::Str { codes, pool }
+                        let sorted: Vec<u32> = (0..pool.len() as u32).collect();
+                        let rank = sorted.clone();
+                        ColumnData::Str {
+                            codes,
+                            pool,
+                            sorted,
+                            rank,
+                        }
                     }
                 };
                 ColumnProjection {
@@ -298,6 +316,176 @@ impl Projection {
             mults,
             sort_perms: (0..schema.len()).map(|_| OnceLock::new()).collect(),
         }
+    }
+
+    /// Grows the projection in place for an append of
+    /// `entities[old_rows..]`: primitive buffers and validity bitmaps
+    /// extend, dictionaries widen without re-coding old rows, multiplicities
+    /// of `touched` pre-existing rows refresh, and every sort permutation
+    /// already built absorbs the new rows by a sorted merge instead of an
+    /// `n log n` re-sort. Returns the number of permutation merges
+    /// performed. The result is bit-for-bit identical to
+    /// [`Projection::build`] over the full entity slice, except that
+    /// dictionary codes of strings first seen in the delta sit at the pool
+    /// end rather than in rank order — an encoding choice the comparison
+    /// kernels absorb through the `rank` indirection.
+    pub(crate) fn extend_for_append(
+        &mut self,
+        schema: &Schema,
+        entities: &[Entity],
+        touched: &[u32],
+        version: u64,
+    ) -> usize {
+        let old_rows = self.rows;
+        let rows = entities.len();
+        debug_assert!(rows >= old_rows, "appends never shrink a table");
+        let words = words_for(rows);
+        for (j, col) in self.columns.iter_mut().enumerate() {
+            col.valid.resize(words, 0);
+            match &mut col.data {
+                ColumnData::Float(values) => {
+                    values.reserve(rows - old_rows);
+                    for (row, e) in entities.iter().enumerate().skip(old_rows) {
+                        let cell = e.record.value(j);
+                        if let Some(v) = cell.as_f64() {
+                            values.push(v);
+                            col.valid[row / WORD] |= 1 << (row % WORD);
+                            if let Value::Int(i) = cell {
+                                col.lossy_ints |= i.unsigned_abs() > (1 << 53);
+                            }
+                        } else {
+                            values.push(0.0);
+                        }
+                    }
+                }
+                ColumnData::Int(values) => {
+                    values.reserve(rows - old_rows);
+                    for (row, e) in entities.iter().enumerate().skip(old_rows) {
+                        if let Value::Int(i) = e.record.value(j) {
+                            values.push(*i);
+                            col.valid[row / WORD] |= 1 << (row % WORD);
+                        } else {
+                            values.push(0);
+                        }
+                    }
+                }
+                ColumnData::Str {
+                    codes,
+                    pool,
+                    sorted,
+                    rank,
+                } => {
+                    codes.reserve(rows - old_rows);
+                    // Strings the dictionary has never seen get codes at the
+                    // pool end in first-appearance order, but their splice
+                    // into the lexicographic order is batched: one sorted
+                    // merge and one rank rebuild per append, instead of an
+                    // O(pool) shift per new string.
+                    let base = pool.len() as u32;
+                    let mut new_strings: Vec<String> = Vec::new();
+                    let mut new_index: HashMap<String, u32> = HashMap::new();
+                    for (row, e) in entities.iter().enumerate().skip(old_rows) {
+                        let Some(s) = e.record.value(j).as_str() else {
+                            codes.push(0);
+                            continue;
+                        };
+                        let code = if let Some(&c) = new_index.get(s) {
+                            c
+                        } else {
+                            let pos = sorted.partition_point(|&i| pool[i as usize].as_str() < s);
+                            match sorted.get(pos) {
+                                Some(&i) if pool[i as usize] == s => i,
+                                _ => {
+                                    let c = base + new_strings.len() as u32;
+                                    new_strings.push(s.to_string());
+                                    new_index.insert(s.to_string(), c);
+                                    c
+                                }
+                            }
+                        };
+                        codes.push(code);
+                        col.valid[row / WORD] |= 1 << (row % WORD);
+                    }
+                    if !new_strings.is_empty() {
+                        let mut delta: Vec<u32> = (base..base + new_strings.len() as u32).collect();
+                        delta.sort_unstable_by(|&a, &b| {
+                            new_strings[(a - base) as usize].cmp(&new_strings[(b - base) as usize])
+                        });
+                        pool.extend(new_strings);
+                        // New strings are distinct from every old one, so the
+                        // merge never ties and reproduces the full
+                        // lexicographic order exactly.
+                        let mut merged = Vec::with_capacity(sorted.len() + delta.len());
+                        let mut old_it = sorted.iter().copied().peekable();
+                        let mut new_it = delta.into_iter().peekable();
+                        while let (Some(&o), Some(&n)) = (old_it.peek(), new_it.peek()) {
+                            if pool[o as usize] < pool[n as usize] {
+                                merged.push(o);
+                                old_it.next();
+                            } else {
+                                merged.push(n);
+                                new_it.next();
+                            }
+                        }
+                        merged.extend(old_it);
+                        merged.extend(new_it);
+                        *sorted = merged;
+                        rank.resize(pool.len(), 0);
+                        for (pos, &c) in sorted.iter().enumerate() {
+                            rank[c as usize] = pos as u32;
+                        }
+                    }
+                }
+            }
+        }
+        self.mults
+            .extend(entities[old_rows..].iter().map(Entity::multiplicity));
+        for &row in touched {
+            self.mults[row as usize] = entities[row as usize].multiplicity();
+        }
+        let mut merges = 0;
+        for (col, slot) in self.columns.iter().zip(&mut self.sort_perms) {
+            let Some(old_perm) = slot.take() else {
+                continue;
+            };
+            merges += 1;
+            let value_at: &dyn Fn(u32) -> f64 = match &col.data {
+                ColumnData::Float(v) => &|r| v[r as usize],
+                ColumnData::Int(v) => &|r| v[r as usize] as f64,
+                ColumnData::Str { .. } => unreachable!("sort permutation of a TEXT column"),
+            };
+            let mut delta: Vec<u32> = Vec::new();
+            for row in old_rows..rows {
+                if bit(&col.valid, row) {
+                    delta.push(row as u32);
+                }
+            }
+            // Delta rows arrive in row order, so a stable sort keeps ties in
+            // row order — exactly the tie rule of a full re-sort.
+            delta.sort_by(|&a, &b| value_at(a).total_cmp(&value_at(b)));
+            let mut merged = Vec::with_capacity(old_perm.len() + delta.len());
+            let mut old_it = old_perm.into_iter().peekable();
+            let mut new_it = delta.into_iter().peekable();
+            while let (Some(&o), Some(&n)) = (old_it.peek(), new_it.peek()) {
+                // Every delta row index exceeds every old row index, so on a
+                // value tie the old row comes first — matching the stable
+                // full re-sort bit for bit.
+                if value_at(o).total_cmp(&value_at(n)).is_le() {
+                    merged.push(o);
+                    old_it.next();
+                } else {
+                    merged.push(n);
+                    new_it.next();
+                }
+            }
+            merged.extend(old_it);
+            merged.extend(new_it);
+            slot.set(merged).expect("slot was just emptied");
+        }
+        debug_assert_eq!(self.columns.len(), schema.len());
+        self.rows = rows;
+        self.version = version;
+        merges
     }
 
     /// The table version this projection snapshots.
@@ -320,8 +508,15 @@ impl Projection {
             total += match &col.data {
                 ColumnData::Float(v) => size_of_val(v.as_slice()),
                 ColumnData::Int(v) => size_of_val(v.as_slice()),
-                ColumnData::Str { codes, pool } => {
+                ColumnData::Str {
+                    codes,
+                    pool,
+                    sorted,
+                    rank,
+                } => {
                     size_of_val(codes.as_slice())
+                        + size_of_val(sorted.as_slice())
+                        + size_of_val(rank.as_slice())
                         + pool
                             .iter()
                             .map(|s| size_of::<String>() + s.len())
@@ -452,9 +647,15 @@ impl Projection {
         match (&c.data, lit) {
             // NULL literal: unknown everywhere.
             (_, Value::Null) => Mask::all_unknown(self.rows),
-            (ColumnData::Str { codes, pool }, Value::Str(s)) => {
-                cmp_str(codes, pool, &c.valid, op, s)
-            }
+            (
+                ColumnData::Str {
+                    codes,
+                    pool,
+                    sorted,
+                    rank,
+                },
+                Value::Str(s),
+            ) => cmp_str(codes, pool, sorted, rank, &c.valid, op, s),
             // String vs. number (either direction): incomparable.
             (ColumnData::Str { .. }, _) | (_, Value::Str(_)) => Mask::all_unknown(self.rows),
             (ColumnData::Float(values), lit) => {
@@ -492,13 +693,23 @@ fn cmp_numeric(valid: &[u64], op: CmpOp, lit: f64, value_at: impl Fn(usize) -> f
 }
 
 /// String comparison loop over dictionary codes: the literal's rank in the
-/// sorted pool turns lexicographic comparison into integer comparison per
-/// row.
-fn cmp_str(codes: &[u32], pool: &[String], valid: &[u64], op: CmpOp, lit: &str) -> Mask {
+/// lexicographic dictionary order turns string comparison into integer
+/// comparison per row.
+fn cmp_str(
+    codes: &[u32],
+    pool: &[String],
+    sorted: &[u32],
+    rank: &[u32],
+    valid: &[u64],
+    op: CmpOp,
+    lit: &str,
+) -> Mask {
     use std::cmp::Ordering;
     let pass = pass_fn(op);
-    let rank = pool.partition_point(|p| p.as_str() < lit) as u32;
-    let present = pool.get(rank as usize).is_some_and(|p| p == lit);
+    let lit_rank = sorted.partition_point(|&i| pool[i as usize].as_str() < lit) as u32;
+    let present = sorted
+        .get(lit_rank as usize)
+        .is_some_and(|&i| pool[i as usize] == lit);
     let mut t = vec![0u64; valid.len()];
     let mut f = vec![0u64; valid.len()];
     for (w, &vw) in valid.iter().enumerate() {
@@ -508,7 +719,7 @@ fn cmp_str(codes: &[u32], pool: &[String], valid: &[u64], op: CmpOp, lit: &str) 
             let b = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             let code = codes[w * WORD + b];
-            let ord = match code.cmp(&rank) {
+            let ord = match rank[code as usize].cmp(&lit_rank) {
                 Ordering::Less => Ordering::Less,
                 Ordering::Equal if present => Ordering::Equal,
                 _ => Ordering::Greater,
@@ -698,6 +909,97 @@ mod tests {
             vec![vec![Value::Int(0), Value::Int((1 << 53) + 1)]],
         );
         assert!(Projection::build(&schema, &lossy, 0).lossy_ints(1));
+    }
+
+    #[test]
+    fn extend_for_append_matches_a_from_scratch_build() {
+        let schema = Schema::new([
+            ("k", ColumnType::Int),
+            ("x", ColumnType::Float),
+            ("s", ColumnType::Str),
+        ]);
+        let old_rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(0), Value::Float(3.0), Value::from("mango")],
+            vec![Value::Int(1), Value::Null, Value::from("apple")],
+            vec![Value::Int(2), Value::Float(f64::NAN), Value::Null],
+            vec![Value::Int(3), Value::Float(-0.0), Value::from("mango")],
+        ];
+        let delta_rows: Vec<Vec<Value>> = vec![
+            // Ties 3.0 (old row 0 must sort first), introduces "banana" and
+            // "zucchini" (dictionary widens at both ends), repeats "apple".
+            vec![Value::Int(4), Value::Float(3.0), Value::from("banana")],
+            vec![
+                Value::Int(5),
+                Value::Float(f64::NEG_INFINITY),
+                Value::from("zucchini"),
+            ],
+            vec![Value::Int(6), Value::Float(0.0), Value::from("apple")],
+        ];
+        let mut all = old_rows.clone();
+        all.extend(delta_rows);
+        let old_ents = entities(&schema, old_rows);
+        let all_ents = entities(&schema, all);
+
+        let mut grown = Projection::build(&schema, &old_ents, 3);
+        // Initialize both numeric perms so the merge path runs.
+        grown.sort_perm(0);
+        grown.sort_perm(1);
+        let merges = grown.extend_for_append(&schema, &all_ents, &[], 7);
+        assert_eq!(merges, 2);
+
+        let fresh = Projection::build(&schema, &all_ents, 7);
+        assert_eq!(grown.rows(), fresh.rows());
+        assert_eq!(grown.sort_perm(0), fresh.sort_perm(0));
+        assert_eq!(grown.sort_perm(1), fresh.sort_perm(1));
+        assert_eq!(grown.mults(), fresh.mults());
+        for col in 0..schema.len() {
+            assert_eq!(grown.valid_bits(col), fresh.valid_bits(col));
+        }
+        // Group keys agree up to code renaming: same-key pairs are identical.
+        for a in 0..grown.rows() {
+            for b in 0..grown.rows() {
+                assert_eq!(
+                    grown.group_key(2, a) == grown.group_key(2, b),
+                    fresh.group_key(2, a) == fresh.group_key(2, b),
+                    "group key equivalence rows {a},{b}"
+                );
+            }
+        }
+        // Every comparison kernel sees the widened dictionary identically.
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for lit in [
+                "aardvark", "apple", "banana", "mango", "pear", "zucchini", "zzz",
+            ] {
+                let pred = Predicate::cmp("s", op, Value::from(lit));
+                assert_eq!(
+                    grown.selection_mask(&schema, &pred).unwrap(),
+                    fresh.selection_mask(&schema, &pred).unwrap(),
+                    "{op} {lit:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_refreshes_touched_multiplicities() {
+        let schema = Schema::new([("k", ColumnType::Int), ("x", ColumnType::Float)]);
+        let rows: Vec<Vec<Value>> = (0..3)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+            .collect();
+        let mut ents = entities(&schema, rows);
+        let mut proj = Projection::build(&schema, &ents, 0);
+        ents[1].source_counts = vec![(0, 4)];
+        let merges = proj.extend_for_append(&schema, &ents, &[1], 1);
+        assert_eq!(merges, 0, "no permutation was built, so none merged");
+        assert_eq!(proj.mults(), &[1, 4, 1]);
+        assert_eq!(proj.version(), 1);
     }
 
     #[test]

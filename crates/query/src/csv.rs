@@ -7,7 +7,7 @@
 //! strict RFC 4180 (quoted fields, doubled-quote escapes, CRLF/ LF), with no
 //! external dependency.
 
-use crate::schema::ColumnType;
+use crate::schema::{ColumnType, Schema};
 use crate::table::{IntegratedTable, TableError};
 use crate::value::Value;
 
@@ -189,9 +189,29 @@ pub fn load_observations(
     csv: &str,
     source_column: &str,
 ) -> Result<usize, CsvError> {
+    let schema = table.schema().clone();
+    let batch = parse_observations(&schema, csv, source_column)?;
+    let mut loaded = 0usize;
+    for (source, values) in batch {
+        table.insert_observation(source, values)?;
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+/// Parses an observation log into `(source id, record values)` pairs under
+/// `schema`, without touching a table — the shared decode step of
+/// [`load_observations`] and the server's `append_stream` path (which hands
+/// the batch to the catalog's delta-maintenance layer instead of inserting
+/// row by row). Header rules match [`load_observations`] exactly.
+pub fn parse_observations(
+    schema: &Schema,
+    csv: &str,
+    source_column: &str,
+) -> Result<Vec<(u32, Vec<Value>)>, CsvError> {
     let rows = parse_csv(csv)?;
     let Some((header, body)) = rows.split_first() else {
-        return Ok(0);
+        return Ok(Vec::new());
     };
     let find = |name: &str| {
         header
@@ -201,14 +221,13 @@ pub fn load_observations(
     let source_idx =
         find(source_column).ok_or_else(|| CsvError::MissingColumn(source_column.to_string()))?;
     // Map each schema column to a CSV column.
-    let schema = table.schema().clone();
     let mut mapping = Vec::with_capacity(schema.len());
     for col in schema.columns() {
         let idx = find(&col.name).ok_or_else(|| CsvError::MissingColumn(col.name.clone()))?;
         mapping.push((idx, col.name.clone(), col.ty));
     }
 
-    let mut loaded = 0usize;
+    let mut batch = Vec::with_capacity(body.len());
     for (row_no, row) in body.iter().enumerate() {
         let line = row_no + 2; // header is line 1
         if row.len() != header.len() {
@@ -256,10 +275,9 @@ pub fn load_observations(
             };
             values.push(value);
         }
-        table.insert_observation(source, values)?;
-        loaded += 1;
+        batch.push((source, values));
     }
-    Ok(loaded)
+    Ok(batch)
 }
 
 #[cfg(test)]

@@ -26,12 +26,16 @@
 //! their statistics from the table. Results are bit-for-bit identical to the
 //! uncached paths.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
+use crate::predicate::Predicate;
 use crate::query::{AggregateFunction, AggregateQuery};
 use crate::sql::{parse, ParseError};
-use crate::table::{IntegratedTable, TableError};
+use crate::table::{AppendDelta, IntegratedTable, TableError};
+use crate::value::Value;
 use uu_core::aggregates::{
     avg_estimate_profiled, max_report_profiled, min_report_profiled, ExtremeReport,
     EXTREME_TRUST_THRESHOLD,
@@ -41,12 +45,45 @@ use uu_core::engine::EstimatorKind;
 use uu_core::montecarlo::MonteCarloConfig;
 use uu_core::profile::{ProfileCache, ProfileKey, ProfileSnapshot, ViewProfile};
 use uu_core::recommend::{Diagnostics, Recommendation};
-use uu_core::sample::SampleView;
+use uu_core::sample::{ObservedItem, SampleView};
 
 /// One cached selection: every estimation universe of a (table state,
 /// column, predicate, grouping) combination — a single `(Null, snapshot)`
-/// pair for ungrouped queries, one pair per group value otherwise.
-pub type SelectionSnapshots = Arc<Vec<(crate::value::Value, ProfileSnapshot)>>;
+/// pair for ungrouped queries, one pair per group value otherwise — plus
+/// what [`refreeze_selection`] needs to absorb an append without a rebuild:
+/// the query shape that defined the selection and, for ungrouped queries,
+/// the row-membership bitmap at freeze time. Derefs to the snapshot slice,
+/// so consumers index and iterate it like the plain vector it once was.
+#[derive(Debug)]
+pub struct CachedSelection {
+    /// The aggregate column of the query, verbatim (`None` = `COUNT(*)`).
+    column: Option<String>,
+    /// The predicate whose truth (ANDed with attribute validity) decided
+    /// membership.
+    predicate: Predicate,
+    /// The `GROUP BY` column, verbatim.
+    group_by: Option<String>,
+    /// Ungrouped selections: bit `i` set ⇔ table row `i` contributed an
+    /// item, in table order (see
+    /// [`IntegratedTable::selection_mask_bits`]). Empty for grouped
+    /// selections, which re-derive delta membership per group instead.
+    mask: Vec<u64>,
+    /// One frozen universe per group (a single `Null`-keyed entry when
+    /// ungrouped).
+    snapshots: Vec<(Value, ProfileSnapshot)>,
+}
+
+impl Deref for CachedSelection {
+    type Target = [(Value, ProfileSnapshot)];
+
+    fn deref(&self) -> &Self::Target {
+        &self.snapshots
+    }
+}
+
+/// Shared handle to a [`CachedSelection`], the unit the profile cache
+/// stores.
+pub type SelectionSnapshots = Arc<CachedSelection>;
 
 /// The cross-query profile cache consulted by [`execute_cached`] and
 /// [`execute_grouped_cached`] (embedded in `Catalog`).
@@ -323,17 +360,18 @@ fn profile_key(table: &IntegratedTable, query: &AggregateQuery) -> ProfileKey {
 /// The accounted cache weight of a selection: the summed approximate byte
 /// footprint of its per-universe snapshots. This is what the byte-budget
 /// mode of [`QueryProfileCache`] sizes evictions with.
-pub fn selection_bytes(snapshots: &SelectionSnapshots) -> usize {
-    snapshots
-        .iter()
-        .map(|(group, snapshot)| {
-            snapshot.approx_bytes()
-                + match group {
-                    crate::value::Value::Str(s) => s.len(),
-                    _ => 0,
-                }
-        })
-        .sum()
+pub fn selection_bytes(selection: &SelectionSnapshots) -> usize {
+    std::mem::size_of_val(selection.mask.as_slice())
+        + selection
+            .iter()
+            .map(|(group, snapshot)| {
+                snapshot.approx_bytes()
+                    + match group {
+                        crate::value::Value::Str(s) => s.len(),
+                        _ => 0,
+                    }
+            })
+            .sum::<usize>()
 }
 
 /// The query's estimation universes as cached snapshots, plus whether they
@@ -367,13 +405,237 @@ pub fn selection(
             vec![(crate::value::Value::Null, view, sorted)]
         }
     };
-    let snapshots = Arc::new(
-        uu_core::exec::global().map_indexed(universes, |_, (group, view, sorted)| {
-            (group, ProfileSnapshot::capture_presorted(view, sorted))
-        }),
-    );
-    cache.insert_weighted(key, Arc::clone(&snapshots), selection_bytes(&snapshots));
-    Ok((snapshots, false))
+    let snapshots = uu_core::exec::global().map_indexed(universes, |_, (group, view, sorted)| {
+        (group, ProfileSnapshot::capture_presorted(view, sorted))
+    });
+    // Ungrouped selections remember their row membership so a later append
+    // can extend it instead of rescanning; grouped selections re-derive
+    // delta membership per group at refreeze time.
+    let mask = match query.group_by {
+        None => table.selection_mask_bits(query.column.as_deref(), &query.predicate)?,
+        Some(_) => Vec::new(),
+    };
+    let selection = Arc::new(CachedSelection {
+        column: query.column.clone(),
+        predicate: query.predicate.clone(),
+        group_by: query.group_by.clone(),
+        mask,
+        snapshots,
+    });
+    cache.insert_weighted(key, Arc::clone(&selection), selection_bytes(&selection));
+    Ok((selection, false))
+}
+
+/// Re-freezes a cached selection after an append, from the delta rows
+/// alone: touched rows bump their items' multiplicities in place, delta
+/// rows passing the predicate become new items (appended at the end of
+/// their universe, where a rebuild would put them), and every affected
+/// snapshot's statistics re-freeze through
+/// [`ProfileSnapshot::refreeze`]. Returns `None` when the selection cannot
+/// be maintained incrementally — the append ran in fallback mode, the
+/// predicate no longer evaluates, or a grouped selection had a touched row
+/// inside it — in which case the caller drops the entry and the next query
+/// rebuilds. A `Some` result is bit-for-bit what a from-scratch freeze at
+/// the new version would produce.
+pub fn refreeze_selection(
+    table: &IntegratedTable,
+    selection: &CachedSelection,
+    delta: &AppendDelta,
+) -> Option<CachedSelection> {
+    if !delta.incremental {
+        return None;
+    }
+    let schema = table.schema();
+    let attr_idx = match &selection.column {
+        Some(name) => Some(schema.index_of(name)?),
+        None => None,
+    };
+    match selection.group_by.clone() {
+        None => refreeze_ungrouped(table, selection, delta, attr_idx),
+        Some(group_column) => refreeze_grouped(table, selection, delta, attr_idx, &group_column),
+    }
+}
+
+/// True when bit `row` of the membership bitmap is set.
+fn mask_bit(mask: &[u64], row: usize) -> bool {
+    mask[row / 64] >> (row % 64) & 1 == 1
+}
+
+/// Number of set bits strictly before `row` — a member row's item index.
+fn popcount_before(mask: &[u64], row: usize) -> usize {
+    let w = row / 64;
+    mask[..w]
+        .iter()
+        .map(|x| x.count_ones() as usize)
+        .sum::<usize>()
+        + (mask[w] & ((1u64 << (row % 64)) - 1)).count_ones() as usize
+}
+
+/// The delta item a selected row contributes, mirroring the columnar item
+/// construction exactly (`as_f64` widening, `0.0` for `COUNT(*)`). `None`
+/// when the row's attribute is NULL (excluded from the aggregate).
+fn delta_item(entity: &crate::table::Entity, attr_idx: Option<usize>) -> Option<ObservedItem> {
+    let value = match attr_idx {
+        Some(idx) => entity.record.value(idx).as_f64()?,
+        None => 0.0,
+    };
+    Some(ObservedItem {
+        value,
+        multiplicity: entity.multiplicity(),
+        source_counts: entity.source_counts.clone(),
+    })
+}
+
+fn refreeze_ungrouped(
+    table: &IntegratedTable,
+    selection: &CachedSelection,
+    delta: &AppendDelta,
+    attr_idx: Option<usize>,
+) -> Option<CachedSelection> {
+    let schema = table.schema();
+    let (group, snapshot) = selection.snapshots.first()?;
+    let items = snapshot.view().items();
+    // Re-observed rows: their records (hence values and membership) are
+    // unchanged, only the lineage grew. The stored mask locates each row's
+    // item by popcount.
+    let mut bumps = Vec::new();
+    for &row in &delta.touched {
+        let row = row as usize;
+        if !mask_bit(&selection.mask, row) {
+            continue;
+        }
+        let entity = table.entity_at(row);
+        let idx = popcount_before(&selection.mask, row);
+        bumps.push((
+            idx,
+            ObservedItem {
+                value: items[idx].value,
+                multiplicity: entity.multiplicity(),
+                source_counts: entity.source_counts.clone(),
+            },
+        ));
+    }
+    // Delta rows: scalar predicate evaluation over k records (parity with
+    // the vectorized kernels is pinned by the columnar suite), extending
+    // the membership mask as we go.
+    let mut mask = selection.mask.clone();
+    mask.resize(delta.rows_after.div_ceil(64), 0);
+    let mut appended = Vec::new();
+    for row in delta.rows_before..delta.rows_after {
+        let entity = table.entity_at(row);
+        match selection.predicate.eval(schema, &entity.record) {
+            Ok(true) => {}
+            Ok(false) => continue,
+            // The predicate no longer evaluates (e.g. it referenced an
+            // unknown column and the table was empty at freeze time): let
+            // the query path surface the error.
+            Err(_) => return None,
+        }
+        let Some(item) = delta_item(entity, attr_idx) else {
+            continue;
+        };
+        mask[row / 64] |= 1 << (row % 64);
+        appended.push(item);
+    }
+    let refrozen = snapshot.refreeze(&bumps, appended);
+    Some(CachedSelection {
+        column: selection.column.clone(),
+        predicate: selection.predicate.clone(),
+        group_by: None,
+        mask,
+        snapshots: vec![(group.clone(), refrozen)],
+    })
+}
+
+fn refreeze_grouped(
+    table: &IntegratedTable,
+    selection: &CachedSelection,
+    delta: &AppendDelta,
+    attr_idx: Option<usize>,
+    group_column: &str,
+) -> Option<CachedSelection> {
+    let schema = table.schema();
+    let group_idx = schema.index_of(group_column)?;
+    // A touched row *inside* the selection would bump a multiplicity in the
+    // middle of some group's item list; grouped selections store no
+    // per-group membership, so that case falls back to a rebuild.
+    for &row in &delta.touched {
+        let entity = table.entity_at(row as usize);
+        match selection.predicate.eval(schema, &entity.record) {
+            Ok(true) => {
+                let in_selection = match attr_idx {
+                    Some(idx) => entity.record.value(idx).as_f64().is_some(),
+                    None => true,
+                };
+                if in_selection {
+                    return None;
+                }
+            }
+            Ok(false) => {}
+            Err(_) => return None,
+        }
+    }
+    // Route each selected delta row to its group by entity key — the exact
+    // identity both the columnar and the row grouping paths key on.
+    let mut by_key: HashMap<String, (bool, usize)> = HashMap::new();
+    for (i, (value, _)) in selection.snapshots.iter().enumerate() {
+        by_key.insert(value.entity_key(), (false, i));
+    }
+    let mut existing_appends: Vec<Vec<ObservedItem>> = vec![Vec::new(); selection.snapshots.len()];
+    let mut new_groups: Vec<(Value, Vec<ObservedItem>)> = Vec::new();
+    for row in delta.rows_before..delta.rows_after {
+        let entity = table.entity_at(row);
+        match selection.predicate.eval(schema, &entity.record) {
+            Ok(true) => {}
+            Ok(false) => continue,
+            Err(_) => return None,
+        }
+        let Some(item) = delta_item(entity, attr_idx) else {
+            continue;
+        };
+        let group_value = entity.record.value(group_idx);
+        match by_key.get(&group_value.entity_key()) {
+            Some(&(false, i)) => existing_appends[i].push(item),
+            Some(&(true, i)) => new_groups[i].1.push(item),
+            None => {
+                by_key.insert(group_value.entity_key(), (true, new_groups.len()));
+                new_groups.push((group_value.clone(), vec![item]));
+            }
+        }
+    }
+    let mut snapshots: Vec<(Value, ProfileSnapshot)> = selection
+        .snapshots
+        .iter()
+        .zip(existing_appends)
+        .map(|((value, snapshot), appended)| {
+            if appended.is_empty() {
+                (value.clone(), snapshot.clone())
+            } else {
+                // Delta rows carry the highest row indices, so a rebuild
+                // would place their items at the end of the group — exactly
+                // where refreeze appends them.
+                (value.clone(), snapshot.refreeze(&[], appended))
+            }
+        })
+        .collect();
+    for (value, items) in new_groups {
+        // A group born entirely from the delta freezes from scratch — it is
+        // exact by construction, not an approximation.
+        let mut sorted: Vec<u32> = (0..items.len() as u32).collect();
+        sorted.sort_by(|&a, &b| items[a as usize].value.total_cmp(&items[b as usize].value));
+        let view = SampleView::from_observed_items(items);
+        snapshots.push((value, ProfileSnapshot::capture_presorted(view, sorted)));
+    }
+    // Existing groups are already in entity-key order; a stable sort slots
+    // the new ones in, matching the grouped build's output order.
+    snapshots.sort_by_key(|(value, _)| value.entity_key());
+    Some(CachedSelection {
+        column: selection.column.clone(),
+        predicate: selection.predicate.clone(),
+        group_by: Some(group_column.to_string()),
+        mask: Vec::new(),
+        snapshots,
+    })
 }
 
 /// [`selection`] without the hit flag — the internal shape the `*_cached`

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::columnar::{self, GroupKey, Projection};
 use crate::predicate::{Predicate, PredicateError};
@@ -82,6 +82,39 @@ impl Entity {
     }
 }
 
+/// What an accepted append batch changed, in terms every delta-maintained
+/// cache layer needs: the version window, the row window, and which
+/// pre-existing rows had their lineage (hence multiplicity) bumped by
+/// duplicate keys in the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendDelta {
+    /// Table version before the batch was applied.
+    pub version_before: u64,
+    /// Table version after (`version_before` + accepted observations).
+    pub version_after: u64,
+    /// Entity count before the batch.
+    pub rows_before: usize,
+    /// Entity count after.
+    pub rows_after: usize,
+    /// Indices (< `rows_before`, ascending, deduplicated) of pre-existing
+    /// entities the batch re-observed. Their records are unchanged — first
+    /// record wins — but their multiplicities grew.
+    pub touched: Vec<u32>,
+    /// Sort permutations absorbed by merge instead of a re-sort.
+    pub perm_merges: u64,
+    /// The append ran in incremental mode (per-table flag AND the
+    /// `UU_INCREMENTAL` environment knob): warm state was maintained in
+    /// place rather than dropped.
+    pub incremental: bool,
+}
+
+/// Process-wide `UU_INCREMENTAL` knob, read once: any value other than `0`
+/// (including unset) leaves incremental maintenance on.
+fn incremental_env() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("UU_INCREMENTAL").map_or(true, |v| v != "0"))
+}
+
 /// Process-unique table-instance ids, so profile-cache keys can tell two
 /// same-named tables apart (a per-instance insert counter alone could
 /// coincide).
@@ -115,6 +148,10 @@ pub struct IntegratedTable {
     projection_builds: AtomicU64,
     /// Reads served by the cached projection.
     projection_reuses: AtomicU64,
+    /// Per-table incremental-maintenance flag (ANDed with the
+    /// `UU_INCREMENTAL` environment knob). Off = appends take the
+    /// drop-and-rebuild path, which serves as the parity oracle.
+    incremental: bool,
 }
 
 impl Clone for IntegratedTable {
@@ -134,6 +171,7 @@ impl Clone for IntegratedTable {
             projection: Mutex::new(None),
             projection_builds: AtomicU64::new(0),
             projection_reuses: AtomicU64::new(0),
+            incremental: self.incremental,
         }
     }
 }
@@ -160,6 +198,7 @@ impl IntegratedTable {
             projection: Mutex::new(None),
             projection_builds: AtomicU64::new(0),
             projection_reuses: AtomicU64::new(0),
+            incremental: true,
         })
     }
 
@@ -227,6 +266,122 @@ impl IntegratedTable {
         // version anyway; this just frees the buffers sooner).
         *self.projection.get_mut().expect("projection lock") = None;
         Ok(())
+    }
+
+    /// Applies a batch of observations as an *append*: the version bumps
+    /// once per accepted observation (exactly as repeated
+    /// [`IntegratedTable::insert_observation`] calls would), but instead of
+    /// dropping warm state the cached columnar projection grows in place —
+    /// buffers extend, dictionaries widen, built sort permutations absorb
+    /// the delta by sorted merge. The returned [`AppendDelta`] tells
+    /// downstream caches (profile snapshots, selection masks) what changed.
+    ///
+    /// The batch is validated in full before anything is applied: on error
+    /// the table is unchanged. With incremental maintenance off (per-table
+    /// flag or `UU_INCREMENTAL=0`) the projection is dropped instead, the
+    /// pre-existing overwrite behavior.
+    pub fn append_batch(
+        &mut self,
+        batch: Vec<(u32, Vec<Value>)>,
+    ) -> Result<AppendDelta, TableError> {
+        let mut staged = Vec::with_capacity(batch.len());
+        for (source_id, values) in batch {
+            let record = Record::new(&self.schema, values)?;
+            if record.value(self.key_col).is_null() {
+                return Err(TableError::NullKey);
+            }
+            let key = record.value(self.key_col).entity_key();
+            staged.push((source_id, record, key));
+        }
+        let version_before = self.version;
+        let rows_before = self.entities.len();
+        let observations = staged.len() as u64;
+        let mut touched: Vec<u32> = Vec::new();
+        for (source_id, record, key) in staged {
+            let idx = match self.index.get(&key) {
+                Some(&i) => {
+                    if i < rows_before {
+                        touched.push(i as u32);
+                    }
+                    i
+                }
+                None => {
+                    self.entities.push(Entity {
+                        record,
+                        source_counts: Vec::new(),
+                    });
+                    let i = self.entities.len() - 1;
+                    self.index.insert(key, i);
+                    i
+                }
+            };
+            let entity = &mut self.entities[idx];
+            match entity
+                .source_counts
+                .binary_search_by_key(&source_id, |&(s, _)| s)
+            {
+                Ok(pos) => entity.source_counts[pos].1 += 1,
+                Err(pos) => entity.source_counts.insert(pos, (source_id, 1)),
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.version += observations;
+        let incremental = self.incremental && incremental_env();
+        let mut perm_merges = 0u64;
+        let guard = self.projection.get_mut().expect("projection lock");
+        let grown = incremental
+            && match guard.as_mut() {
+                Some(arc) if arc.version() == version_before => {
+                    // During an append the table is held exclusively, so the
+                    // cache's Arc is normally the only one left; a surviving
+                    // outside reference forces a rebuild-on-next-read.
+                    match Arc::get_mut(arc) {
+                        Some(proj) => {
+                            perm_merges = proj.extend_for_append(
+                                &self.schema,
+                                &self.entities,
+                                &touched,
+                                self.version,
+                            ) as u64;
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                Some(_) => false,
+                // Nothing cached: nothing to grow, nothing stale to drop.
+                None => true,
+            };
+        if !grown {
+            *guard = None;
+        }
+        Ok(AppendDelta {
+            version_before,
+            version_after: self.version,
+            rows_before,
+            rows_after: self.entities.len(),
+            touched,
+            perm_merges,
+            incremental,
+        })
+    }
+
+    /// Whether appends to this table maintain warm state in place: the
+    /// per-table flag ANDed with the process-wide `UU_INCREMENTAL` knob.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental && incremental_env()
+    }
+
+    /// Turns incremental append maintenance on or off for this table. Off,
+    /// appends drop warm state like any other mutation — the parity oracle.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// The entity at row index `row` (table order).
+    pub fn entity_at(&self, row: usize) -> &Entity {
+        &self.entities[row]
     }
 
     /// Number of unique entities (`c = |K|`).
@@ -387,6 +542,28 @@ impl IntegratedTable {
         let sorted =
             want_sorted.then(|| columnar::sorted_idx_filtered(&proj, attr_idx, &selected, count));
         Ok((SampleView::from_observed_items(items), sorted))
+    }
+
+    /// The combined selection bitmap a [`IntegratedTable::sample_view`] call
+    /// selects its items from: predicate truth ANDed with the aggregate
+    /// column's validity. Bit `i` set ⇔ entity `i` contributes an item, in
+    /// table order — exactly the membership a cached selection must remember
+    /// to place delta items without rescanning. Empty for an empty table.
+    pub fn selection_mask_bits(
+        &self,
+        attr_column: Option<&str>,
+        predicate: &Predicate,
+    ) -> Result<Vec<u64>, TableError> {
+        let attr_idx = self.checked_attr(attr_column)?;
+        if self.entities.is_empty() {
+            return Ok(Vec::new());
+        }
+        let proj = self.projection();
+        let mut selected = proj.selection_mask(&self.schema, predicate)?;
+        if let Some(idx) = attr_idx {
+            columnar::and_in_place(&mut selected, proj.valid_bits(idx));
+        }
+        Ok(selected)
     }
 
     /// Per-record reference implementation of [`IntegratedTable::sample_view`]
@@ -930,6 +1107,106 @@ mod tests {
             t.warm_projection(Some("company")),
             Err(TableError::NonNumericColumn(_))
         ));
+    }
+
+    #[test]
+    fn append_batch_matches_repeated_inserts_without_a_rebuild() {
+        let mut incremental = tech_table();
+        let mut oracle = incremental.clone();
+        // Warm the projection and its sort permutation on both tables.
+        incremental.warm_projection(Some("employees")).unwrap();
+        oracle.warm_projection(Some("employees")).unwrap();
+        let batch: Vec<(u32, Vec<Value>)> = vec![
+            // New entity, duplicate of "D" (touched row), new entity.
+            (
+                4,
+                vec![Value::from("E"), Value::from(50.0), Value::from("NY")],
+            ),
+            (
+                4,
+                vec![Value::from("D"), Value::from(1.0), Value::from("??")],
+            ),
+            (5, vec![Value::from("F"), Value::Null, Value::from("NY")]),
+        ];
+        let delta = incremental.append_batch(batch.clone()).unwrap();
+        assert_eq!(delta.version_before, 7);
+        assert_eq!(delta.version_after, 10);
+        assert_eq!((delta.rows_before, delta.rows_after), (3, 5));
+        assert_eq!(delta.touched, vec![2]); // "D" is row 2
+        assert!(delta.incremental);
+        assert_eq!(delta.perm_merges, 1);
+        // The projection was grown, not rebuilt.
+        assert_eq!(incremental.projection_metrics().0, 1);
+        assert!(incremental.projection_bytes() > 0);
+        for (src, values) in batch {
+            oracle.insert_observation(src, values).unwrap();
+        }
+        assert_eq!(incremental.version(), oracle.version());
+        let inc = incremental
+            .sample_view_with_sorted(Some("employees"), &Predicate::True)
+            .unwrap();
+        let want = oracle
+            .sample_view_with_sorted(Some("employees"), &Predicate::True)
+            .unwrap();
+        assert_eq!(inc, want);
+        // First record still wins: D's original record survived the append.
+        let d = incremental.entity(&Value::from("D")).unwrap();
+        assert_eq!(d.record.value(1).as_f64(), Some(10_000.0));
+        assert_eq!(d.multiplicity(), 5);
+    }
+
+    #[test]
+    fn append_batch_validates_before_applying_anything() {
+        let mut t = tech_table();
+        let before = t.version();
+        let err = t
+            .append_batch(vec![
+                (
+                    0,
+                    vec![Value::from("G"), Value::from(1.0), Value::from("TX")],
+                ),
+                (0, vec![Value::Null, Value::from(2.0), Value::from("TX")]),
+            ])
+            .unwrap_err();
+        assert_eq!(err, TableError::NullKey);
+        assert_eq!(t.version(), before);
+        assert_eq!(t.len(), 3);
+        assert!(t.entity(&Value::from("G")).is_none());
+    }
+
+    #[test]
+    fn append_batch_with_incremental_off_drops_warm_state() {
+        let mut t = tech_table();
+        t.set_incremental(false);
+        assert!(!t.incremental_enabled());
+        t.warm_projection(Some("employees")).unwrap();
+        let delta = t
+            .append_batch(vec![(
+                4,
+                vec![Value::from("E"), Value::from(50.0), Value::from("NY")],
+            )])
+            .unwrap();
+        assert!(!delta.incremental);
+        assert_eq!(delta.perm_merges, 0);
+        assert_eq!(t.projection_bytes(), 0);
+        // Parity holds regardless: the next read rebuilds from scratch.
+        let v = t.sample_view(Some("employees"), &Predicate::True).unwrap();
+        assert_eq!(v.c(), 4);
+        assert_eq!(t.projection_metrics().0, 2);
+    }
+
+    #[test]
+    fn selection_mask_bits_mirror_sample_view_membership() {
+        let t = tech_table();
+        let pred = Predicate::cmp("state", CmpOp::Eq, Value::from("CA"));
+        let mask = t.selection_mask_bits(Some("employees"), &pred).unwrap();
+        // Rows 0 ("A") and 1 ("B") are CA with non-NULL employees.
+        assert_eq!(mask, vec![0b011]);
+        let empty = IntegratedTable::new("e", Schema::new([("k", ColumnType::Str)]), "k").unwrap();
+        assert!(empty
+            .selection_mask_bits(None, &Predicate::True)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! uu-client query        --addr HOST:PORT --sql SQL [--estimators a,b,c] [--uncached]
 //! uu-client load-csv     --addr HOST:PORT --table T --columns k:str,v:float \
 //!                        --entity k --source worker --file data.csv [--append]
+//! uu-client append       --addr HOST:PORT --table T --source worker --file data.csv
 //! uu-client pgwire-probe --addr HOST:PGWIRE_PORT --sql SQL
 //! uu-client shutdown     --addr HOST:PORT
 //! uu-client demo         --addr HOST:PORT [--json PATH] [--shutdown]
@@ -29,11 +30,12 @@ use uu_server::client::{Client, ClientError};
 use uu_server::protocol::{ErrorCode, LoadCsvRequest, QueryReply, Request, Response};
 
 fn usage() -> &'static str {
-    "usage: uu-client <ping|info|stats|warm|query|load-csv|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
+    "usage: uu-client <ping|info|stats|warm|query|load-csv|append|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
      \n\
      query:        --sql SQL [--estimators a,b,c] [--uncached]\n\
      warm:         --sql SQL\n\
      load-csv:     --table T --columns name:type,... --entity COL --source COL --file PATH [--append]\n\
+     append:       --table T --source COL --file PATH   # incremental append_stream\n\
      pgwire-probe: --sql SQL   # raw-socket pgwire simple query (--addr is the pgwire port)\n\
      demo:         [--json PATH] [--shutdown]   # full load-query-repeat smoke session"
 }
@@ -189,6 +191,17 @@ fn run() -> Result<(), String> {
                 }))
                 .map_err(fail)?;
             println!("{}", response.encode());
+        }
+        "append" => {
+            let csv = std::fs::read_to_string(args.required("file")?)
+                .map_err(|e| format!("cannot read CSV: {e}"))?;
+            let outcome = client
+                .append_stream(args.required("table")?, args.required("source")?, &csv)
+                .map_err(fail)?;
+            println!(
+                "appended observations={} entities={} refrozen={} incremental={}",
+                outcome.observations, outcome.entities, outcome.refrozen, outcome.incremental,
+            );
         }
         "shutdown" => {
             client.shutdown().map_err(fail)?;
@@ -465,7 +478,49 @@ fn demo(args: &Args) -> Result<(), String> {
         stats.exec.peak_workers,
     );
 
-    // 10. Latency record, including the prepared-vs-adhoc comparison.
+    // 10. Incremental append: new entity arrives via `append_stream`, warm
+    // cache entries re-freeze in place, and the next query reflects the
+    // delta without a cold rebuild.
+    let outcome = client
+        .append_stream(
+            "companies",
+            "worker",
+            "worker,company,employees,state\n5,F,500,CA\n6,F,500,CA\n",
+        )
+        .map_err(|e| e.to_string())?;
+    check(outcome.observations == 2, "append ingested 2 observations")?;
+    check(outcome.entities == 5, "table now holds 5 entities")?;
+    let after = client
+        .query(DEMO_SQL, &estimators, true)
+        .map_err(|e| e.to_string())?;
+    check(
+        after.single().is_some_and(|r| r.observed == 13_800.0),
+        "post-append SUM includes the delta (13800)",
+    )?;
+    if outcome.incremental {
+        check(
+            outcome.refrozen >= 1,
+            "append re-froze at least one cached selection",
+        )?;
+        check(
+            after.cache_hit,
+            "post-append query hits the re-frozen cache entry",
+        )?;
+    }
+    let grouped_after = client
+        .query(DEMO_GROUPED_SQL, &["bucket"], true)
+        .map_err(|e| e.to_string())?;
+    check(
+        grouped_after.groups.len() == 2,
+        "post-append grouped query still returns one universe per state",
+    )?;
+    let inc = client.stats().map_err(|e| e.to_string())?.incremental;
+    check(
+        inc.delta_batches >= 1 && inc.rows_appended >= 2,
+        "incremental counters recorded the append",
+    )?;
+
+    // 11. Latency record, including the prepared-vs-adhoc comparison.
     let hit_mean = hit_us.iter().sum::<f64>() / hit_us.len() as f64;
     let hit_min = hit_us.iter().cloned().fold(f64::INFINITY, f64::min);
     let prepared_mean = prepared_us.iter().sum::<f64>() / prepared_us.len() as f64;
@@ -491,7 +546,7 @@ fn demo(args: &Args) -> Result<(), String> {
     println!("ok: appended latency record to {path}");
     print!("{record}");
 
-    // 11. Optionally stop the server.
+    // 12. Optionally stop the server.
     if args.has("--shutdown") {
         client.shutdown().map_err(|e| e.to_string())?;
         println!("ok: server shutting down");

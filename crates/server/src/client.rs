@@ -52,6 +52,19 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// Outcome of an `append_stream` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Observations ingested by the batch.
+    pub observations: u64,
+    /// Entities now in the table.
+    pub entities: u64,
+    /// Cached selections re-frozen in place by this append.
+    pub refrozen: u64,
+    /// Whether the delta path ran (false means drop-and-rebuild fallback).
+    pub incremental: bool,
+}
+
 /// One protocol connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -103,6 +116,36 @@ impl Client {
         }))?;
         match response {
             Response::Query(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Appends a CSV observation batch to an existing table through the
+    /// incremental-maintenance path.
+    pub fn append_stream(
+        &mut self,
+        table: &str,
+        source_column: &str,
+        csv: &str,
+    ) -> Result<AppendOutcome, ClientError> {
+        match self.request(&Request::AppendStream {
+            table: table.to_string(),
+            source_column: source_column.to_string(),
+            csv: csv.to_string(),
+        })? {
+            Response::Appended {
+                observations,
+                entities,
+                refrozen,
+                incremental,
+                ..
+            } => Ok(AppendOutcome {
+                observations,
+                entities,
+                refrozen,
+                incremental,
+            }),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Unexpected(other.encode())),
         }

@@ -25,8 +25,11 @@ use uu_query::value::Value;
 /// `frame_too_large` error code. Revision 3 added the columnar-projection
 /// counters (`projection` builds/reuses/bytes) to `stats`. Revision 4 added
 /// the connection-layer counters (`conn` open/peak/frames/bytes/reaps/
-/// backpressure/backend) to `stats`.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// backpressure/backend) to `stats`. Revision 5 added the `append_stream`
+/// verb with its `appended` response and the incremental-maintenance
+/// counters (`incremental` batches/rows/merges/refreezes/fallbacks) to
+/// `stats`.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// Decode failure for a request or response line.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +140,19 @@ pub enum Request {
     Query(QueryRequest),
     /// Load observations into the catalog.
     LoadCsv(LoadCsvRequest),
+    /// Append an observation batch to an existing table through the
+    /// incremental-maintenance path: cached projections grow in place,
+    /// sort permutations absorb the delta by merge, and cached profile
+    /// snapshots re-freeze instead of being evicted. The table's schema is
+    /// fixed, so unlike `load_csv` no column list travels with the batch.
+    AppendStream {
+        /// Target table (must already be registered).
+        table: String,
+        /// CSV column holding the observing source id.
+        source_column: String,
+        /// The CSV document (header row + observation rows).
+        csv: String,
+    },
     /// Pre-warm the profile cache for a query.
     Warm {
         /// The SQL whose selection should be captured.
@@ -230,6 +246,16 @@ impl Request {
                 ("append", Json::Bool(l.append)),
                 ("csv", Json::Str(l.csv.clone())),
             ]),
+            Request::AppendStream {
+                table,
+                source_column,
+                csv,
+            } => Json::obj([
+                ("op", Json::Str("append_stream".into())),
+                ("table", Json::Str(table.clone())),
+                ("source_column", Json::Str(source_column.clone())),
+                ("csv", Json::Str(csv.clone())),
+            ]),
             Request::Warm { sql } => Json::obj([
                 ("op", Json::Str("warm".into())),
                 ("sql", Json::Str(sql.clone())),
@@ -321,6 +347,11 @@ impl Request {
                     append: opt_bool(&json, "append", false)?,
                 }))
             }
+            "append_stream" => Ok(Request::AppendStream {
+                table: req_str(&json, "table")?,
+                source_column: req_str(&json, "source_column")?,
+                csv: req_str(&json, "csv")?,
+            }),
             "warm" => Ok(Request::Warm {
                 sql: req_str(&json, "sql")?,
             }),
@@ -868,6 +899,23 @@ pub struct WireProjectionStats {
     pub bytes: u64,
 }
 
+/// Incremental-maintenance counters in a `stats` response, aggregated over
+/// every `append_stream` / appending `load_csv` served since start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireIncrementalStats {
+    /// Append batches accepted.
+    pub delta_batches: u64,
+    /// Observations ingested through the append path.
+    pub rows_appended: u64,
+    /// Cached sort permutations extended by merge (not re-sorted).
+    pub permutation_merges: u64,
+    /// Cached selections re-frozen in place instead of evicted.
+    pub snapshots_refrozen: u64,
+    /// Cached selections that could not be re-frozen and fell back to
+    /// drop-and-rebuild (incremental off, stale version, touched group…).
+    pub fallback_rebuilds: u64,
+}
+
 /// Connection-layer (reactor) counters in a `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireConnStats {
@@ -936,6 +984,8 @@ pub struct StatsReply {
     pub exec: WireExecStats,
     /// Connection-layer (reactor) counters.
     pub conn: WireConnStats,
+    /// Incremental-maintenance counters.
+    pub incremental: WireIncrementalStats,
 }
 
 /// A `server_info` response.
@@ -968,6 +1018,23 @@ pub enum Response {
         observations: u64,
         /// Entities now in the table.
         entities: u64,
+    },
+    /// Answer to [`Request::AppendStream`]. An appending
+    /// [`Request::LoadCsv`] rides the same server-side delta path but keeps
+    /// answering with [`Response::Loaded`] for compatibility.
+    Appended {
+        /// Table extended.
+        table: String,
+        /// Observations ingested by this request.
+        observations: u64,
+        /// Entities now in the table.
+        entities: u64,
+        /// Cached selections re-frozen in place by this append.
+        refrozen: u64,
+        /// Whether the delta path ran (false means drop-and-rebuild
+        /// fallback: incremental maintenance disabled for the table or via
+        /// `UU_INCREMENTAL=0`).
+        incremental: bool,
     },
     /// Answer to [`Request::Warm`].
     Warmed {
@@ -1061,6 +1128,21 @@ impl Response {
                 ("table", Json::Str(table.clone())),
                 ("observations", Json::Int(*observations as i64)),
                 ("entities", Json::Int(*entities as i64)),
+            ]),
+            Response::Appended {
+                table,
+                observations,
+                entities,
+                refrozen,
+                incremental,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("append_stream".into())),
+                ("table", Json::Str(table.clone())),
+                ("observations", Json::Int(*observations as i64)),
+                ("entities", Json::Int(*entities as i64)),
+                ("refrozen", Json::Int(*refrozen as i64)),
+                ("incremental", Json::Bool(*incremental)),
             ]),
             Response::Warmed {
                 sql,
@@ -1216,6 +1298,31 @@ impl Response {
                         ("backend", Json::Str(s.conn.backend.clone())),
                     ]),
                 ),
+                (
+                    "incremental",
+                    Json::obj([
+                        (
+                            "delta_batches",
+                            Json::Int(s.incremental.delta_batches as i64),
+                        ),
+                        (
+                            "rows_appended",
+                            Json::Int(s.incremental.rows_appended as i64),
+                        ),
+                        (
+                            "permutation_merges",
+                            Json::Int(s.incremental.permutation_merges as i64),
+                        ),
+                        (
+                            "snapshots_refrozen",
+                            Json::Int(s.incremental.snapshots_refrozen as i64),
+                        ),
+                        (
+                            "fallback_rebuilds",
+                            Json::Int(s.incremental.fallback_rebuilds as i64),
+                        ),
+                    ]),
+                ),
             ]),
             Response::Pong => {
                 Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))])
@@ -1300,6 +1407,16 @@ impl Response {
                 observations: req_u64(&json, "observations")?,
                 entities: req_u64(&json, "entities")?,
             }),
+            "append_stream" => Ok(Response::Appended {
+                table: req_str(&json, "table")?,
+                observations: req_u64(&json, "observations")?,
+                entities: req_u64(&json, "entities")?,
+                refrozen: req_u64(&json, "refrozen")?,
+                incremental: json
+                    .get("incremental")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| missing("incremental"))?,
+            }),
             "warm" => Ok(Response::Warmed {
                 sql: req_str(&json, "sql")?,
                 universes: req_u64(&json, "universes")?,
@@ -1339,6 +1456,9 @@ impl Response {
                     .ok_or_else(|| missing("projection"))?;
                 let exec = json.get("exec").ok_or_else(|| missing("exec"))?;
                 let conn = json.get("conn").ok_or_else(|| missing("conn"))?;
+                let incremental = json
+                    .get("incremental")
+                    .ok_or_else(|| missing("incremental"))?;
                 let sessions = json
                     .get("sessions")
                     .and_then(Json::as_arr)
@@ -1401,6 +1521,13 @@ impl Response {
                         backpressure: req_u64(conn, "backpressure")?,
                         backend: req_str(conn, "backend")?,
                     },
+                    incremental: WireIncrementalStats {
+                        delta_batches: req_u64(incremental, "delta_batches")?,
+                        rows_appended: req_u64(incremental, "rows_appended")?,
+                        permutation_merges: req_u64(incremental, "permutation_merges")?,
+                        snapshots_refrozen: req_u64(incremental, "snapshots_refrozen")?,
+                        fallback_rebuilds: req_u64(incremental, "fallback_rebuilds")?,
+                    },
                 })))
             }
             "ping" => Ok(Response::Pong),
@@ -1430,6 +1557,11 @@ mod tests {
                 csv: "worker,k,v\n0,A,1\n".into(),
                 append: true,
             }),
+            Request::AppendStream {
+                table: "t".into(),
+                source_column: "worker".into(),
+                csv: "worker,k,v\n0,B,2\n1,C,3\n".into(),
+            },
             Request::Warm {
                 sql: "SELECT SUM(v) FROM t".into(),
             },
@@ -1560,6 +1692,20 @@ mod tests {
                 observations: 9,
                 entities: 4,
             },
+            Response::Appended {
+                table: "t".into(),
+                observations: 100,
+                entities: 54,
+                refrozen: 3,
+                incremental: true,
+            },
+            Response::Appended {
+                table: "t".into(),
+                observations: 2,
+                entities: 54,
+                refrozen: 0,
+                incremental: false,
+            },
             Response::Warmed {
                 sql: "SELECT SUM(v) FROM t".into(),
                 universes: 4,
@@ -1661,8 +1807,36 @@ mod tests {
                 backpressure: 1,
                 backend: "epoll".into(),
             },
+            incremental: WireIncrementalStats {
+                delta_batches: 6,
+                rows_appended: 600,
+                permutation_merges: 11,
+                snapshots_refrozen: 5,
+                fallback_rebuilds: 1,
+            },
         }));
         assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn malformed_append_lines_decode_to_errors() {
+        for bad in [
+            // requests: every field is required
+            r#"{"op":"append_stream"}"#,
+            r#"{"op":"append_stream","table":"t"}"#,
+            r#"{"op":"append_stream","table":"t","source_column":"worker"}"#,
+            r#"{"op":"append_stream","table":7,"source_column":"worker","csv":"x"}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?}");
+        }
+        for bad in [
+            // responses: strict decode, no defaulting
+            r#"{"ok":true,"op":"append_stream","table":"t"}"#,
+            r#"{"ok":true,"op":"append_stream","table":"t","observations":1,"entities":1,"refrozen":0}"#,
+            r#"{"ok":true,"op":"append_stream","table":"t","observations":1,"entities":1,"refrozen":0,"incremental":1}"#,
+        ] {
+            assert!(Response::decode(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -36,11 +36,12 @@ use std::time::Instant;
 use crate::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
     ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireError, WireEstimate,
-    WireExecStats, WireProjectionStats, WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+    WireExecStats, WireIncrementalStats, WireProjectionStats, WireResult, WireSessionStats,
+    WireValue, PROTOCOL_VERSION,
 };
 use uu_core::engine::{EstimationSession, EstimatorKind};
 use uu_query::catalog::Catalog;
-use uu_query::csv::load_observations;
+use uu_query::csv::{load_observations, parse_observations};
 use uu_query::exec::{CorrectionMethod, GroupResult, SelectionSnapshots};
 use uu_query::query::AggregateQuery;
 use uu_query::schema::{ColumnType, Schema};
@@ -283,6 +284,14 @@ impl Service {
                 }
             }
             Request::LoadCsv(load) => match self.load_csv(&load) {
+                Ok(response) => response,
+                Err(e) => Response::Error(e),
+            },
+            Request::AppendStream {
+                table,
+                source_column,
+                csv,
+            } => match self.append_stream(&table, &source_column, &csv) {
                 Ok(response) => response,
                 Err(e) => Response::Error(e),
             },
@@ -658,12 +667,15 @@ impl Service {
     // Admin verbs
     // -----------------------------------------------------------------------
 
-    /// Loads a CSV **atomically**: the whole document is ingested into a
-    /// staged table (a fresh one, or a clone of the existing one for
-    /// `append`) and the catalog is only touched once the load succeeded — a
-    /// bad row half-way through a document can never leave a
-    /// partially-loaded table behind, so a corrected retry with the same
-    /// request is always safe.
+    /// Loads a CSV **atomically**: a fresh load is ingested into a staged
+    /// table and only registered once the whole document succeeded; an
+    /// `append` is parsed into a validated batch and applied through the
+    /// catalog's delta path ([`Catalog::append_observations`]), which stages
+    /// the batch the same way — a bad row half-way through a document can
+    /// never leave a partially-loaded table behind, so a corrected retry
+    /// with the same request is always safe. Routing the append through the
+    /// delta path keeps warm state alive: projections grow in place and
+    /// cached selections re-freeze instead of being evicted.
     fn load_csv(&self, load: &LoadCsvRequest) -> Result<Response, WireError> {
         let mut catalog = self.catalog.write().expect("catalog lock");
         let exists = catalog.get(&load.table).is_some();
@@ -676,33 +688,71 @@ impl Service {
                 ),
             ));
         }
-        let mut staged = if exists {
-            catalog.get(&load.table).expect("checked above").clone()
-        } else {
-            let columns = load
-                .columns
-                .iter()
-                .map(|(name, ty)| Ok((name.clone(), parse_column_type(ty)?)))
-                .collect::<Result<Vec<_>, WireError>>()?;
+        if exists {
+            let schema = catalog
+                .get(&load.table)
+                .expect("checked above")
+                .schema()
+                .clone();
+            let batch = parse_observations(&schema, &load.csv, &load.source_column)
+                .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+            let (delta, _refrozen) = catalog
+                .append_observations(&load.table, batch)
+                .map_err(|e| WireError::from_exec(&e))?;
+            return Ok(Response::Loaded {
+                table: load.table.clone(),
+                observations: delta.version_after - delta.version_before,
+                entities: delta.rows_after as u64,
+            });
+        }
+        let columns = load
+            .columns
+            .iter()
+            .map(|(name, ty)| Ok((name.clone(), parse_column_type(ty)?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        let mut staged =
             IntegratedTable::new(&load.table, Schema::new(columns), &load.entity_column)
-                .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?
-        };
+                .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?;
         let observations = load_observations(&mut staged, &load.csv, &load.source_column)
             .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
         let entities = staged.len() as u64;
-        if exists {
-            // `get_mut` drops the table's cached profiles; the clone carries
-            // a fresh instance id, so no stale entry can match it either way.
-            *catalog.get_mut(&load.table).expect("checked above") = staged;
-        } else {
-            catalog
-                .register(staged)
-                .map_err(|e| WireError::new(ErrorCode::DuplicateTable, e.to_string()))?;
-        }
+        catalog
+            .register(staged)
+            .map_err(|e| WireError::new(ErrorCode::DuplicateTable, e.to_string()))?;
         Ok(Response::Loaded {
             table: load.table.clone(),
             observations: observations as u64,
             entities,
+        })
+    }
+
+    /// Appends an observation batch to an existing table through the
+    /// incremental-maintenance path. The batch is validated in full before
+    /// any row is applied (same staging as `load_csv`), so a failed append
+    /// leaves the table untouched.
+    fn append_stream(
+        &self,
+        table: &str,
+        source_column: &str,
+        csv: &str,
+    ) -> Result<Response, WireError> {
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        let schema = catalog
+            .get(table)
+            .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, table))?
+            .schema()
+            .clone();
+        let batch = parse_observations(&schema, csv, source_column)
+            .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+        let (delta, refrozen) = catalog
+            .append_observations(table, batch)
+            .map_err(|e| WireError::from_exec(&e))?;
+        Ok(Response::Appended {
+            table: table.to_string(),
+            observations: delta.version_after - delta.version_before,
+            entities: delta.rows_after as u64,
+            refrozen,
+            incremental: delta.incremental,
         })
     }
 
@@ -724,6 +774,7 @@ impl Service {
         let cache = catalog.cache();
         let cache_metrics = cache.metrics();
         let (projection_builds, projection_reuses, projection_bytes) = catalog.projection_stats();
+        let incremental = catalog.incremental_stats();
         let exec_metrics = uu_core::exec::global().metrics();
         let sessions = self
             .sessions
@@ -788,6 +839,13 @@ impl Service {
                 idle_reaped: self.conn.idle_reaped.load(Ordering::Relaxed),
                 backpressure: self.conn.backpressure.load(Ordering::Relaxed),
                 backend: self.conn.backend.lock().expect("backend lock").clone(),
+            },
+            incremental: WireIncrementalStats {
+                delta_batches: incremental.delta_batches,
+                rows_appended: incremental.rows_appended,
+                permutation_merges: incremental.permutation_merges,
+                snapshots_refrozen: incremental.snapshots_refrozen,
+                fallback_rebuilds: incremental.fallback_rebuilds,
             },
         }
     }

@@ -138,6 +138,43 @@ impl FrequencyStatistics {
         self.n == 0
     }
 
+    /// Moves one already-counted item from multiplicity `old` to `new` in
+    /// `O(1)` ladder updates — the delta-maintenance primitive behind
+    /// incremental append: an appended duplicate observation bumps its item
+    /// one rung up the ladder without touching the other `c - 1` items.
+    ///
+    /// `new` must be at least `old` (appends never remove observations) and
+    /// `old` must be positive (brand-new items go through
+    /// [`FrequencyStatistics::observe_item`]).
+    pub fn bump(&mut self, old: u64, new: u64) {
+        assert!(old > 0, "bump is for already-counted items");
+        assert!(new >= old, "appends cannot lower a multiplicity");
+        if new == old {
+            return;
+        }
+        self.f[(old - 1) as usize] -= 1;
+        let idx = (new - 1) as usize;
+        if idx >= self.f.len() {
+            self.f.resize(idx + 1, 0);
+        }
+        self.f[idx] += 1;
+        self.n += new - old;
+    }
+
+    /// Counts one brand-new item observed `multiplicity` times (`O(1)`): the
+    /// other half of the incremental-append maintenance, for delta rows that
+    /// introduce an item the sample has never seen.
+    pub fn observe_item(&mut self, multiplicity: u64) {
+        assert!(multiplicity > 0, "an observed item has a positive count");
+        let idx = (multiplicity - 1) as usize;
+        if idx >= self.f.len() {
+            self.f.resize(idx + 1, 0);
+        }
+        self.f[idx] += 1;
+        self.n += multiplicity;
+        self.c += 1;
+    }
+
     /// The rank-aligned multiplicity vector, sorted descending.
     ///
     /// Used by the Monte-Carlo estimator's indexing step (Algorithm 2, line 9):
@@ -332,6 +369,31 @@ mod tests {
             }
             let batch = FrequencyStatistics::from_observations(obs.iter().copied());
             prop_assert_eq!(s.snapshot(), batch);
+        }
+
+        #[test]
+        fn incremental_bumps_equal_batch_rebuild(
+            base in proptest::collection::vec(1u64..20, 1..60),
+            bumps in proptest::collection::vec((0usize..60, 1u64..10), 0..40),
+            fresh in proptest::collection::vec(1u64..20, 0..30),
+        ) {
+            // Apply duplicate-observation bumps and brand-new items
+            // incrementally, then compare against rebuilding from the final
+            // multiplicities — bit-for-bit, including the f-vector length.
+            let mut mults = base.clone();
+            let mut inc = FrequencyStatistics::from_multiplicities(base.iter().copied());
+            for (slot, extra) in bumps {
+                let slot = slot % mults.len();
+                let old = mults[slot];
+                mults[slot] += extra;
+                inc.bump(old, mults[slot]);
+            }
+            for &m in &fresh {
+                mults.push(m);
+                inc.observe_item(m);
+            }
+            let batch = FrequencyStatistics::from_multiplicities(mults.iter().copied());
+            prop_assert_eq!(inc, batch);
         }
 
         #[test]

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Guards the cold query path and the connection layer: compares a fresh
-# BENCH_server_roundtrip.json against the committed baseline and fails if
-# the uncached round-trip mean regressed by more than the allowed factor
-# (default 2x — CI boxes are noisy, but a genuine fall off the columnar
-# path costs ~10x and will trip this), or if the cache-hit round-trip
-# under 1k parked idle connections strays beyond the factor of the plain
-# cache-hit baseline (idle sockets must cost the active client nothing).
+# Guards the cold query path, the connection layer and the incremental
+# append path: compares a fresh BENCH_server_roundtrip.json against the
+# committed baseline and fails if the uncached round-trip mean regressed by
+# more than the allowed factor (default 2x — CI boxes are noisy, but a
+# genuine fall off the columnar path costs ~10x and will trip this), if the
+# cache-hit round-trip under 1k parked idle connections strays beyond the
+# factor of the plain cache-hit baseline (idle sockets must cost the active
+# client nothing), or if append-then-query costs more than 0.25x of the
+# fresh cold columnar build (the delta path must stay far cheaper than
+# dropping and rebuilding the projection).
 #
 # Usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]
 #
@@ -59,10 +62,34 @@ check_cross() { # <fresh-case> <baseline-case>
     fi
 }
 
+check_ratio() { # <numerator-case> <denominator-case> <max-ratio>  (both in fresh)
+    local num_case="$1" den_case="$2" ratio="$3" num_mean den_mean
+    num_mean=$(mean_ns "$fresh" "$num_case")
+    den_mean=$(mean_ns "$fresh" "$den_case")
+    if [ -z "$num_mean" ] || [ -z "$den_mean" ]; then
+        echo "check_bench_regression: case \"$num_case\"/\"$den_case\" missing from $fresh" >&2
+        return 1
+    fi
+    if awk -v n="$num_mean" -v d="$den_mean" -v x="$ratio" \
+        'BEGIN { exit !(n <= d * x) }'; then
+        echo "ok: $num_case ${num_mean}ns <= ${ratio}x $den_case ${den_mean}ns"
+    else
+        echo "REGRESSION: $num_case ${num_mean}ns > ${ratio}x $den_case ${den_mean}ns" >&2
+        return 1
+    fi
+}
+
 check_case uncached
 check_case cold_columnar
 check_case cache_hit_idle1k
+check_case append_then_hit
+check_case append_stream_sustained
 # Active-client latency under 1k parked idles must stay within the factor
 # of the *unloaded* cache-hit baseline: idle sockets are not allowed to tax
 # the hot path.
 check_cross cache_hit_idle1k cache_hit
+# The incremental path's whole point: append-a-batch-then-query must stay
+# far under one cold columnar rebuild, or the delta machinery has silently
+# degraded into drop-and-rebuild. Both means come from the same fresh run,
+# so machine speed cancels out of the ratio.
+check_ratio append_then_hit cold_columnar 0.25

@@ -12,8 +12,8 @@ use uu_query::value::Value;
 use uu_server::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
     ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireDiagnostics, WireError,
-    WireEstimate, WireExecStats, WireExtreme, WireProjectionStats, WireResult, WireSessionStats,
-    WireValue, PROTOCOL_VERSION,
+    WireEstimate, WireExecStats, WireExtreme, WireIncrementalStats, WireProjectionStats,
+    WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
 };
 
 /// An interesting `f64` from two generated numbers: finite values of many
@@ -49,7 +49,7 @@ fn value_from(selector: u64, text: &str, number: f64) -> Value {
 }
 
 fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
-    match selector % 10 {
+    match selector % 11 {
         0 => Request::Query(QueryRequest {
             sql: text.to_string(),
             estimators: vec![text2.to_string()],
@@ -91,6 +91,11 @@ fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
             name: text2.to_string(),
         },
         8 => Request::ServerInfo,
+        9 => Request::AppendStream {
+            table: text.to_string(),
+            source_column: text2.to_string(),
+            csv: format!("{text2},k,v\n0,{text},1\n"),
+        },
         _ => [Request::Stats, Request::Ping, Request::Shutdown][selector as usize % 3].clone(),
     }
 }
@@ -129,7 +134,7 @@ fn wire_result(sel: &[u64], text: &str, numbers: &[f64]) -> WireResult {
 }
 
 fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: bool) -> Response {
-    match selector % 10 {
+    match selector % 11 {
         0 => Response::Query(QueryReply {
             sql: text.to_string(),
             cache_hit: flag,
@@ -238,7 +243,21 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                     "poll".to_string()
                 },
             },
+            incremental: WireIncrementalStats {
+                delta_batches: sel[6],
+                rows_appended: sel[7],
+                permutation_merges: sel[0],
+                snapshots_refrozen: sel[1],
+                fallback_rebuilds: sel[2],
+            },
         })),
+        9 => Response::Appended {
+            table: text.to_string(),
+            observations: sel[0],
+            entities: sel[1],
+            refrozen: sel[2],
+            incremental: flag,
+        },
         _ => match selector % 4 {
             0 => Response::Pong,
             1 => Response::Bye,
