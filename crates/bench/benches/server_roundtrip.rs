@@ -7,7 +7,10 @@
 //! snapshots — the repeated-query workload the server exists for), the
 //! **prepared-query path** (named session, parse + selection frozen at
 //! `prepare`, repeats skip both the parser and the cache lookup), the
-//! uncached path, and a grouped query, plus the **saturation** case: the
+//! uncached path, a grouped query, and the **traced** path (`"trace":true`
+//! on the cache-hit query, paying span capture plus wire encoding — its
+//! delta against `cache_hit` is the full tracing cost), plus the
+//! **saturation** case: the
 //! same cache-hit round-trip re-measured while ~1k idle connections are
 //! parked on the reactor (`UU_BENCH_IDLE` overrides the count) — the
 //! readiness-driven connection layer must keep the active client's latency
@@ -154,6 +157,19 @@ fn bench_server(c: &mut Criterion) {
             black_box(reply.groups.len())
         })
     });
+    // The fully-traced cost: same cache-hit round-trip with `"trace":true`,
+    // so the reply carries the span tree. The delta against `cache_hit` is
+    // the price of span capture + wire encoding; `cache_hit` itself runs
+    // with histograms recording but tracing off, which is the default-path
+    // overhead the regression gate pins at 1.10x.
+    group.bench_function("traced_query", |b| {
+        b.iter(|| {
+            let reply = client.query_traced(SQL, ESTIMATORS, true).unwrap();
+            assert!(reply.cache_hit);
+            assert!(reply.trace.is_some());
+            black_box(reply.groups.len())
+        })
+    });
     group.bench_function("ping", |b| b.iter(|| client.ping().unwrap()));
     group.finish();
 
@@ -222,6 +238,16 @@ fn bench_server(c: &mut Criterion) {
                     .query(GROUPED_SQL, ESTIMATORS, true)
                     .unwrap();
                 black_box(reply.elapsed_us);
+            }),
+        );
+        record(
+            "traced_query",
+            Box::new(|| {
+                let reply = client
+                    .borrow_mut()
+                    .query_traced(SQL, ESTIMATORS, true)
+                    .unwrap();
+                black_box(reply.trace.map(|t| t.len()));
             }),
         );
         record(

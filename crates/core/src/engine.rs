@@ -285,8 +285,13 @@ impl EstimationSession {
     /// Inside another parallel region (e.g. a grouped batch) the fan-out runs
     /// inline on the owning worker, so nesting never oversubscribes.
     fn deltas_profiled(&self, profile: &ViewProfile<'_>) -> Vec<DeltaEstimate> {
+        let _span = crate::obs::span(crate::obs::Stage::EstimatorFanout);
         let mut deltas = vec![DeltaEstimate::UNDEFINED; self.entries.len()];
         crate::exec::global().for_each_indexed(&mut deltas, |i, slot| {
+            let _span = crate::obs::span_trace_only(
+                crate::obs::Stage::EstimatorFanout,
+                self.entries[i].0.name(),
+            );
             *slot = self.entries[i].1.estimate_delta_profiled(profile);
         });
         deltas

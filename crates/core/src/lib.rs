@@ -77,6 +77,14 @@ pub mod sensitivity;
 /// schedule through `uu_core::exec::global()`.
 pub use uu_stats::exec;
 
+/// Zero-dependency observability (see [`uu_stats::obs`]).
+///
+/// Hosted next to [`exec`] at the bottom of the dependency graph so every
+/// layer — species ladder, profile machinery, query execution, server — can
+/// open trace spans and feed the shared latency histograms through one TLS
+/// surface.
+pub use uu_stats::obs;
+
 pub use bucket::DynamicBucketEstimator;
 pub use engine::{EstimationSession, EstimatorKind};
 pub use estimate::{DeltaEstimate, SumEstimator};

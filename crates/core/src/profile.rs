@@ -194,6 +194,7 @@ impl<'a> ViewProfile<'a> {
         self.read();
         self.sorted.get_or_init(|| {
             self.sort_builds.fetch_add(1, Ordering::Relaxed);
+            let _span = crate::obs::span(crate::obs::Stage::ValueSort);
             self.view.items_sorted_by_value()
         })
     }
@@ -208,7 +209,9 @@ impl<'a> ViewProfile<'a> {
             if self.view.is_empty() {
                 Vec::new()
             } else {
-                DynamicBucketEstimator::default().bucketize_sorted(self.sorted_items())
+                let sorted = self.sorted_items();
+                let _span = crate::obs::span(crate::obs::Stage::BucketPartition);
+                DynamicBucketEstimator::default().bucketize_sorted(sorted)
             }
         })
     }
@@ -340,6 +343,7 @@ impl ProfileSnapshot {
     /// Consumes a view, computes every profile statistic (eagerly, on the
     /// shared executor) and freezes the result.
     pub fn capture(view: SampleView) -> Self {
+        let _span = crate::obs::span(crate::obs::Stage::Freeze);
         let (species, sorted_idx, buckets, bucket_delta, diagnostics, recommendation, ranks) = {
             let profile = ViewProfile::new(&view);
             profile.warm();
@@ -381,6 +385,7 @@ impl ProfileSnapshot {
     /// `columnar_parity` suite pins); statistics are bit-for-bit those of
     /// `capture`.
     pub fn capture_presorted(view: SampleView, sorted_idx: Vec<u32>) -> Self {
+        let _span = crate::obs::span(crate::obs::Stage::Freeze);
         let (species, buckets, bucket_delta, diagnostics, recommendation, ranks) = {
             let profile = ViewProfile::with_sorted_indices(&view, &sorted_idx);
             profile.warm();
@@ -425,6 +430,7 @@ impl ProfileSnapshot {
     /// so an old-wins-ties merge reproduces the stable `total_cmp` sort
     /// exactly, and bumps never move an item (values are unchanged).
     pub fn refreeze(&self, bumps: &[(usize, ObservedItem)], appended: Vec<ObservedItem>) -> Self {
+        let _span = crate::obs::span(crate::obs::Stage::Refreeze);
         let old_len = self.view.items().len() as u32;
         let appended_len = appended.len() as u32;
         let view = self.view.extended(bumps, appended);

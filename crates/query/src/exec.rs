@@ -389,6 +389,10 @@ pub fn selection(
     query: &AggregateQuery,
     cache: &QueryProfileCache,
 ) -> Result<(SelectionSnapshots, bool), ExecError> {
+    // The span covers the whole fetch: a hit is a bare map lookup, a miss
+    // additionally carries the build + freeze (whose kernels appear as
+    // child spans in a trace).
+    let _span = uu_core::obs::span(uu_core::obs::Stage::CacheProbe);
     let key = profile_key(table, query);
     if let Some(hit) = cache.get(&key) {
         return Ok((hit, true));

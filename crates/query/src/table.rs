@@ -438,6 +438,7 @@ impl IntegratedTable {
                 return Arc::clone(p);
             }
         }
+        let _span = uu_core::obs::span(uu_core::obs::Stage::ProjectionBuild);
         let p = Arc::new(Projection::build(
             &self.schema,
             &self.entities,
@@ -524,11 +525,15 @@ impl IntegratedTable {
             return Ok((SampleView::from_observed_items(Vec::new()), sorted));
         }
         let proj = self.projection();
-        let mut selected = proj.selection_mask(&self.schema, predicate)?;
-        if let Some(idx) = attr_idx {
-            // NULL attributes are excluded from AGG.
-            columnar::and_in_place(&mut selected, proj.valid_bits(idx));
-        }
+        let selected = {
+            let _span = uu_core::obs::span(uu_core::obs::Stage::SelectionKernel);
+            let mut selected = proj.selection_mask(&self.schema, predicate)?;
+            if let Some(idx) = attr_idx {
+                // NULL attributes are excluded from AGG.
+                columnar::and_in_place(&mut selected, proj.valid_bits(idx));
+            }
+            selected
+        };
         let count = columnar::count_ones(&selected);
         let mut items = Vec::with_capacity(count);
         columnar::for_each_set(&selected, |row| {
@@ -539,8 +544,10 @@ impl IntegratedTable {
                 source_counts: self.entities[row].source_counts.clone(),
             });
         });
-        let sorted =
-            want_sorted.then(|| columnar::sorted_idx_filtered(&proj, attr_idx, &selected, count));
+        let sorted = want_sorted.then(|| {
+            let _span = uu_core::obs::span(uu_core::obs::Stage::PresortedFilter);
+            columnar::sorted_idx_filtered(&proj, attr_idx, &selected, count)
+        });
         Ok((SampleView::from_observed_items(items), sorted))
     }
 
@@ -559,6 +566,7 @@ impl IntegratedTable {
             return Ok(Vec::new());
         }
         let proj = self.projection();
+        let _span = uu_core::obs::span(uu_core::obs::Stage::SelectionKernel);
         let mut selected = proj.selection_mask(&self.schema, predicate)?;
         if let Some(idx) = attr_idx {
             columnar::and_in_place(&mut selected, proj.valid_bits(idx));
@@ -660,10 +668,14 @@ impl IntegratedTable {
                 })
                 .collect());
         }
-        let mut selected = proj.selection_mask(&self.schema, predicate)?;
-        if let Some(idx) = attr_idx {
-            columnar::and_in_place(&mut selected, proj.valid_bits(idx));
-        }
+        let selected = {
+            let _span = uu_core::obs::span(uu_core::obs::Stage::SelectionKernel);
+            let mut selected = proj.selection_mask(&self.schema, predicate)?;
+            if let Some(idx) = attr_idx {
+                columnar::and_in_place(&mut selected, proj.valid_bits(idx));
+            }
+            selected
+        };
         // One pass over the selected rows assigns groups; each row remembers
         // its group and its item index within it, so the memoized column
         // sort can be scattered into per-group permutations in a second

@@ -9,6 +9,8 @@
 //! uu-client stats        --addr HOST:PORT
 //! uu-client warm         --addr HOST:PORT --sql SQL
 //! uu-client query        --addr HOST:PORT --sql SQL [--estimators a,b,c] [--uncached]
+//! uu-client trace        --addr HOST:PORT --sql SQL [--estimators a,b,c] [--uncached]
+//! uu-client metrics      --addr HOST:PORT
 //! uu-client load-csv     --addr HOST:PORT --table T --columns k:str,v:float \
 //!                        --entity k --source worker --file data.csv [--append]
 //! uu-client append       --addr HOST:PORT --table T --source worker --file data.csv
@@ -27,12 +29,16 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use uu_server::client::{Client, ClientError};
-use uu_server::protocol::{ErrorCode, LoadCsvRequest, QueryReply, Request, Response};
+use uu_server::protocol::{
+    ErrorCode, LoadCsvRequest, MetricsReply, QueryReply, Request, Response, WireSpan,
+};
 
 fn usage() -> &'static str {
-    "usage: uu-client <ping|info|stats|warm|query|load-csv|append|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
+    "usage: uu-client <ping|info|stats|metrics|warm|query|trace|load-csv|append|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
      \n\
      query:        --sql SQL [--estimators a,b,c] [--uncached]\n\
+     trace:        --sql SQL [--estimators a,b,c] [--uncached]   # query + server-side span tree\n\
+     metrics:      per-(verb, stage) latency digests (p50/p90/p99/max)\n\
      warm:         --sql SQL\n\
      load-csv:     --table T --columns name:type,... --entity COL --source COL --file PATH [--append]\n\
      append:       --table T --source COL --file PATH   # incremental append_stream\n\
@@ -122,6 +128,60 @@ fn print_reply(reply: &QueryReply) {
     }
 }
 
+/// Renders the server-side span tree: one line per span, indented by depth,
+/// with start offset and duration right-aligned in microseconds.
+fn print_trace(spans: &[WireSpan]) {
+    println!("trace: {} spans", spans.len());
+    println!("{:>12} {:>12}  span", "start_us", "dur_us");
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            // Spans arrive in start order, so a valid parent precedes its
+            // child; anything else is treated as a root.
+            Some(p) if (p as usize) < i => children[p as usize].push(i),
+            _ => roots.push(i),
+        }
+    }
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let span = &spans[i];
+        let label = span
+            .label
+            .as_deref()
+            .map(|l| format!(" [{l}]"))
+            .unwrap_or_default();
+        println!(
+            "{:>12.1} {:>12.1}  {}{}{label}",
+            span.start_ns as f64 / 1e3,
+            span.dur_ns as f64 / 1e3,
+            "  ".repeat(depth),
+            span.stage,
+        );
+        for &child in children[i].iter().rev() {
+            stack.push((child, depth + 1));
+        }
+    }
+}
+
+/// Renders the per-(verb, stage) latency digests as an aligned table.
+fn print_metrics(metrics: &MetricsReply) {
+    if metrics.entries.is_empty() {
+        println!("no samples recorded yet");
+        return;
+    }
+    println!(
+        "{:<18} {:<18} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "verb", "stage", "count", "p50_us", "p90_us", "p99_us", "max_us", "mean_us"
+    );
+    for e in &metrics.entries {
+        println!(
+            "{:<18} {:<18} {:>9} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>11.1}",
+            e.verb, e.stage, e.count, e.p50_us, e.p90_us, e.p99_us, e.max_us, e.mean_us
+        );
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     if args.command == "demo" {
@@ -167,6 +227,25 @@ fn run() -> Result<(), String> {
                 .query(args.required("sql")?, &estimators, !args.has("--uncached"))
                 .map_err(fail)?;
             print_reply(&reply);
+        }
+        "trace" => {
+            let estimators: Vec<&str> = args
+                .flags
+                .get("estimators")
+                .map(|s| s.split(',').filter(|e| !e.is_empty()).collect())
+                .unwrap_or_else(|| vec!["bucket"]);
+            let reply = client
+                .query_traced(args.required("sql")?, &estimators, !args.has("--uncached"))
+                .map_err(fail)?;
+            print_reply(&reply);
+            match reply.trace.as_deref() {
+                Some(spans) => print_trace(spans),
+                None => println!("(server returned no trace)"),
+            }
+        }
+        "metrics" => {
+            let metrics = client.metrics().map_err(fail)?;
+            print_metrics(&metrics);
         }
         "load-csv" => {
             let columns = args

@@ -3,6 +3,7 @@
 //! ```text
 //! uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]
 //!           [--pgwire-port PORT] [--pgwire-port-file PATH]
+//!           [--metrics-port PORT] [--slow-query-ms N] [--slow-query-log PATH]
 //!           [--max-frame-bytes N] [--idle-timeout-ms N]
 //!           [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]
 //! ```
@@ -23,17 +24,23 @@ use uu_server::server::{spawn, ServerConfig};
 fn usage() -> &'static str {
     "usage: uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]\n\
      \x20                [--pgwire-port PORT] [--pgwire-port-file PATH]\n\
+     \x20                [--metrics-port PORT] [--slow-query-ms N]\n\
+     \x20                [--slow-query-log PATH]\n\
      \x20                [--max-frame-bytes N] [--idle-timeout-ms N]\n\
      \x20                [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]\n\
      \n\
      Serves the line-delimited JSON estimation protocol (see README,\n\
      \"Service architecture\"); --pgwire-port also enables the pgwire-lite\n\
      front (psql-compatible simple queries) on the same host.\n\
+     --metrics-port serves the Prometheus text exposition on\n\
+     http://HOST:PORT/metrics. --slow-query-ms logs queries at or over the\n\
+     threshold as JSON lines (full span tree) to --slow-query-log (default:\n\
+     stderr).\n\
      --idle-timeout-ms reaps connections with no complete frame for the\n\
      window (default: never).\n\
-     Defaults: --addr 127.0.0.1:7878, pgwire off, workers = UU_THREADS (or\n\
-     detected cores), 16 MiB frame bound, no idle timeout, cache capacity\n\
-     128 entries, no byte budget, no TTL."
+     Defaults: --addr 127.0.0.1:7878, pgwire off, metrics off, no slow-query\n\
+     log, workers = UU_THREADS (or detected cores), 16 MiB frame bound, no\n\
+     idle timeout, cache capacity 128 entries, no byte budget, no TTL."
 }
 
 struct Parsed {
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Parsed, String> {
     let mut port_file = None;
     let mut pgwire_port_file = None;
     let mut pgwire_port: Option<u16> = None;
+    let mut metrics_port: Option<u16> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -67,6 +75,21 @@ fn parse_args() -> Result<Parsed, String> {
                 )
             }
             "--pgwire-port-file" => pgwire_port_file = Some(value("--pgwire-port-file")?),
+            "--metrics-port" => {
+                metrics_port = Some(
+                    value("--metrics-port")?
+                        .parse()
+                        .map_err(|_| "--metrics-port expects a port number".to_string())?,
+                )
+            }
+            "--slow-query-ms" => {
+                config.slow_query_ms = Some(
+                    value("--slow-query-ms")?
+                        .parse()
+                        .map_err(|_| "--slow-query-ms expects an integer".to_string())?,
+                )
+            }
+            "--slow-query-log" => config.slow_query_log = Some(value("--slow-query-log")?),
             "--workers" => {
                 config.workers = value("--workers")?
                     .parse()
@@ -107,14 +130,17 @@ fn parse_args() -> Result<Parsed, String> {
             other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
         }
     }
+    // The auxiliary fronts bind the same host as the JSON front.
+    let host = config
+        .addr
+        .rsplit_once(':')
+        .map(|(host, _)| host.to_string())
+        .unwrap_or_else(|| "127.0.0.1".to_string());
     if let Some(port) = pgwire_port {
-        // The pgwire front binds the same host as the JSON front.
-        let host = config
-            .addr
-            .rsplit_once(':')
-            .map(|(host, _)| host)
-            .unwrap_or("127.0.0.1");
         config.pgwire_addr = Some(format!("{host}:{port}"));
+    }
+    if let Some(port) = metrics_port {
+        config.metrics_addr = Some(format!("{host}:{port}"));
     }
     Ok(Parsed {
         config,
@@ -164,9 +190,12 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "uu-server listening on {addr} (pgwire={}, workers={workers}, max_frame_bytes={}, idle_timeout_ms={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
+        "uu-server listening on {addr} (pgwire={}, metrics={}, workers={workers}, max_frame_bytes={}, idle_timeout_ms={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
         handle
             .pgwire_addr()
+            .map_or_else(|| "off".to_string(), |a| a.to_string()),
+        handle
+            .metrics_addr()
             .map_or_else(|| "off".to_string(), |a| a.to_string()),
         if config.max_frame_bytes == 0 {
             uu_server::service::DEFAULT_MAX_FRAME_BYTES

@@ -5,7 +5,8 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    ProtoError, QueryReply, QueryRequest, Request, Response, ServerInfoReply, StatsReply, WireError,
+    MetricsReply, ProtoError, QueryReply, QueryRequest, Request, Response, ServerInfoReply,
+    StatsReply, WireError,
 };
 
 /// Client-side failure: transport, framing, or a structured server error
@@ -109,13 +110,45 @@ impl Client {
         estimators: &[&str],
         cached: bool,
     ) -> Result<QueryReply, ClientError> {
+        self.query_opts(sql, estimators, cached, false)
+    }
+
+    /// Executes a query with the `"trace": true` option: the reply carries
+    /// the server-side span tree in [`QueryReply::trace`].
+    pub fn query_traced(
+        &mut self,
+        sql: &str,
+        estimators: &[&str],
+        cached: bool,
+    ) -> Result<QueryReply, ClientError> {
+        self.query_opts(sql, estimators, cached, true)
+    }
+
+    /// [`Client::query`] with every protocol option explicit.
+    pub fn query_opts(
+        &mut self,
+        sql: &str,
+        estimators: &[&str],
+        cached: bool,
+        trace: bool,
+    ) -> Result<QueryReply, ClientError> {
         let response = self.request(&Request::Query(QueryRequest {
             sql: sql.to_string(),
             estimators: estimators.iter().map(|s| s.to_string()).collect(),
             cached,
+            trace,
         }))?;
         match response {
             Response::Query(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// Fetches the per-(verb, stage) latency digests.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(reply) => Ok(reply),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Unexpected(other.encode())),
         }

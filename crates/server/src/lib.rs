@@ -27,6 +27,9 @@
 //!   `psql`.
 //! * [`client`] — a blocking client for the JSON protocol.
 //! * [`json`] — the minimal JSON substrate with exact `f64` round-trips.
+//! * `metrics` — the `--metrics-port` scraper front: a tiny HTTP/1.0
+//!   responder serving the Prometheus text exposition rendered by the
+//!   service (per-verb/stage latency histograms plus connection gauges).
 //!
 //! # Quick start
 //!
@@ -49,6 +52,7 @@
 
 pub mod client;
 pub mod json;
+mod metrics;
 pub mod pgwire;
 pub mod protocol;
 pub mod reactor;

@@ -1,0 +1,143 @@
+//! The `--metrics-port` HTTP front: a deliberately tiny, dependency-free
+//! HTTP/1.0 responder that serves the Prometheus text-format exposition
+//! rendered by [`Service::render_prometheus`].
+//!
+//! One thread owns the listener in non-blocking mode and polls the server's
+//! shutdown flag between accepts, so `shutdown` (the verb or the handle)
+//! stops the scraper front together with the request fronts. Each scrape is
+//! served synchronously — Prometheus scrapes are rare (seconds apart) and
+//! the body is small, so there is nothing to pipeline. The module lives
+//! beside the other fronts on purpose: [`crate::service`] stays free of
+//! socket types (a grep test pins that), and this front, like the others,
+//! only owns transport.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::server::ServerState;
+
+/// How long the accept loop sleeps when no connection is pending, which is
+/// also the shutdown-detection latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Cap on one scrape request's header bytes; a peer streaming garbage is cut
+/// off here.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Binds `addr` and spawns the scraper thread. Returns the bound address
+/// (resolving port 0) and the join handle; the thread exits when the
+/// server's shutdown flag rises.
+pub(crate) fn spawn_metrics(
+    addr: &str,
+    state: Arc<ServerState>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let listener = TcpListener::bind(&addrs[..])?;
+    let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::Builder::new()
+        .name("uu-server-metrics".to_string())
+        .spawn(move || accept_loop(&listener, &state))?;
+    Ok((bound, handle))
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServerState) {
+    while !state.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve inline; a stuck scraper is bounded by the timeouts.
+                let _ = serve_one(stream, state);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads one HTTP request head and answers it: `/metrics` (or `/`) gets the
+/// exposition, anything else a 404.
+fn serve_one(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nonblocking(false)?;
+    let head = read_head(&mut stream)?;
+    let path = request_path(&head);
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") | Some("/") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.service().render_prometheus(),
+        ),
+        Some(_) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; scrape /metrics\n".to_string(),
+        ),
+        None => (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the HTTP head (`\r\n\r\n`) or the request cap.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// The path of a `GET <path> HTTP/x.y` request line, `None` when the line
+/// does not parse.
+fn request_path(head: &str) -> Option<String> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string; Prometheus does not send one but curl users do.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::request_path;
+
+    #[test]
+    fn request_line_parses() {
+        assert_eq!(
+            request_path("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").as_deref(),
+            Some("/metrics")
+        );
+        assert_eq!(
+            request_path("GET /metrics?x=1 HTTP/1.0\r\n\r\n").as_deref(),
+            Some("/metrics")
+        );
+        assert_eq!(request_path("POST /metrics HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(request_path(""), None);
+    }
+}

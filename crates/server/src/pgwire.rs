@@ -260,6 +260,7 @@ fn panel(
                 sql: sql.to_string(),
                 estimators: vec![kind.name().to_string()],
                 cached: true,
+                trace: false,
             }),
         );
         match response {
@@ -692,6 +693,7 @@ mod tests {
                 key: WireValue(Value::Null),
                 result: result(Some(13_950.000000000002)),
             }],
+            trace: None,
         };
         let (columns, rows) = panel_rows(&[("bucket", reply.clone()), ("naive", reply)]);
         assert_eq!(
@@ -723,6 +725,7 @@ mod tests {
                     result: result(Some(1.0)),
                 },
             ],
+            trace: None,
         };
         let (columns, rows) = panel_rows(&[("bucket", reply)]);
         assert_eq!(columns[0], "group");

@@ -29,7 +29,7 @@ use uu_query::value::Value;
 /// verb with its `appended` response and the incremental-maintenance
 /// counters (`incremental` batches/rows/merges/refreezes/fallbacks) to
 /// `stats`.
-pub const PROTOCOL_VERSION: u64 = 5;
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// Decode failure for a request or response line.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,9 @@ pub struct QueryRequest {
     /// Route through the catalog's profile cache (default). `false` forces
     /// the uncached execution path (statistics rebuilt from the table).
     pub cached: bool,
+    /// Capture a per-stage span tree for this request and return it in the
+    /// reply's `trace` field (protocol v6; default off).
+    pub trace: bool,
 }
 
 /// A `load_csv` admin request: create (or extend) a table from an
@@ -203,6 +206,10 @@ pub enum Request {
     ServerInfo,
     /// Server / cache / executor counters.
     Stats,
+    /// Latency-histogram summary: p50/p90/p99/max per `(verb, stage)`
+    /// (protocol v6). The full bucket data is served by the Prometheus
+    /// endpoint; this verb carries the quantile digest.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Stop accepting connections and exit once drained.
@@ -226,6 +233,7 @@ impl Request {
                     ),
                 ),
                 ("cached", Json::Bool(q.cached)),
+                ("trace", Json::Bool(q.trace)),
             ]),
             Request::LoadCsv(l) => Json::obj([
                 ("op", Json::Str("load_csv".into())),
@@ -290,6 +298,7 @@ impl Request {
             ]),
             Request::ServerInfo => Json::obj([("op", Json::Str("server_info".into()))]),
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
+            Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
             Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
         };
@@ -319,6 +328,7 @@ impl Request {
                     sql: req_str(&json, "sql")?,
                     estimators,
                     cached: opt_bool(&json, "cached", true)?,
+                    trace: opt_bool(&json, "trace", false)?,
                 }))
             }
             "load_csv" => {
@@ -389,6 +399,7 @@ impl Request {
             }),
             "server_info" => Ok(Request::ServerInfo),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError(format!("unknown op {other:?}"))),
@@ -816,6 +827,63 @@ pub struct GroupReply {
     pub result: WireResult,
 }
 
+/// One node of a wire-encoded span tree (protocol v6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSpan {
+    /// Stage name (`uu_core::obs::Stage::as_str`).
+    pub stage: String,
+    /// Optional fine-grained label (e.g. the estimator name inside the
+    /// fan-out).
+    pub label: Option<String>,
+    /// Index of the parent span in the reply's span list; `None` for roots.
+    pub parent: Option<u64>,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl WireSpan {
+    pub(crate) fn to_json(&self) -> Json {
+        let mut pairs = vec![("stage", Json::Str(self.stage.clone()))];
+        if let Some(label) = &self.label {
+            pairs.push(("label", Json::Str(label.clone())));
+        }
+        pairs.push((
+            "parent",
+            match self.parent {
+                Some(p) => Json::Int(p as i64),
+                None => Json::Null,
+            },
+        ));
+        pairs.push(("start_ns", Json::Int(self.start_ns as i64)));
+        pairs.push(("dur_ns", Json::Int(self.dur_ns as i64)));
+        Json::obj(pairs)
+    }
+
+    fn from_json(json: &Json) -> Result<WireSpan, ProtoError> {
+        let label = match json.get("label") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| missing("label"))?,
+            ),
+        };
+        let parent = match json.get("parent") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| missing("parent"))?),
+        };
+        Ok(WireSpan {
+            stage: req_str(json, "stage")?,
+            label,
+            parent,
+            start_ns: req_u64(json, "start_ns")?,
+            dur_ns: req_u64(json, "dur_ns")?,
+        })
+    }
+}
+
 /// A full `query` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryReply {
@@ -830,6 +898,10 @@ pub struct QueryReply {
     pub grouped: bool,
     /// Per-universe answers, in deterministic group order.
     pub groups: Vec<GroupReply>,
+    /// The captured span tree, present only when the request asked for
+    /// `"trace":true` (protocol v6). Spans are in open order; `parent`
+    /// indices point into this list.
+    pub trace: Option<Vec<WireSpan>>,
 }
 
 impl QueryReply {
@@ -935,6 +1007,13 @@ pub struct WireConnStats {
     pub idle_reaped: u64,
     /// Write-backpressure trips (reads paused at the high-water mark).
     pub backpressure: u64,
+    /// High-water mark of frames waiting in the worker queue (protocol v6).
+    pub queue_depth_peak: u64,
+    /// Total microseconds frames spent queued before a worker picked them
+    /// up (protocol v6).
+    pub queue_wait_us_total: u64,
+    /// Largest single queue wait in microseconds (protocol v6).
+    pub queue_wait_us_max: u64,
     /// The readiness backend the reactor selected (`epoll` or `poll`).
     pub backend: String,
 }
@@ -986,6 +1065,64 @@ pub struct StatsReply {
     pub conn: WireConnStats,
     /// Incremental-maintenance counters.
     pub incremental: WireIncrementalStats,
+}
+
+/// One `(verb, stage)` latency digest in a `metrics` response
+/// (protocol v6). Quantiles come from the merged log-bucketed histograms,
+/// so they carry the bucket resolution (≈ √2), not exact order statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStageMetrics {
+    /// Protocol verb the durations were recorded under.
+    pub verb: String,
+    /// Pipeline stage name.
+    pub stage: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Largest recorded duration, microseconds.
+    pub max_us: f64,
+    /// Mean duration, microseconds.
+    pub mean_us: f64,
+}
+
+impl WireStageMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("verb", Json::Str(self.verb.clone())),
+            ("stage", Json::Str(self.stage.clone())),
+            ("count", Json::Int(self.count as i64)),
+            ("p50_us", Json::from_f64(self.p50_us)),
+            ("p90_us", Json::from_f64(self.p90_us)),
+            ("p99_us", Json::from_f64(self.p99_us)),
+            ("max_us", Json::from_f64(self.max_us)),
+            ("mean_us", Json::from_f64(self.mean_us)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<WireStageMetrics, ProtoError> {
+        Ok(WireStageMetrics {
+            verb: req_str(json, "verb")?,
+            stage: req_str(json, "stage")?,
+            count: req_u64(json, "count")?,
+            p50_us: req_f64(json, "p50_us")?,
+            p90_us: req_f64(json, "p90_us")?,
+            p99_us: req_f64(json, "p99_us")?,
+            max_us: req_f64(json, "max_us")?,
+            mean_us: req_f64(json, "mean_us")?,
+        })
+    }
+}
+
+/// A `metrics` response (protocol v6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReply {
+    /// Non-empty `(verb, stage)` digests, in stable verb-major order.
+    pub entries: Vec<WireStageMetrics>,
 }
 
 /// A `server_info` response.
@@ -1084,6 +1221,8 @@ pub enum Response {
     /// Answer to [`Request::Stats`] (boxed: the reply is by far the widest
     /// variant and would otherwise bloat every `Response`).
     Stats(Box<StatsReply>),
+    /// Answer to [`Request::Metrics`] (protocol v6).
+    Metrics(MetricsReply),
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Shutdown`]; the server drains and exits.
@@ -1096,28 +1235,37 @@ impl Response {
     /// Renders the response as one wire line (no trailing newline).
     pub fn encode(&self) -> String {
         let json = match self {
-            Response::Query(q) => Json::obj([
-                ("ok", Json::Bool(true)),
-                ("op", Json::Str("query".into())),
-                ("sql", Json::Str(q.sql.clone())),
-                ("cache_hit", Json::Bool(q.cache_hit)),
-                ("elapsed_us", Json::Int(q.elapsed_us as i64)),
-                ("grouped", Json::Bool(q.grouped)),
-                (
-                    "groups",
-                    Json::Arr(
-                        q.groups
-                            .iter()
-                            .map(|g| {
-                                Json::obj([
-                                    ("key", g.key.to_json()),
-                                    ("result", g.result.to_json()),
-                                ])
-                            })
-                            .collect(),
+            Response::Query(q) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::Str("query".into())),
+                    ("sql", Json::Str(q.sql.clone())),
+                    ("cache_hit", Json::Bool(q.cache_hit)),
+                    ("elapsed_us", Json::Int(q.elapsed_us as i64)),
+                    ("grouped", Json::Bool(q.grouped)),
+                    (
+                        "groups",
+                        Json::Arr(
+                            q.groups
+                                .iter()
+                                .map(|g| {
+                                    Json::obj([
+                                        ("key", g.key.to_json()),
+                                        ("result", g.result.to_json()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
+                ];
+                if let Some(trace) = &q.trace {
+                    pairs.push((
+                        "trace",
+                        Json::Arr(trace.iter().map(WireSpan::to_json).collect()),
+                    ));
+                }
+                Json::obj(pairs)
+            }
             Response::Loaded {
                 table,
                 observations,
@@ -1295,6 +1443,18 @@ impl Response {
                         ("bytes_out", Json::Int(s.conn.bytes_out as i64)),
                         ("idle_reaped", Json::Int(s.conn.idle_reaped as i64)),
                         ("backpressure", Json::Int(s.conn.backpressure as i64)),
+                        (
+                            "queue_depth_peak",
+                            Json::Int(s.conn.queue_depth_peak as i64),
+                        ),
+                        (
+                            "queue_wait_us_total",
+                            Json::Int(s.conn.queue_wait_us_total as i64),
+                        ),
+                        (
+                            "queue_wait_us_max",
+                            Json::Int(s.conn.queue_wait_us_max as i64),
+                        ),
                         ("backend", Json::Str(s.conn.backend.clone())),
                     ]),
                 ),
@@ -1322,6 +1482,14 @@ impl Response {
                             Json::Int(s.incremental.fallback_rebuilds as i64),
                         ),
                     ]),
+                ),
+            ]),
+            Response::Metrics(m) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("metrics".into())),
+                (
+                    "entries",
+                    Json::Arr(m.entries.iter().map(WireStageMetrics::to_json).collect()),
                 ),
             ]),
             Response::Pong => {
@@ -1394,12 +1562,23 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, ProtoError>>()?;
+                let trace = match json.get("trace") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_arr()
+                            .ok_or_else(|| missing("trace"))?
+                            .iter()
+                            .map(WireSpan::from_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                };
                 Ok(Response::Query(QueryReply {
                     sql: req_str(&json, "sql")?,
                     cache_hit: opt_bool(&json, "cache_hit", false)?,
                     elapsed_us: req_u64(&json, "elapsed_us")?,
                     grouped: opt_bool(&json, "grouped", false)?,
                     groups,
+                    trace,
                 }))
             }
             "load_csv" => Ok(Response::Loaded {
@@ -1519,6 +1698,9 @@ impl Response {
                         bytes_out: req_u64(conn, "bytes_out")?,
                         idle_reaped: req_u64(conn, "idle_reaped")?,
                         backpressure: req_u64(conn, "backpressure")?,
+                        queue_depth_peak: req_u64(conn, "queue_depth_peak")?,
+                        queue_wait_us_total: req_u64(conn, "queue_wait_us_total")?,
+                        queue_wait_us_max: req_u64(conn, "queue_wait_us_max")?,
                         backend: req_str(conn, "backend")?,
                     },
                     incremental: WireIncrementalStats {
@@ -1529,6 +1711,16 @@ impl Response {
                         fallback_rebuilds: req_u64(incremental, "fallback_rebuilds")?,
                     },
                 })))
+            }
+            "metrics" => {
+                let entries = json
+                    .get("entries")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing("entries"))?
+                    .iter()
+                    .map(WireStageMetrics::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Metrics(MetricsReply { entries }))
             }
             "ping" => Ok(Response::Pong),
             "shutdown" => Ok(Response::Bye),
@@ -1548,6 +1740,13 @@ mod tests {
                 sql: "SELECT SUM(v) FROM t WHERE v < 10 GROUP BY g".into(),
                 estimators: vec!["bucket".into(), "naive".into()],
                 cached: false,
+                trace: false,
+            }),
+            Request::Query(QueryRequest {
+                sql: "SELECT SUM(v) FROM t".into(),
+                estimators: vec!["bucket".into()],
+                cached: true,
+                trace: true,
             }),
             Request::LoadCsv(LoadCsvRequest {
                 table: "t".into(),
@@ -1591,6 +1790,7 @@ mod tests {
             },
             Request::ServerInfo,
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -1666,6 +1866,33 @@ mod tests {
                     key: WireValue(Value::Null),
                     result: result.clone(),
                 }],
+                trace: None,
+            }),
+            Response::Query(QueryReply {
+                sql: "SELECT SUM(v) FROM t".into(),
+                cache_hit: false,
+                elapsed_us: 870,
+                grouped: false,
+                groups: vec![GroupReply {
+                    key: WireValue(Value::Null),
+                    result: result.clone(),
+                }],
+                trace: Some(vec![
+                    WireSpan {
+                        stage: "request".into(),
+                        label: None,
+                        parent: None,
+                        start_ns: 0,
+                        dur_ns: 870_000,
+                    },
+                    WireSpan {
+                        stage: "estimator_fanout".into(),
+                        label: Some("bucket".into()),
+                        parent: Some(0),
+                        start_ns: 12_500,
+                        dur_ns: 700_000,
+                    },
+                ]),
             }),
             Response::Query(QueryReply {
                 sql: "SELECT SUM(v) FROM t GROUP BY g".into(),
@@ -1686,6 +1913,34 @@ mod tests {
                         result,
                     },
                 ],
+                trace: None,
+            }),
+            Response::Metrics(MetricsReply {
+                entries: vec![
+                    WireStageMetrics {
+                        verb: "query".into(),
+                        stage: "request".into(),
+                        count: 41,
+                        p50_us: 420.5,
+                        p90_us: 1_000.0,
+                        p99_us: 2_830.0,
+                        max_us: 2_831.25,
+                        mean_us: 600.125,
+                    },
+                    WireStageMetrics {
+                        verb: "append_stream".into(),
+                        stage: "refreeze".into(),
+                        count: 3,
+                        p50_us: 90.0,
+                        p90_us: 120.0,
+                        p99_us: 120.0,
+                        max_us: 118.75,
+                        mean_us: 99.5,
+                    },
+                ],
+            }),
+            Response::Metrics(MetricsReply {
+                entries: Vec::new(),
             }),
             Response::Loaded {
                 table: "t".into(),
@@ -1805,6 +2060,9 @@ mod tests {
                 bytes_out: 65_000,
                 idle_reaped: 4,
                 backpressure: 1,
+                queue_depth_peak: 17,
+                queue_wait_us_total: 4_200,
+                queue_wait_us_max: 950,
                 backend: "epoll".into(),
             },
             incremental: WireIncrementalStats {
@@ -1888,6 +2146,7 @@ mod tests {
                 key: WireValue(Value::Null),
                 result: r.clone(),
             }],
+            trace: None,
         });
         let Response::Query(decoded) = Response::decode(&reply.encode()).unwrap() else {
             panic!("expected query reply");

@@ -576,6 +576,9 @@ pub(crate) struct Work {
     pub payload: Payload,
     pub ctx: SessionCtx,
     pub scratch: Vec<u8>,
+    /// When the reactor queued this request — the worker's pop time minus
+    /// this is the queue wait reported to the service's observability layer.
+    pub enqueued: Instant,
 }
 
 /// The worker's answer, routed back through the reactor's wakeup pipe.
@@ -987,6 +990,7 @@ impl Reactor {
             payload,
             ctx,
             scratch,
+            enqueued: Instant::now(),
         });
     }
 

@@ -71,6 +71,17 @@ pub struct ServerConfig {
     /// written, the socket just closes. `None` (the default) disables
     /// reaping.
     pub idle_timeout: Option<Duration>,
+    /// Optional bind address for the Prometheus scraper front
+    /// (`--metrics-port`); `None` leaves it disabled.
+    pub metrics_addr: Option<String>,
+    /// Optional slow-query threshold (`--slow-query-ms`): queries at or over
+    /// it are logged as JSON lines with their full span tree. `None`
+    /// disables slow-query logging.
+    pub slow_query_ms: Option<u64>,
+    /// Where slow-query records go (`--slow-query-log`): a file path
+    /// (appended), or `None` for stderr. Ignored unless `slow_query_ms` is
+    /// set.
+    pub slow_query_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +95,9 @@ impl Default for ServerConfig {
             cache_bytes: None,
             cache_ttl: None,
             idle_timeout: None,
+            metrics_addr: None,
+            slow_query_ms: None,
+            slow_query_log: None,
         }
     }
 }
@@ -147,11 +161,14 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Queues one complete request for the worker pool (reactor side).
+    /// Queues one complete request for the worker pool (reactor side) and
+    /// moves the queue-depth high-water mark.
     pub(crate) fn push_work(&self, work: Work) {
         let mut queue = self.work.lock().expect("work queue lock");
         queue.push_back(work);
+        let depth = queue.len() as u64;
         drop(queue);
+        self.service.note_queue_depth(depth);
         self.work_ready.notify_one();
     }
 
@@ -181,6 +198,7 @@ impl ServerState {
 pub struct ServerHandle {
     addr: SocketAddr,
     pgwire_addr: Option<SocketAddr>,
+    metrics_addr: Option<SocketAddr>,
     state: Arc<ServerState>,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -196,6 +214,11 @@ impl ServerHandle {
     /// The bound pgwire-lite address, when that front is enabled.
     pub fn pgwire_addr(&self) -> Option<SocketAddr> {
         self.pgwire_addr
+    }
+
+    /// The bound Prometheus scraper address, when that front is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The service behind this server, for embedded callers that want to
@@ -264,6 +287,18 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
     if pgwire_listener.is_some() {
         service.register_front("pgwire");
     }
+    if let Some(threshold_ms) = config.slow_query_ms {
+        let sink: Box<dyn Write + Send> = match &config.slow_query_log {
+            Some(path) => Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            None => Box::new(io::stderr()),
+        };
+        service.set_slow_query_log(Duration::from_millis(threshold_ms), sink);
+    }
 
     let (waker, wake_rx) = UnixStream::pair()?;
     waker.set_nonblocking(true)?;
@@ -297,9 +332,27 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
         );
     }
 
+    let mut metrics_addr = None;
+    if let Some(bind_addr) = &config.metrics_addr {
+        match crate::metrics::spawn_metrics(bind_addr, Arc::clone(&state)) {
+            Ok((bound, handle)) => {
+                metrics_addr = Some(bound);
+                state.service.register_front("metrics");
+                worker_handles.push(handle);
+            }
+            Err(e) => {
+                // Stop the already-running reactor/workers before surfacing
+                // the bind error so nothing leaks.
+                state.initiate_shutdown();
+                return Err(e);
+            }
+        }
+    }
+
     Ok(ServerHandle {
         addr,
         pgwire_addr,
+        metrics_addr,
         state,
         reactor: Some(reactor_handle),
         workers: worker_handles,
@@ -356,16 +409,23 @@ fn worker_loop(state: &Arc<ServerState>) {
 fn execute(state: &ServerState, work: Work) -> Completion {
     let mut ctx = work.ctx;
     let scratch = work.scratch;
+    let queue_wait = work.enqueued.elapsed();
     let (bytes, close, shutdown) = match work.payload {
         Payload::JsonLine => {
             let line = String::from_utf8_lossy(&scratch);
-            let response = state.service.dispatch_line(&mut ctx, &line);
+            let response = state
+                .service
+                .dispatch_line_timed(&mut ctx, &line, Some(queue_wait));
             let bye = matches!(response, Response::Bye);
             let mut encoded = response.encode();
             encoded.push('\n');
             (encoded.into_bytes(), bye, bye)
         }
         Payload::PgQuery => {
+            // The pgwire panel fans one SQL text into several dispatches;
+            // attribute the wait to the connection counters once rather than
+            // to an arbitrary inner request.
+            state.service.note_queue_wait(queue_wait);
             let sql = String::from_utf8_lossy(&scratch).into_owned();
             let bytes = crate::pgwire::simple_query_bytes(&state.service, &mut ctx, &sql);
             (bytes, false, false)

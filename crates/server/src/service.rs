@@ -29,17 +29,21 @@
 //! identically.
 
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use crate::json::Json;
 use crate::protocol::{
-    ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
-    ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireError, WireEstimate,
+    ErrorCode, GroupReply, LoadCsvRequest, MetricsReply, QueryReply, QueryRequest, Request,
+    Response, ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireError, WireEstimate,
     WireExecStats, WireIncrementalStats, WireProjectionStats, WireResult, WireSessionStats,
-    WireValue, PROTOCOL_VERSION,
+    WireSpan, WireStageMetrics, WireValue, PROTOCOL_VERSION,
 };
 use uu_core::engine::{EstimationSession, EstimatorKind};
+use uu_core::obs;
+use uu_core::obs::{Stage, Verb};
 use uu_query::catalog::Catalog;
 use uu_query::csv::{load_observations, parse_observations};
 use uu_query::exec::{CorrectionMethod, GroupResult, SelectionSnapshots};
@@ -125,6 +129,17 @@ pub struct Service {
     requests: AtomicU64,
     errors: AtomicU64,
     conn: ConnCounters,
+    slow_query: Mutex<Option<SlowQueryLog>>,
+}
+
+/// Slow-query logging: requests whose `elapsed_us` crosses the threshold are
+/// written as one JSON line each (verb, SQL, session, timings, span tree) to
+/// the configured sink. Arming this also arms span capture for every query,
+/// so the record carries the full trace even when the client did not ask for
+/// one.
+struct SlowQueryLog {
+    threshold: Duration,
+    sink: Box<dyn Write + Send>,
 }
 
 /// Connection-layer counters maintained by the reactor (the I/O thread that
@@ -141,6 +156,9 @@ struct ConnCounters {
     bytes_out: AtomicU64,
     idle_reaped: AtomicU64,
     backpressure: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    queue_wait_us_total: AtomicU64,
+    queue_wait_us_max: AtomicU64,
     backend: Mutex<String>,
 }
 
@@ -163,6 +181,7 @@ impl Service {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             conn: ConnCounters::default(),
+            slow_query: Mutex::new(None),
         }
     }
 
@@ -235,6 +254,94 @@ impl Service {
         self.conn.backpressure.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Moves the reactor work-queue high-water mark: `depth` is the queue
+    /// length observed right after an enqueue.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.conn
+            .queue_depth_peak
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records the time one request spent parked in the reactor's work queue
+    /// before a worker picked it up.
+    pub fn note_queue_wait(&self, wait: Duration) {
+        let us = wait.as_micros() as u64;
+        self.conn
+            .queue_wait_us_total
+            .fetch_add(us, Ordering::Relaxed);
+        self.conn.queue_wait_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Arms the slow-query log: every `query` / `execute_prepared` whose
+    /// service time reaches `threshold` is appended to `sink` as one JSON
+    /// line carrying the full span tree. Passing the sink by trait object
+    /// keeps the service transport-agnostic — a file, stderr, or a test
+    /// buffer all work.
+    pub fn set_slow_query_log(&self, threshold: Duration, sink: Box<dyn Write + Send>) {
+        *self.slow_query.lock().expect("slow-query lock") = Some(SlowQueryLog { threshold, sink });
+    }
+
+    /// Whether slow-query logging is armed (and with what threshold).
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.slow_query
+            .lock()
+            .expect("slow-query lock")
+            .as_ref()
+            .map(|log| log.threshold)
+    }
+
+    /// Renders the Prometheus text-format exposition: the per-(verb, stage)
+    /// latency histograms from [`uu_core::obs`] plus the server-wide request
+    /// and connection gauges. This is the body the `--metrics-port` HTTP
+    /// front serves; keeping the rendering here means an embedded caller can
+    /// scrape without a socket.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = obs::render_prometheus(&obs::snapshot());
+        let series: [(&str, &str, u64); 6] = [
+            (
+                "uu_connections_open",
+                "Connections currently open across all fronts.",
+                self.conn.open.load(Ordering::Relaxed),
+            ),
+            (
+                "uu_connections_peak",
+                "High-water mark of concurrently open connections.",
+                self.conn.peak_open.load(Ordering::Relaxed),
+            ),
+            (
+                "uu_queue_depth_peak",
+                "High-water mark of the reactor work-queue depth.",
+                self.conn.queue_depth_peak.load(Ordering::Relaxed),
+            ),
+            (
+                "uu_requests_total",
+                "Requests dispatched since startup.",
+                self.requests.load(Ordering::Relaxed),
+            ),
+            (
+                "uu_errors_total",
+                "Error responses since startup.",
+                self.errors.load(Ordering::Relaxed),
+            ),
+            (
+                "uu_queue_wait_microseconds_total",
+                "Total time requests spent queued before a worker picked them up.",
+                self.conn.queue_wait_us_total.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in series {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+
     /// Counts an error produced by a front outside [`Service::dispatch`]
     /// (e.g. an oversized frame answered at the framing layer).
     pub fn note_error(&self) {
@@ -245,8 +352,22 @@ impl Service {
     /// line-JSON front uses. Decode failures are counted and answered like
     /// any other error.
     pub fn dispatch_line(&self, ctx: &mut SessionCtx, line: &str) -> Response {
+        self.dispatch_line_timed(ctx, line, None)
+    }
+
+    /// [`Service::dispatch_line`] with the time the frame spent parked in
+    /// the reactor's work queue, when the front measured it. The wait feeds
+    /// the `queue_wait` histogram/conn counters and, when the request is
+    /// traced, a synthetic root span — it is *not* part of the reply's
+    /// `elapsed_us`, which remains pure service time.
+    pub fn dispatch_line_timed(
+        &self,
+        ctx: &mut SessionCtx,
+        line: &str,
+        queue_wait: Option<Duration>,
+    ) -> Response {
         match Request::decode(line) {
-            Ok(request) => self.dispatch(ctx, request),
+            Ok(request) => self.dispatch_timed(ctx, request, queue_wait),
             Err(e) => {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -258,12 +379,105 @@ impl Service {
     /// Dispatches one request: a total function with no transport types in
     /// its signature. Every front routes through here.
     pub fn dispatch(&self, ctx: &mut SessionCtx, request: Request) -> Response {
+        self.dispatch_timed(ctx, request, None)
+    }
+
+    /// [`Service::dispatch`] plus the observability envelope: attributes the
+    /// request to its [`Verb`], opens the `request` umbrella span, decides
+    /// whether to capture a span tree (client asked via `"trace": true`,
+    /// `UU_TRACE=1` is set, or the slow-query log is armed), attaches the
+    /// tree to traced query replies, and emits the slow-query record when
+    /// the threshold is crossed.
+    pub fn dispatch_timed(
+        &self,
+        ctx: &mut SessionCtx,
+        request: Request,
+        queue_wait: Option<Duration>,
+    ) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let response = self.dispatch_inner(ctx, request);
+        let verb = verb_of(&request);
+        let _verb_scope = obs::verb_scope(verb);
+        if let Some(wait) = queue_wait {
+            self.note_queue_wait(wait);
+        }
+
+        let is_query = matches!(request, Request::Query(_) | Request::ExecutePrepared { .. });
+        let wants_trace = matches!(&request, Request::Query(q) if q.trace)
+            || (is_query && obs::env_trace_enabled());
+        let slow_armed = is_query && self.slow_query_threshold().is_some();
+        let tracing = (wants_trace || slow_armed) && obs::trace_begin();
+        if let Some(wait) = queue_wait {
+            // Histogram always; becomes a root span too while tracing.
+            obs::trace_push_complete(Stage::QueueWait, wait);
+        }
+        let slow_session = match &request {
+            Request::ExecutePrepared { session, .. } => Some(session.clone()),
+            _ => None,
+        };
+
+        let mut response = {
+            let _span = obs::span(Stage::Request);
+            self.dispatch_inner(ctx, request)
+        };
+
+        let trace = if tracing { obs::trace_take() } else { None };
+        if wants_trace {
+            if let (Some(trace), Response::Query(reply)) = (&trace, &mut response) {
+                reply.trace = Some(wire_trace(trace));
+            }
+        }
+        if slow_armed {
+            self.maybe_log_slow(verb, slow_session.as_deref(), &response, trace.as_ref());
+        }
         if matches!(response, Response::Error(_)) {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
         response
+    }
+
+    /// Appends one JSON line to the slow-query sink when the reply's service
+    /// time reached the armed threshold.
+    fn maybe_log_slow(
+        &self,
+        verb: Verb,
+        session: Option<&str>,
+        response: &Response,
+        trace: Option<&obs::Trace>,
+    ) {
+        let Response::Query(reply) = response else {
+            return;
+        };
+        let mut guard = self.slow_query.lock().expect("slow-query lock");
+        let Some(log) = guard.as_mut() else { return };
+        if Duration::from_micros(reply.elapsed_us) < log.threshold {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        let spans = trace.map(wire_trace).unwrap_or_default();
+        let record = Json::obj([
+            ("ts_ms", Json::Int(ts_ms)),
+            ("verb", Json::Str(verb.as_str().to_string())),
+            ("sql", Json::Str(reply.sql.clone())),
+            (
+                "session",
+                match session {
+                    Some(name) => Json::Str(name.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("elapsed_us", Json::Int(reply.elapsed_us as i64)),
+            ("cache_hit", Json::Bool(reply.cache_hit)),
+            ("grouped", Json::Bool(reply.grouped)),
+            (
+                "trace",
+                Json::Arr(spans.iter().map(WireSpan::to_json).collect()),
+            ),
+        ]);
+        let _ = writeln!(log.sink, "{}", record.render());
+        let _ = log.sink.flush();
     }
 
     fn dispatch_inner(&self, ctx: &mut SessionCtx, request: Request) -> Response {
@@ -271,6 +485,7 @@ impl Service {
             Request::Ping => Response::Pong,
             Request::Shutdown => Response::Bye,
             Request::Stats => Response::Stats(Box::new(self.stats())),
+            Request::Metrics => Response::Metrics(self.metrics_reply()),
             Request::ServerInfo => Response::Info(self.server_info()),
             Request::Warm { sql } => {
                 let catalog = self.catalog.read().expect("catalog lock");
@@ -470,6 +685,7 @@ impl Service {
     }
 
     fn execute_prepared(&self, session_name: &str, name: &str) -> Result<QueryReply, WireError> {
+        let start = Instant::now();
         let session = self.session(session_name)?;
         let stmt = session
             .prepared
@@ -480,7 +696,6 @@ impl Service {
             .ok_or_else(|| unknown_prepared(session_name, name))?;
 
         let catalog = self.catalog.read().expect("catalog lock");
-        let start = Instant::now();
         let table = catalog
             .get(&stmt.query.table)
             .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, stmt.query.table.clone()))?;
@@ -532,15 +747,19 @@ impl Service {
                 }
             })
             .collect();
-        let elapsed_us = start.elapsed().as_micros() as u64;
-        Ok(reply(
-            stmt.sql.clone(),
-            cache_hit,
-            elapsed_us,
-            stmt.query.group_by.is_some(),
-            rows,
-            estimates,
-        ))
+        let mut out = {
+            let _span = obs::span(Stage::Serialize);
+            reply(
+                stmt.sql.clone(),
+                cache_hit,
+                0,
+                stmt.query.group_by.is_some(),
+                rows,
+                estimates,
+            )
+        };
+        out.elapsed_us = start.elapsed().as_micros() as u64;
+        Ok(out)
     }
 
     // -----------------------------------------------------------------------
@@ -552,6 +771,11 @@ impl Service {
         request: &QueryRequest,
         ctx: &mut SessionCtx,
     ) -> Result<QueryReply, WireError> {
+        let start = Instant::now();
+        let query = {
+            let _span = obs::span(Stage::Parse);
+            parse(&request.sql).map_err(|e| WireError::new(ErrorCode::Parse, e.to_string()))?
+        };
         let kinds = request
             .estimators
             .iter()
@@ -563,8 +787,6 @@ impl Service {
             .copied()
             .map(correction_for)
             .unwrap_or(CorrectionMethod::None);
-        let query =
-            parse(&request.sql).map_err(|e| WireError::new(ErrorCode::Parse, e.to_string()))?;
         let grouped = query.group_by.is_some();
 
         // Reuse the connection's session when the estimator set is unchanged.
@@ -579,7 +801,6 @@ impl Service {
         let session = (!kinds.is_empty()).then(|| &ctx.adhoc.as_ref().expect("built above").1);
 
         let catalog = self.catalog.read().expect("catalog lock");
-        let start = Instant::now();
         let (rows, estimates, cache_hit): (Vec<GroupResult>, Vec<Vec<WireEstimate>>, bool) =
             if request.cached {
                 // Fetch-once: exactly one cache lookup per request. The
@@ -652,15 +873,14 @@ impl Service {
                     .collect();
                 (rows, estimates, false)
             };
-        let elapsed_us = start.elapsed().as_micros() as u64;
-        Ok(reply(
-            request.sql.clone(),
-            cache_hit,
-            elapsed_us,
-            grouped,
-            rows,
-            estimates,
-        ))
+        let mut out = {
+            let _span = obs::span(Stage::Serialize);
+            reply(request.sql.clone(), cache_hit, 0, grouped, rows, estimates)
+        };
+        // Measured after serialization so a traced reply's span tree tiles
+        // the whole reported service time.
+        out.elapsed_us = start.elapsed().as_micros() as u64;
+        Ok(out)
     }
 
     // -----------------------------------------------------------------------
@@ -838,6 +1058,9 @@ impl Service {
                 bytes_out: self.conn.bytes_out.load(Ordering::Relaxed),
                 idle_reaped: self.conn.idle_reaped.load(Ordering::Relaxed),
                 backpressure: self.conn.backpressure.load(Ordering::Relaxed),
+                queue_depth_peak: self.conn.queue_depth_peak.load(Ordering::Relaxed),
+                queue_wait_us_total: self.conn.queue_wait_us_total.load(Ordering::Relaxed),
+                queue_wait_us_max: self.conn.queue_wait_us_max.load(Ordering::Relaxed),
                 backend: self.conn.backend.lock().expect("backend lock").clone(),
             },
             incremental: WireIncrementalStats {
@@ -849,6 +1072,57 @@ impl Service {
             },
         }
     }
+
+    /// The `metrics` payload: one quantile digest per `(verb, stage)` pair
+    /// that has recorded at least one sample, derived from the merged
+    /// per-worker histogram shards. Quantiles are bucket upper bounds
+    /// (clamped to the observed min/max), reported in microseconds.
+    pub fn metrics_reply(&self) -> MetricsReply {
+        let snapshot = obs::snapshot();
+        let entries = snapshot
+            .entries
+            .iter()
+            .map(|entry| WireStageMetrics {
+                verb: entry.verb.as_str().to_string(),
+                stage: entry.stage.as_str().to_string(),
+                count: entry.hist.count,
+                p50_us: entry.hist.quantile_ns(0.50) as f64 / 1e3,
+                p90_us: entry.hist.quantile_ns(0.90) as f64 / 1e3,
+                p99_us: entry.hist.quantile_ns(0.99) as f64 / 1e3,
+                max_us: entry.hist.max_ns as f64 / 1e3,
+                mean_us: entry.hist.mean_ns() as f64 / 1e3,
+            })
+            .collect();
+        MetricsReply { entries }
+    }
+}
+
+/// The [`Verb`] a request is attributed to in the stage histograms.
+fn verb_of(request: &Request) -> Verb {
+    match request {
+        Request::Query(_) => Verb::Query,
+        Request::ExecutePrepared { .. } => Verb::Prepared,
+        Request::AppendStream { .. } => Verb::Append,
+        Request::LoadCsv(_) => Verb::Load,
+        Request::Warm { .. } => Verb::Warm,
+        _ => Verb::Other,
+    }
+}
+
+/// Converts a captured span tree to its wire form (parent links become
+/// indices into the same array).
+fn wire_trace(trace: &obs::Trace) -> Vec<WireSpan> {
+    trace
+        .spans
+        .iter()
+        .map(|span| WireSpan {
+            stage: span.stage.as_str().to_string(),
+            label: span.label.clone(),
+            parent: span.parent.map(|p| p as u64),
+            start_ns: span.start_ns,
+            dur_ns: span.dur_ns,
+        })
+        .collect()
 }
 
 fn reply(
@@ -874,6 +1148,7 @@ fn reply(
         elapsed_us,
         grouped,
         groups,
+        trace: None,
     }
 }
 

@@ -313,6 +313,7 @@ impl<'a> SpeciesCache<'a> {
     /// when the `parallel` feature is off). Afterwards every
     /// [`SpeciesCache::estimate`] call is a cache hit.
     pub fn warm(&self) {
+        let _span = crate::obs::span(crate::obs::Stage::SpeciesLadder);
         let mut ladder = SpeciesEstimator::ALL;
         crate::exec::global().for_each_indexed(&mut ladder, |_, est| {
             let _ = self.estimate(*est);

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Guards the cold query path, the connection layer and the incremental
-# append path: compares a fresh BENCH_server_roundtrip.json against the
-# committed baseline and fails if the uncached round-trip mean regressed by
-# more than the allowed factor (default 2x — CI boxes are noisy, but a
-# genuine fall off the columnar path costs ~10x and will trip this), if the
-# cache-hit round-trip under 1k parked idle connections strays beyond the
-# factor of the plain cache-hit baseline (idle sockets must cost the active
-# client nothing), or if append-then-query costs more than 0.25x of the
-# fresh cold columnar build (the delta path must stay far cheaper than
-# dropping and rebuilding the projection).
+# Guards the cold query path, the connection layer, the incremental append
+# path and the observability overhead: compares a fresh
+# BENCH_server_roundtrip.json against the committed baseline and fails if
+# the uncached round-trip mean regressed by more than the allowed factor
+# (default 2x — CI boxes are noisy, but a genuine fall off the columnar
+# path costs ~10x and will trip this), if the cache-hit round-trip under 1k
+# parked idle connections strays beyond the factor of the plain cache-hit
+# baseline (idle sockets must cost the active client nothing), if
+# append-then-query costs more than 0.25x of the fresh cold columnar build
+# (the delta path must stay far cheaper than dropping and rebuilding the
+# projection), or if the cache-hit mean — histograms recording, tracing off
+# — strays beyond 1.10x of the committed baseline (the always-on
+# observability hooks must stay near-free on the hot path).
 #
 # Usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]
+#
+# Every check runs even after an earlier one fails, so a single run reports
+# the full set of regressions; the exit status is non-zero if any check
+# failed.
 #
 # Plain grep/awk over the flat one-case-per-line JSON the benches emit; no
 # jq/python so the script runs anywhere the benches do.
@@ -19,6 +26,11 @@ set -euo pipefail
 fresh="${1:?usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]}"
 baseline="${2:-$(dirname "$0")/../bench-baselines/BENCH_server_roundtrip.json}"
 factor="${3:-2}"
+# The tracing-overhead gate is intentionally tighter than the generic
+# factor; override for a known-noisy box.
+obs_factor="${UU_OBS_FACTOR:-1.10}"
+
+failures=0
 
 mean_ns() { # <file> <case> -> mean in ns
     awk -v name="\"$2\":" '$1 == name {
@@ -28,20 +40,21 @@ mean_ns() { # <file> <case> -> mean in ns
     }' "$1"
 }
 
-check_case() { # <case>
-    local case="$1" base_mean fresh_mean
+check_case() { # <case> [factor]
+    local case="$1" limit="${2:-$factor}" base_mean fresh_mean
     base_mean=$(mean_ns "$baseline" "$case")
     fresh_mean=$(mean_ns "$fresh" "$case")
     if [ -z "$base_mean" ] || [ -z "$fresh_mean" ]; then
         echo "check_bench_regression: case \"$case\" missing from $baseline or $fresh" >&2
-        return 1
+        failures=$((failures + 1))
+        return
     fi
-    if awk -v f="$fresh_mean" -v b="$base_mean" -v x="$factor" \
+    if awk -v f="$fresh_mean" -v b="$base_mean" -v x="$limit" \
         'BEGIN { exit !(f <= b * x) }'; then
-        echo "ok: $case ${fresh_mean}ns vs baseline ${base_mean}ns (limit ${factor}x)"
+        echo "ok: $case ${fresh_mean}ns vs baseline ${base_mean}ns (limit ${limit}x)"
     else
-        echo "REGRESSION: $case ${fresh_mean}ns > ${factor}x baseline ${base_mean}ns" >&2
-        return 1
+        echo "REGRESSION: $case ${fresh_mean}ns > ${limit}x baseline ${base_mean}ns" >&2
+        failures=$((failures + 1))
     fi
 }
 
@@ -51,14 +64,15 @@ check_cross() { # <fresh-case> <baseline-case>
     fresh_mean=$(mean_ns "$fresh" "$fresh_case")
     if [ -z "$base_mean" ] || [ -z "$fresh_mean" ]; then
         echo "check_bench_regression: case \"$fresh_case\"/\"$base_case\" missing from $fresh or $baseline" >&2
-        return 1
+        failures=$((failures + 1))
+        return
     fi
     if awk -v f="$fresh_mean" -v b="$base_mean" -v x="$factor" \
         'BEGIN { exit !(f <= b * x) }'; then
         echo "ok: $fresh_case ${fresh_mean}ns vs baseline $base_case ${base_mean}ns (limit ${factor}x)"
     else
         echo "REGRESSION: $fresh_case ${fresh_mean}ns > ${factor}x baseline $base_case ${base_mean}ns" >&2
-        return 1
+        failures=$((failures + 1))
     fi
 }
 
@@ -68,14 +82,15 @@ check_ratio() { # <numerator-case> <denominator-case> <max-ratio>  (both in fres
     den_mean=$(mean_ns "$fresh" "$den_case")
     if [ -z "$num_mean" ] || [ -z "$den_mean" ]; then
         echo "check_bench_regression: case \"$num_case\"/\"$den_case\" missing from $fresh" >&2
-        return 1
+        failures=$((failures + 1))
+        return
     fi
     if awk -v n="$num_mean" -v d="$den_mean" -v x="$ratio" \
         'BEGIN { exit !(n <= d * x) }'; then
         echo "ok: $num_case ${num_mean}ns <= ${ratio}x $den_case ${den_mean}ns"
     else
         echo "REGRESSION: $num_case ${num_mean}ns > ${ratio}x $den_case ${den_mean}ns" >&2
-        return 1
+        failures=$((failures + 1))
     fi
 }
 
@@ -84,6 +99,11 @@ check_case cold_columnar
 check_case cache_hit_idle1k
 check_case append_then_hit
 check_case append_stream_sustained
+check_case traced_query
+# Tracing-overhead gate: the cache-hit path always records stage histograms
+# but captures no spans unless asked — that always-on cost must stay within
+# 1.10x of the committed baseline.
+check_case cache_hit "$obs_factor"
 # Active-client latency under 1k parked idles must stay within the factor
 # of the *unloaded* cache-hit baseline: idle sockets are not allowed to tax
 # the hot path.
@@ -93,3 +113,8 @@ check_cross cache_hit_idle1k cache_hit
 # degraded into drop-and-rebuild. Both means come from the same fresh run,
 # so machine speed cancels out of the ratio.
 check_ratio append_then_hit cold_columnar 0.25
+
+if [ "$failures" -gt 0 ]; then
+    echo "check_bench_regression: $failures check(s) failed" >&2
+    exit 1
+fi

@@ -10,10 +10,10 @@
 use proptest::prelude::*;
 use uu_query::value::Value;
 use uu_server::protocol::{
-    ErrorCode, GroupReply, LoadCsvRequest, QueryReply, QueryRequest, Request, Response,
-    ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireDiagnostics, WireError,
-    WireEstimate, WireExecStats, WireExtreme, WireIncrementalStats, WireProjectionStats,
-    WireResult, WireSessionStats, WireValue, PROTOCOL_VERSION,
+    ErrorCode, GroupReply, LoadCsvRequest, MetricsReply, QueryReply, QueryRequest, Request,
+    Response, ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireDiagnostics,
+    WireError, WireEstimate, WireExecStats, WireExtreme, WireIncrementalStats, WireProjectionStats,
+    WireResult, WireSessionStats, WireSpan, WireStageMetrics, WireValue, PROTOCOL_VERSION,
 };
 
 /// An interesting `f64` from two generated numbers: finite values of many
@@ -54,6 +54,7 @@ fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
             sql: text.to_string(),
             estimators: vec![text2.to_string()],
             cached: flag,
+            trace: selector % 3 == 0,
         }),
         1 => Request::LoadCsv(LoadCsvRequest {
             table: text.to_string(),
@@ -96,7 +97,13 @@ fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
             source_column: text2.to_string(),
             csv: format!("{text2},k,v\n0,{text},1\n"),
         },
-        _ => [Request::Stats, Request::Ping, Request::Shutdown][selector as usize % 3].clone(),
+        _ => [
+            Request::Stats,
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ][selector as usize % 4]
+            .clone(),
     }
 }
 
@@ -133,8 +140,37 @@ fn wire_result(sel: &[u64], text: &str, numbers: &[f64]) -> WireResult {
     }
 }
 
+/// A generated span tree: `None`, an empty tree, or a two-span parent/child
+/// chain with an optional label.
+fn trace_from(selector: u64, text: &str, sel: &[u64]) -> Option<Vec<WireSpan>> {
+    match selector % 3 {
+        0 => None,
+        1 => Some(Vec::new()),
+        _ => Some(vec![
+            WireSpan {
+                stage: "request".to_string(),
+                label: None,
+                parent: None,
+                start_ns: sel[0],
+                dur_ns: sel[1],
+            },
+            WireSpan {
+                stage: "estimator_fanout".to_string(),
+                label: if sel[2] % 2 == 0 {
+                    Some(text.to_string())
+                } else {
+                    None
+                },
+                parent: Some(0),
+                start_ns: sel[0].wrapping_add(sel[3]),
+                dur_ns: sel[4],
+            },
+        ]),
+    }
+}
+
 fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: bool) -> Response {
-    match selector % 11 {
+    match selector % 12 {
         0 => Response::Query(QueryReply {
             sql: text.to_string(),
             cache_hit: flag,
@@ -144,6 +180,7 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                 key: WireValue(value_from(sel[1], text, numbers[0])),
                 result: wire_result(sel, text, numbers),
             }],
+            trace: trace_from(sel[2], text, sel),
         }),
         1 => Response::Loaded {
             table: text.to_string(),
@@ -237,6 +274,9 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                 bytes_out: sel[2],
                 idle_reaped: sel[3],
                 backpressure: sel[4],
+                queue_depth_peak: sel[5],
+                queue_wait_us_total: sel[6],
+                queue_wait_us_max: sel[7],
                 backend: if sel[5] % 2 == 0 {
                     "epoll".to_string()
                 } else {
@@ -258,6 +298,22 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
             refrozen: sel[2],
             incremental: flag,
         },
+        10 => Response::Metrics(MetricsReply {
+            entries: if flag {
+                vec![WireStageMetrics {
+                    verb: "query".to_string(),
+                    stage: "request".to_string(),
+                    count: sel[0],
+                    p50_us: numbers[0],
+                    p90_us: numbers[1],
+                    p99_us: numbers[2],
+                    max_us: numbers[2] * 2.0,
+                    mean_us: numbers[0] / 3.0,
+                }]
+            } else {
+                Vec::new()
+            },
+        }),
         _ => match selector % 4 {
             0 => Response::Pong,
             1 => Response::Bye,

@@ -453,6 +453,7 @@ fn byte_at_a_time_writes_assemble_identical_responses_on_both_fronts() {
             sql: sql.into(),
             estimators: vec!["bucket".into()],
             cached: true,
+            trace: false,
         })
         .encode();
         line.push('\n');

@@ -121,6 +121,7 @@ fn dispatched_queries_match_direct_catalog_calls_bit_for_bit() {
                 sql: sql.to_string(),
                 estimators: vec!["bucket".to_string()],
                 cached: true,
+                trace: false,
             }),
         );
         let Response::Query(reply) = response else {
@@ -438,6 +439,7 @@ fn nan_group_keys_do_not_panic_the_uncached_path() {
                 sql: "SELECT SUM(v) FROM t GROUP BY f".into(),
                 estimators: vec!["naive".into()],
                 cached,
+                trace: false,
             }),
         );
         let Response::Query(reply) = response else {
