@@ -21,7 +21,10 @@
 //! `append_stream_sustained` (a stream of small 10-row appends — the timed
 //! part is the append itself, i.e. the full delta-maintenance cost). Both
 //! are measured only through the explicit record below — not the criterion
-//! group — so the table's growth stays bounded by the sample count. Like
+//! group — so the table's growth stays bounded by the sample count. The
+//! `wal_append` case re-runs the sustained stream against a twin server
+//! armed with a data dir, so its ratio against `append_stream_sustained` is
+//! the pure durability (WAL) overhead. Like
 //! `grouped_batch`, every variant is re-timed explicitly and written as
 //! machine-readable JSON to `BENCH_server_roundtrip.json` (in
 //! `$BENCH_JSON_DIR` when set).
@@ -343,6 +346,49 @@ fn bench_server(c: &mut Criterion) {
             total += ns;
         }
         results.push(("append_then_hit".to_string(), total / samples as f64, best));
+    }
+
+    // --- durability tax: the same sustained 10-row append stream against a
+    // twin server running with a data dir, so every batch also pays the WAL
+    // encode + CRC + write under the default batch fsync policy. The ratio
+    // against `append_stream_sustained` is what the regression gate pins at
+    // 1.5x. ---
+    {
+        let data_dir = std::env::temp_dir().join(format!("uu-bench-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let config = ServerConfig {
+            data_dir: Some(data_dir.clone()),
+            ..ServerConfig::default()
+        };
+        let wal_handle = spawn_with_catalog(config, catalog()).expect("spawn WAL server");
+        let mut wal_client = Client::connect(wal_handle.addr()).expect("connect WAL server");
+        // Warm the same selection the WAL-off stream re-freezes on every
+        // batch (mirrors the APPEND_SQL warm-up above) so the only cost
+        // difference between the two cases is the log itself.
+        let warm = wal_client.query(APPEND_SQL, ESTIMATORS, true).unwrap();
+        assert!(!warm.cache_hit);
+        let mut wal_appended = 0u64;
+        let mut wal_batch = |wal_client: &mut Client| {
+            let outcome = wal_client
+                .append_stream("t_app", "worker", &append_csv(wal_appended, 10))
+                .unwrap();
+            wal_appended += 10;
+            black_box(outcome.observations);
+        };
+        wal_batch(&mut wal_client); // warm-up
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            wal_batch(&mut wal_client);
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            best = best.min(ns);
+            total += ns;
+        }
+        results.push(("wal_append".to_string(), total / samples as f64, best));
+        wal_client.shutdown().unwrap();
+        wal_handle.join();
+        let _ = std::fs::remove_dir_all(&data_dir);
     }
 
     let stats = client.stats().unwrap();

@@ -415,6 +415,14 @@ impl ProfileSnapshot {
         &self.view
     }
 
+    /// The frozen value-sort permutation (indices into the view's items,
+    /// ascending by value). Persisting it alongside the items lets a
+    /// durable-storage layer re-freeze the snapshot bit-for-bit through
+    /// [`ProfileSnapshot::capture_presorted`] without re-sorting.
+    pub fn sorted_indices(&self) -> &[u32] {
+        &self.sorted_idx
+    }
+
     /// Delta-maintains the snapshot under an append: `bumps` are
     /// already-observed items that gained observations (same value, higher
     /// multiplicity — see [`SampleView::extended`]), `appended` are brand-new
@@ -785,6 +793,24 @@ impl<V> ProfileCache<V> {
             }
         }
         drained
+    }
+
+    /// Clones every entry belonging to `table` (same canonical form as the
+    /// keys), leaving the cache untouched — the non-destructive sibling of
+    /// [`ProfileCache::drain_table`], used by durable-storage checkpoints
+    /// that persist the live selections without perturbing recency or
+    /// metrics. Order is unspecified.
+    pub fn entries_for_table(&self, table: &str) -> Vec<(ProfileKey, V)>
+    where
+        V: Clone,
+    {
+        let inner = self.inner.lock().expect("profile cache lock");
+        inner
+            .map
+            .iter()
+            .filter(|(key, _)| key.table == table)
+            .map(|(key, entry)| (key.clone(), entry.value.clone()))
+            .collect()
     }
 
     /// Drops every entry.

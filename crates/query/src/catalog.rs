@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use crate::exec::{
     execute_cached, execute_grouped, execute_grouped_cached, execute_sql as exec_one,
-    refreeze_selection, selection, selection_bytes, CorrectionMethod, ExecError, GroupResult,
-    QueryProfileCache, QueryResult, SelectionSnapshots,
+    refreeze_selection, selection, selection_bytes, selection_key, CachedSelection,
+    CorrectionMethod, ExecError, GroupResult, QueryProfileCache, QueryResult, SelectionSnapshots,
 };
 use crate::sql::parse;
 use crate::table::{AppendDelta, IntegratedTable};
@@ -215,6 +215,54 @@ impl Catalog {
     /// `*_cached` methods consult it automatically).
     pub fn cache(&self) -> &QueryProfileCache {
         &self.cache
+    }
+
+    /// Iterates over the registered tables in unspecified order — the
+    /// walk a durable store's checkpoint takes.
+    pub fn tables(&self) -> impl Iterator<Item = &IntegratedTable> {
+        self.tables.values()
+    }
+
+    /// Registers a table recovered from durable storage together with the
+    /// cached selections that were frozen against it, re-inserting each into
+    /// the profile cache keyed at the restored table's (fresh) instance and
+    /// version — so the first post-recovery query of a previously-hot
+    /// selection is a cache hit. Selections whose shape no longer matches
+    /// the table are the caller's responsibility to omit.
+    pub fn restore_table(
+        &mut self,
+        table: IntegratedTable,
+        selections: Vec<CachedSelection>,
+    ) -> Result<(), CatalogError> {
+        let key = table.name().to_ascii_lowercase();
+        self.register(table)?;
+        let table = self.tables.get(&key).expect("table was just registered");
+        for selection in selections {
+            let entry_key = selection_key(table, &selection);
+            let selection = Arc::new(selection);
+            let bytes = selection_bytes(&selection);
+            self.cache.insert_weighted(entry_key, selection, bytes);
+        }
+        Ok(())
+    }
+
+    /// The cached selections currently frozen against `name`'s live state
+    /// (matching instance *and* version — stale entries are skipped). This
+    /// is the non-destructive export a durable store persists at checkpoint
+    /// time so a restart can re-warm the cache.
+    pub fn export_selections(&self, name: &str) -> Vec<SelectionSnapshots> {
+        let key = name.to_ascii_lowercase();
+        let Some(table) = self.tables.get(&key) else {
+            return Vec::new();
+        };
+        self.cache
+            .entries_for_table(&key)
+            .into_iter()
+            .filter(|(entry_key, _)| {
+                entry_key.instance == table.instance() && entry_key.version == table.version()
+            })
+            .map(|(_, selection)| selection)
+            .collect()
     }
 
     /// Number of registered tables.

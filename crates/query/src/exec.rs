@@ -73,6 +73,48 @@ pub struct CachedSelection {
     snapshots: Vec<(Value, ProfileSnapshot)>,
 }
 
+impl CachedSelection {
+    /// Rebuilds a selection from persisted parts — the durable store's
+    /// recovery path. The parts must be exactly what the accessors of a
+    /// live selection exported; the result is indistinguishable from the
+    /// original freeze.
+    pub fn from_parts(
+        column: Option<String>,
+        predicate: Predicate,
+        group_by: Option<String>,
+        mask: Vec<u64>,
+        snapshots: Vec<(Value, ProfileSnapshot)>,
+    ) -> CachedSelection {
+        CachedSelection {
+            column,
+            predicate,
+            group_by,
+            mask,
+            snapshots,
+        }
+    }
+
+    /// The aggregate column of the defining query (`None` = `COUNT(*)`).
+    pub fn column(&self) -> Option<&str> {
+        self.column.as_deref()
+    }
+
+    /// The membership predicate of the defining query.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// The `GROUP BY` column of the defining query.
+    pub fn group_by(&self) -> Option<&str> {
+        self.group_by.as_deref()
+    }
+
+    /// The row-membership bitmap (ungrouped selections; empty otherwise).
+    pub fn mask(&self) -> &[u64] {
+        &self.mask
+    }
+}
+
 impl Deref for CachedSelection {
     type Target = [(Value, ProfileSnapshot)];
 
@@ -354,6 +396,21 @@ fn profile_key(table: &IntegratedTable, query: &AggregateQuery) -> ProfileKey {
         column: query.column.as_deref().map(str::to_ascii_lowercase),
         predicate: predicate_fingerprint(&query.predicate),
         group_by: query.group_by.as_deref().map(str::to_ascii_lowercase),
+    }
+}
+
+/// The cache identity of an existing selection against `table`'s *current*
+/// state — [`profile_key`] rebuilt from the selection's own query shape
+/// instead of a parsed query. Recovery uses this to re-insert persisted
+/// selections under the restored table's fresh instance id.
+pub fn selection_key(table: &IntegratedTable, selection: &CachedSelection) -> ProfileKey {
+    ProfileKey {
+        table: table.name().to_ascii_lowercase(),
+        instance: table.instance(),
+        version: table.version(),
+        column: selection.column.as_deref().map(str::to_ascii_lowercase),
+        predicate: predicate_fingerprint(&selection.predicate),
+        group_by: selection.group_by.as_deref().map(str::to_ascii_lowercase),
     }
 }
 

@@ -31,6 +31,10 @@ pub enum TableError {
     NonNumericColumn(String),
     /// A predicate failed to evaluate.
     Predicate(PredicateError),
+    /// Persisted rows handed to [`IntegratedTable::restore`] repeat an
+    /// entity key — live tables are entity-deduplicated, so the snapshot
+    /// does not describe a table this code wrote.
+    DuplicateEntity(String),
 }
 
 impl std::fmt::Display for TableError {
@@ -47,6 +51,9 @@ impl std::fmt::Display for TableError {
                 )
             }
             TableError::Predicate(e) => write!(f, "predicate error: {e}"),
+            TableError::DuplicateEntity(k) => {
+                write!(f, "persisted rows repeat entity key {k:?}")
+            }
         }
     }
 }
@@ -123,6 +130,11 @@ static TABLE_INSTANCES: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomic
 fn next_instance() -> u64 {
     TABLE_INSTANCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
+
+/// Persisted entity rows: `(record values, (source, count) lineage)` in
+/// original row order — the shape [`IntegratedTable::restore`] consumes
+/// and checkpoints produce.
+pub type EntityRows = Vec<(Vec<Value>, Vec<(u32, u32)>)>;
 
 /// An integrated, entity-deduplicated table with lineage.
 #[derive(Debug)]
@@ -223,6 +235,45 @@ impl IntegratedTable {
     /// The table schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The entity-key column's name.
+    pub fn key_column(&self) -> &str {
+        &self.schema.columns()[self.key_col].name
+    }
+
+    /// Rebuilds a table from persisted state: entities in their original
+    /// row order (values + per-source lineage counts) and the version
+    /// counter they were persisted at. Row order matters — selection masks
+    /// and sort permutations persisted alongside the table index into it.
+    /// The instance id is fresh (this is a new table object); the caller
+    /// re-keys any persisted cache entries against it.
+    pub fn restore(
+        name: impl Into<String>,
+        schema: Schema,
+        key_column: &str,
+        entities: EntityRows,
+        version: u64,
+    ) -> Result<Self, TableError> {
+        let mut table = IntegratedTable::new(name, schema, key_column)?;
+        for (values, source_counts) in entities {
+            let record = Record::new(&table.schema, values)?;
+            let key_value = record.value(table.key_col);
+            if key_value.is_null() {
+                return Err(TableError::NullKey);
+            }
+            let key = key_value.entity_key();
+            if table.index.contains_key(&key) {
+                return Err(TableError::DuplicateEntity(key));
+            }
+            table.entities.push(Entity {
+                record,
+                source_counts,
+            });
+            table.index.insert(key, table.entities.len() - 1);
+        }
+        table.version = version;
+        Ok(table)
     }
 
     /// Records that `source_id` mentioned the entity described by `values`.

@@ -15,6 +15,7 @@
 //!                        --entity k --source worker --file data.csv [--append]
 //! uu-client append       --addr HOST:PORT --table T --source worker --file data.csv
 //! uu-client pgwire-probe --addr HOST:PGWIRE_PORT --sql SQL
+//! uu-client checkpoint   --addr HOST:PORT
 //! uu-client shutdown     --addr HOST:PORT
 //! uu-client demo         --addr HOST:PORT [--json PATH] [--shutdown]
 //! ```
@@ -34,7 +35,7 @@ use uu_server::protocol::{
 };
 
 fn usage() -> &'static str {
-    "usage: uu-client <ping|info|stats|metrics|warm|query|trace|load-csv|append|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
+    "usage: uu-client <ping|info|stats|metrics|warm|query|trace|load-csv|append|checkpoint|pgwire-probe|shutdown|demo> --addr HOST:PORT [options]\n\
      \n\
      query:        --sql SQL [--estimators a,b,c] [--uncached]\n\
      trace:        --sql SQL [--estimators a,b,c] [--uncached]   # query + server-side span tree\n\
@@ -42,6 +43,7 @@ fn usage() -> &'static str {
      warm:         --sql SQL\n\
      load-csv:     --table T --columns name:type,... --entity COL --source COL --file PATH [--append]\n\
      append:       --table T --source COL --file PATH   # incremental append_stream\n\
+     checkpoint:   snapshot every table and truncate the WAL (needs --data-dir on the server)\n\
      pgwire-probe: --sql SQL   # raw-socket pgwire simple query (--addr is the pgwire port)\n\
      demo:         [--json PATH] [--shutdown]   # full load-query-repeat smoke session"
 }
@@ -200,13 +202,17 @@ fn run() -> Result<(), String> {
         "info" => {
             let info = client.server_info().map_err(fail)?;
             println!(
-                "version={} protocol={} uptime_ms={} active_sessions={} fronts={} workers={}",
+                "version={} protocol={} uptime_ms={} active_sessions={} fronts={} workers={} data_dir={} durability={} last_checkpoint_age_ms={}",
                 info.version,
                 info.protocol,
                 info.uptime_ms,
                 info.active_sessions,
                 info.fronts.join(","),
                 info.workers,
+                info.data_dir.as_deref().unwrap_or("none"),
+                info.durability,
+                info.last_checkpoint_age_ms
+                    .map_or_else(|| "none".to_string(), |ms| format!("{ms:.0}")),
             );
         }
         "stats" => {
@@ -281,6 +287,10 @@ fn run() -> Result<(), String> {
                 "appended observations={} entities={} refrozen={} incremental={}",
                 outcome.observations, outcome.entities, outcome.refrozen, outcome.incremental,
             );
+        }
+        "checkpoint" => {
+            let (tables, bytes) = client.checkpoint().map_err(fail)?;
+            println!("checkpointed tables={tables} bytes={bytes}");
         }
         "shutdown" => {
             client.shutdown().map_err(fail)?;

@@ -6,6 +6,8 @@
 //!           [--metrics-port PORT] [--slow-query-ms N] [--slow-query-log PATH]
 //!           [--max-frame-bytes N] [--idle-timeout-ms N]
 //!           [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]
+//!           [--data-dir DIR] [--fsync always|batch|off]
+//!           [--checkpoint-rows N] [--checkpoint-bytes N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the resolved address is
@@ -20,6 +22,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use uu_server::server::{spawn, ServerConfig};
+use uu_store::FsyncPolicy;
 
 fn usage() -> &'static str {
     "usage: uu-server [--addr HOST:PORT] [--port-file PATH] [--workers N]\n\
@@ -28,6 +31,8 @@ fn usage() -> &'static str {
      \x20                [--slow-query-log PATH]\n\
      \x20                [--max-frame-bytes N] [--idle-timeout-ms N]\n\
      \x20                [--cache-capacity N] [--cache-bytes N] [--cache-ttl-ms N]\n\
+     \x20                [--data-dir DIR] [--fsync always|batch|off]\n\
+     \x20                [--checkpoint-rows N] [--checkpoint-bytes N]\n\
      \n\
      Serves the line-delimited JSON estimation protocol (see README,\n\
      \"Service architecture\"); --pgwire-port also enables the pgwire-lite\n\
@@ -38,9 +43,16 @@ fn usage() -> &'static str {
      stderr).\n\
      --idle-timeout-ms reaps connections with no complete frame for the\n\
      window (default: never).\n\
+     --data-dir DIR arms durability: committed loads/appends are WAL-logged\n\
+     under DIR, checkpoints snapshot each table there, and a restart on the\n\
+     same DIR recovers every committed batch (see README, \"Durability\").\n\
+     --fsync picks the WAL sync policy (always | batch | off; default batch);\n\
+     --checkpoint-rows / --checkpoint-bytes tune the automatic checkpoint\n\
+     triggers (defaults: 50000 rows, 16 MiB of WAL).\n\
      Defaults: --addr 127.0.0.1:7878, pgwire off, metrics off, no slow-query\n\
      log, workers = UU_THREADS (or detected cores), 16 MiB frame bound, no\n\
-     idle timeout, cache capacity 128 entries, no byte budget, no TTL."
+     idle timeout, cache capacity 128 entries, no byte budget, no TTL,\n\
+     durability off."
 }
 
 struct Parsed {
@@ -126,6 +138,21 @@ fn parse_args() -> Result<Parsed, String> {
                         .map_err(|_| "--cache-ttl-ms expects an integer".to_string())?,
                 ))
             }
+            "--data-dir" => config.data_dir = Some(value("--data-dir")?.into()),
+            "--fsync" => {
+                config.fsync = FsyncPolicy::parse(&value("--fsync")?)
+                    .ok_or_else(|| "--fsync expects always, batch or off".to_string())?
+            }
+            "--checkpoint-rows" => {
+                config.checkpoint_rows = value("--checkpoint-rows")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-rows expects an integer".to_string())?
+            }
+            "--checkpoint-bytes" => {
+                config.checkpoint_bytes = value("--checkpoint-bytes")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-bytes expects an integer".to_string())?
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
         }
@@ -190,7 +217,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "uu-server listening on {addr} (pgwire={}, metrics={}, workers={workers}, max_frame_bytes={}, idle_timeout_ms={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={})",
+        "uu-server listening on {addr} (pgwire={}, metrics={}, workers={workers}, max_frame_bytes={}, idle_timeout_ms={}, cache_capacity={}, cache_bytes={}, cache_ttl_ms={}, data_dir={}, fsync={})",
         handle
             .pgwire_addr()
             .map_or_else(|| "off".to_string(), |a| a.to_string()),
@@ -212,6 +239,15 @@ fn main() -> ExitCode {
         config
             .cache_ttl
             .map_or_else(|| "none".to_string(), |t| t.as_millis().to_string()),
+        config
+            .data_dir
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |d| d.display().to_string()),
+        if config.data_dir.is_some() {
+            config.fsync.as_str()
+        } else {
+            "off"
+        },
     );
     let _ = std::io::stdout().flush();
     handle.join();

@@ -299,6 +299,16 @@ impl Client {
         }
     }
 
+    /// Forces a snapshot checkpoint (requires the server to run with
+    /// `--data-dir`); returns `(tables, bytes)` written.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.request(&Request::Checkpoint)? {
+            Response::Checkpointed { tables, bytes } => Ok((tables, bytes)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Ping)? {

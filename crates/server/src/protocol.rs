@@ -28,8 +28,11 @@ use uu_query::value::Value;
 /// backpressure/backend) to `stats`. Revision 5 added the `append_stream`
 /// verb with its `appended` response and the incremental-maintenance
 /// counters (`incremental` batches/rows/merges/refreezes/fallbacks) to
-/// `stats`.
-pub const PROTOCOL_VERSION: u64 = 6;
+/// `stats`. Revision 7 added the durability layer: the `checkpoint` verb
+/// with its `checkpointed` response, the `storage` counter block
+/// (WAL/checkpoint/recovery) in `stats`, the `storage` error code, and the
+/// `data_dir`/`durability`/`last_checkpoint_age_ms` fields in `server_info`.
+pub const PROTOCOL_VERSION: u64 = 7;
 
 /// Decode failure for a request or response line.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,7 +215,14 @@ pub enum Request {
     Metrics,
     /// Liveness probe.
     Ping,
-    /// Stop accepting connections and exit once drained.
+    /// Force a durability checkpoint: snapshot every table (rows, lineage,
+    /// cached selections) to the data directory and truncate the
+    /// observation WAL (protocol v7). Errors with code `storage` when the
+    /// server runs without `--data-dir`.
+    Checkpoint,
+    /// Stop accepting connections and exit once drained. A durable server
+    /// flushes its WAL and writes a final checkpoint first, so a restart
+    /// replays nothing.
     Shutdown,
 }
 
@@ -300,6 +310,7 @@ impl Request {
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
             Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
             Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
+            Request::Checkpoint => Json::obj([("op", Json::Str("checkpoint".into()))]),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
         };
         json.render()
@@ -401,6 +412,7 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
+            "checkpoint" => Ok(Request::Checkpoint),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError(format!("unknown op {other:?}"))),
         }
@@ -441,6 +453,10 @@ pub enum ErrorCode {
     /// A server-side resource cap was hit (open sessions, prepared
     /// statements per session).
     ResourceLimit,
+    /// A durability-layer failure: WAL append or checkpoint I/O, or a
+    /// `checkpoint` request against a server running without `--data-dir`
+    /// (protocol v7).
+    Storage,
     /// Anything else (a bug if ever observed).
     Internal,
 }
@@ -462,12 +478,13 @@ impl ErrorCode {
             ErrorCode::DuplicatePrepared => "duplicate_prepared",
             ErrorCode::FrameTooLarge => "frame_too_large",
             ErrorCode::ResourceLimit => "resource_limit",
+            ErrorCode::Storage => "storage",
             ErrorCode::Internal => "internal",
         }
     }
 
     /// Every code, for exhaustive round-trip tests.
-    pub const fn all() -> [ErrorCode; 14] {
+    pub const fn all() -> [ErrorCode; 15] {
         [
             ErrorCode::MalformedRequest,
             ErrorCode::Parse,
@@ -482,6 +499,7 @@ impl ErrorCode {
             ErrorCode::DuplicatePrepared,
             ErrorCode::FrameTooLarge,
             ErrorCode::ResourceLimit,
+            ErrorCode::Storage,
             ErrorCode::Internal,
         ]
     }
@@ -502,6 +520,7 @@ impl ErrorCode {
             "duplicate_prepared" => ErrorCode::DuplicatePrepared,
             "frame_too_large" => ErrorCode::FrameTooLarge,
             "resource_limit" => ErrorCode::ResourceLimit,
+            "storage" => ErrorCode::Storage,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -988,6 +1007,26 @@ pub struct WireIncrementalStats {
     pub fallback_rebuilds: u64,
 }
 
+/// Durability-layer counters in a `stats` response (protocol v7). All
+/// zeros on a server running without `--data-dir`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireStorageStats {
+    /// WAL records appended since startup.
+    pub wal_records: u64,
+    /// Framed WAL bytes appended since startup.
+    pub wal_bytes: u64,
+    /// `fsync`/`fdatasync` calls issued (WAL + snapshot files).
+    pub fsyncs: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Tables restored from snapshots at startup.
+    pub recovered_tables: u64,
+    /// WAL records replayed at startup.
+    pub replayed_records: u64,
+    /// Torn WAL tail bytes truncated at startup.
+    pub truncated_tail_bytes: u64,
+}
+
 /// Connection-layer (reactor) counters in a `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireConnStats {
@@ -1065,6 +1104,9 @@ pub struct StatsReply {
     pub conn: WireConnStats,
     /// Incremental-maintenance counters.
     pub incremental: WireIncrementalStats,
+    /// Durability-layer counters (protocol v7; all zeros without
+    /// `--data-dir`).
+    pub storage: WireStorageStats,
 }
 
 /// One `(verb, stage)` latency digest in a `metrics` response
@@ -1140,6 +1182,16 @@ pub struct ServerInfoReply {
     pub fronts: Vec<String>,
     /// Connection-handler pool size.
     pub workers: u64,
+    /// The durability data directory, when the server runs with
+    /// `--data-dir` (protocol v7).
+    pub data_dir: Option<String>,
+    /// Durability mode: `off` without a data directory, else the fsync
+    /// policy (`always`/`batch`/`off` — the latter meaning "WAL without
+    /// fsync") (protocol v7).
+    pub durability: String,
+    /// Milliseconds since the last completed checkpoint; `None` when no
+    /// checkpoint has run in this process (protocol v7).
+    pub last_checkpoint_age_ms: Option<f64>,
 }
 
 /// One server response line.
@@ -1225,6 +1277,13 @@ pub enum Response {
     Metrics(MetricsReply),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Checkpoint`] (protocol v7).
+    Checkpointed {
+        /// Tables snapshotted.
+        tables: u64,
+        /// Snapshot bytes written.
+        bytes: u64,
+    },
     /// Answer to [`Request::Shutdown`]; the server drains and exits.
     Bye,
     /// Any failure; the connection stays usable.
@@ -1354,6 +1413,18 @@ impl Response {
                     Json::Arr(i.fronts.iter().map(|f| Json::Str(f.clone())).collect()),
                 ),
                 ("workers", Json::Int(i.workers as i64)),
+                (
+                    "data_dir",
+                    match &i.data_dir {
+                        Some(dir) => Json::Str(dir.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("durability", Json::Str(i.durability.clone())),
+                (
+                    "last_checkpoint_age_ms",
+                    Json::from_opt_f64(i.last_checkpoint_age_ms),
+                ),
             ]),
             Response::Stats(s) => Json::obj([
                 ("ok", Json::Bool(true)),
@@ -1483,6 +1554,27 @@ impl Response {
                         ),
                     ]),
                 ),
+                (
+                    "storage",
+                    Json::obj([
+                        ("wal_records", Json::Int(s.storage.wal_records as i64)),
+                        ("wal_bytes", Json::Int(s.storage.wal_bytes as i64)),
+                        ("fsyncs", Json::Int(s.storage.fsyncs as i64)),
+                        ("checkpoints", Json::Int(s.storage.checkpoints as i64)),
+                        (
+                            "recovered_tables",
+                            Json::Int(s.storage.recovered_tables as i64),
+                        ),
+                        (
+                            "replayed_records",
+                            Json::Int(s.storage.replayed_records as i64),
+                        ),
+                        (
+                            "truncated_tail_bytes",
+                            Json::Int(s.storage.truncated_tail_bytes as i64),
+                        ),
+                    ]),
+                ),
             ]),
             Response::Metrics(m) => Json::obj([
                 ("ok", Json::Bool(true)),
@@ -1495,6 +1587,12 @@ impl Response {
             Response::Pong => {
                 Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))])
             }
+            Response::Checkpointed { tables, bytes } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("checkpoint".into())),
+                ("tables", Json::Int(*tables as i64)),
+                ("bytes", Json::Int(*bytes as i64)),
+            ]),
             Response::Bye => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("op", Json::Str("shutdown".into())),
@@ -1620,14 +1718,27 @@ impl Response {
                 session: req_str(&json, "session")?,
                 name: req_str(&json, "name")?,
             }),
-            "server_info" => Ok(Response::Info(ServerInfoReply {
-                version: req_str(&json, "version")?,
-                protocol: req_u64(&json, "protocol")?,
-                uptime_ms: req_u64(&json, "uptime_ms")?,
-                active_sessions: req_u64(&json, "active_sessions")?,
-                fronts: req_str_arr(&json, "fronts")?,
-                workers: req_u64(&json, "workers")?,
-            })),
+            "server_info" => {
+                let data_dir = match json.get("data_dir") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| missing("data_dir"))?,
+                    ),
+                };
+                Ok(Response::Info(ServerInfoReply {
+                    version: req_str(&json, "version")?,
+                    protocol: req_u64(&json, "protocol")?,
+                    uptime_ms: req_u64(&json, "uptime_ms")?,
+                    active_sessions: req_u64(&json, "active_sessions")?,
+                    fronts: req_str_arr(&json, "fronts")?,
+                    workers: req_u64(&json, "workers")?,
+                    data_dir,
+                    durability: req_str(&json, "durability")?,
+                    last_checkpoint_age_ms: opt_f64(&json, "last_checkpoint_age_ms")?,
+                }))
+            }
             "stats" => {
                 let cache = json.get("cache").ok_or_else(|| missing("cache"))?;
                 let projection = json
@@ -1638,6 +1749,7 @@ impl Response {
                 let incremental = json
                     .get("incremental")
                     .ok_or_else(|| missing("incremental"))?;
+                let storage = json.get("storage").ok_or_else(|| missing("storage"))?;
                 let sessions = json
                     .get("sessions")
                     .and_then(Json::as_arr)
@@ -1710,6 +1822,15 @@ impl Response {
                         snapshots_refrozen: req_u64(incremental, "snapshots_refrozen")?,
                         fallback_rebuilds: req_u64(incremental, "fallback_rebuilds")?,
                     },
+                    storage: WireStorageStats {
+                        wal_records: req_u64(storage, "wal_records")?,
+                        wal_bytes: req_u64(storage, "wal_bytes")?,
+                        fsyncs: req_u64(storage, "fsyncs")?,
+                        checkpoints: req_u64(storage, "checkpoints")?,
+                        recovered_tables: req_u64(storage, "recovered_tables")?,
+                        replayed_records: req_u64(storage, "replayed_records")?,
+                        truncated_tail_bytes: req_u64(storage, "truncated_tail_bytes")?,
+                    },
                 })))
             }
             "metrics" => {
@@ -1723,6 +1844,10 @@ impl Response {
                 Ok(Response::Metrics(MetricsReply { entries }))
             }
             "ping" => Ok(Response::Pong),
+            "checkpoint" => Ok(Response::Checkpointed {
+                tables: req_u64(&json, "tables")?,
+                bytes: req_u64(&json, "bytes")?,
+            }),
             "shutdown" => Ok(Response::Bye),
             other => Err(ProtoError(format!("unknown response op {other:?}"))),
         }
@@ -1792,6 +1917,7 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Ping,
+            Request::Checkpoint,
             Request::Shutdown,
         ];
         for req in requests {
@@ -1992,7 +2118,25 @@ mod tests {
                 active_sessions: 3,
                 fronts: vec!["json".into(), "pgwire".into()],
                 workers: 4,
+                data_dir: None,
+                durability: "off".into(),
+                last_checkpoint_age_ms: None,
             }),
+            Response::Info(ServerInfoReply {
+                version: "0.1.0".into(),
+                protocol: PROTOCOL_VERSION,
+                uptime_ms: 90_000,
+                active_sessions: 0,
+                fronts: vec!["json".into()],
+                workers: 2,
+                data_dir: Some("/var/lib/uu".into()),
+                durability: "batch".into(),
+                last_checkpoint_age_ms: Some(1_234.5),
+            }),
+            Response::Checkpointed {
+                tables: 2,
+                bytes: 40_960,
+            },
             Response::Pong,
             Response::Bye,
             Response::Error(WireError::unknown_estimator(&UnknownEstimator {
@@ -2072,8 +2216,99 @@ mod tests {
                 snapshots_refrozen: 5,
                 fallback_rebuilds: 1,
             },
+            storage: WireStorageStats {
+                wal_records: 8,
+                wal_bytes: 12_288,
+                fsyncs: 9,
+                checkpoints: 2,
+                recovered_tables: 1,
+                replayed_records: 3,
+                truncated_tail_bytes: 17,
+            },
         }));
         assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn checkpoint_and_storage_decode_strictly() {
+        // Responses: every field required, no defaulting.
+        for bad in [
+            r#"{"ok":true,"op":"checkpoint"}"#,
+            r#"{"ok":true,"op":"checkpoint","tables":1}"#,
+            r#"{"ok":true,"op":"checkpoint","tables":1,"bytes":"many"}"#,
+        ] {
+            assert!(Response::decode(bad).is_err(), "{bad:?}");
+        }
+        // A stats line whose storage block lost a counter fails decode.
+        let Response::Stats(_) = Response::decode(
+            &Response::Stats(Box::new(StatsReply {
+                protocol: PROTOCOL_VERSION,
+                tables: Vec::new(),
+                workers: 1,
+                connections: 0,
+                requests: 0,
+                errors: 0,
+                uptime_ms: 0,
+                sessions: Vec::new(),
+                cache: WireCacheStats {
+                    hits: 0,
+                    misses: 0,
+                    insertions: 0,
+                    evictions: 0,
+                    invalidations: 0,
+                    expirations: 0,
+                    len: 0,
+                    bytes: 0,
+                    capacity: 0,
+                    byte_budget: None,
+                    ttl_ms: None,
+                },
+                projection: WireProjectionStats {
+                    builds: 0,
+                    reuses: 0,
+                    bytes: 0,
+                },
+                exec: WireExecStats {
+                    threads: 0,
+                    regions: 0,
+                    parallel_regions: 0,
+                    tasks: 0,
+                    steals: 0,
+                    peak_workers: 0,
+                },
+                conn: WireConnStats {
+                    open: 0,
+                    peak_open: 0,
+                    frames_in: 0,
+                    frames_out: 0,
+                    bytes_in: 0,
+                    bytes_out: 0,
+                    idle_reaped: 0,
+                    backpressure: 0,
+                    queue_depth_peak: 0,
+                    queue_wait_us_total: 0,
+                    queue_wait_us_max: 0,
+                    backend: "poll".into(),
+                },
+                incremental: WireIncrementalStats {
+                    delta_batches: 0,
+                    rows_appended: 0,
+                    permutation_merges: 0,
+                    snapshots_refrozen: 0,
+                    fallback_rebuilds: 0,
+                },
+                storage: WireStorageStats::default(),
+            }))
+            .encode(),
+        )
+        .unwrap() else {
+            panic!("expected stats reply");
+        };
+        let gutted = r#"{"ok":true,"op":"stats","protocol":7,"tables":[],"workers":1,"connections":0,"requests":0,"errors":0,"uptime_ms":0,"sessions":[],"cache":{"hits":0,"misses":0,"insertions":0,"evictions":0,"invalidations":0,"expirations":0,"len":0,"bytes":0,"capacity":0,"byte_budget":null,"ttl_ms":null},"projection":{"builds":0,"reuses":0,"bytes":0},"exec":{"threads":0,"regions":0,"parallel_regions":0,"tasks":0,"steals":0,"peak_workers":0},"conn":{"open":0,"peak_open":0,"frames_in":0,"frames_out":0,"bytes_in":0,"bytes_out":0,"idle_reaped":0,"backpressure":0,"queue_depth_peak":0,"queue_wait_us_total":0,"queue_wait_us_max":0,"backend":"poll"},"incremental":{"delta_batches":0,"rows_appended":0,"permutation_merges":0,"snapshots_refrozen":0,"fallback_rebuilds":0},"storage":{"wal_records":0,"wal_bytes":0,"fsyncs":0,"checkpoints":0,"recovered_tables":0,"replayed_records":0}}"#;
+        assert!(
+            Response::decode(gutted).is_err(),
+            "storage block missing truncated_tail_bytes must fail decode"
+        );
     }
 
     #[test]

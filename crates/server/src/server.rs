@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -38,6 +39,7 @@ use crate::service::Service;
 use uu_query::catalog::Catalog;
 use uu_query::exec::QueryProfileCache;
 use uu_stats::exec::Executor;
+use uu_store::{FsyncPolicy, Store};
 
 /// How long a worker blocked on the work queue waits before re-checking the
 /// shutdown flag (a safety net; shutdown also notifies the condvar).
@@ -82,7 +84,27 @@ pub struct ServerConfig {
     /// (appended), or `None` for stderr. Ignored unless `slow_query_ms` is
     /// set.
     pub slow_query_log: Option<String>,
+    /// Optional durability directory (`--data-dir`): arms the observation
+    /// WAL + snapshot checkpoints and recovers the catalog from the
+    /// directory's contents before the first connection is accepted. `None`
+    /// (the default) keeps the catalog purely in memory.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy (`--fsync`): `always`, `batch` (default) or `off`.
+    /// Ignored unless `data_dir` is set.
+    pub fsync: FsyncPolicy,
+    /// Rows appended since the last checkpoint that trigger the next one
+    /// (`--checkpoint-rows`); 0 means the default.
+    pub checkpoint_rows: u64,
+    /// WAL size in bytes that triggers a checkpoint (`--checkpoint-bytes`);
+    /// 0 means the default.
+    pub checkpoint_bytes: u64,
 }
+
+/// Default row-count checkpoint trigger (`--checkpoint-rows`).
+pub const DEFAULT_CHECKPOINT_ROWS: u64 = 50_000;
+
+/// Default WAL-size checkpoint trigger (`--checkpoint-bytes`).
+pub const DEFAULT_CHECKPOINT_BYTES: u64 = 16 << 20;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -98,6 +120,10 @@ impl Default for ServerConfig {
             metrics_addr: None,
             slow_query_ms: None,
             slow_query_log: None,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
+            checkpoint_rows: 0,
+            checkpoint_bytes: 0,
         }
     }
 }
@@ -268,7 +294,43 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
 /// Binds and starts a server over a pre-loaded catalog (benches, embedded
 /// use). The catalog's own cache policy wins — `config`'s cache fields are
 /// only used by [`spawn`].
-pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<ServerHandle> {
+pub fn spawn_with_catalog(config: ServerConfig, mut catalog: Catalog) -> io::Result<ServerHandle> {
+    // Durability first: recover the catalog from the data directory before
+    // any socket exists, so the first accepted connection already sees the
+    // recovered tables (and re-warmed profile cache).
+    let store = match &config.data_dir {
+        Some(dir) => {
+            let rows = if config.checkpoint_rows == 0 {
+                DEFAULT_CHECKPOINT_ROWS
+            } else {
+                config.checkpoint_rows
+            };
+            let bytes = if config.checkpoint_bytes == 0 {
+                DEFAULT_CHECKPOINT_BYTES
+            } else {
+                config.checkpoint_bytes
+            };
+            let store = Store::open(dir, config.fsync, rows, bytes).map_err(store_io)?;
+            let report = store.recover(&mut catalog).map_err(store_io)?;
+            if report.tables > 0 || report.replayed_records > 0 {
+                eprintln!(
+                    "uu-server: recovered {} table(s) from {}, replayed {} WAL record(s)",
+                    report.tables,
+                    dir.display(),
+                    report.replayed_records,
+                );
+            }
+            if report.truncated_tail_bytes > 0 {
+                eprintln!(
+                    "uu-server: discarded a torn {}-byte WAL tail (uncommitted final record)",
+                    report.truncated_tail_bytes,
+                );
+            }
+            Some(Arc::new(store))
+        }
+        None => None,
+    };
+
     let listener = bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let pgwire_listener = match &config.pgwire_addr {
@@ -282,6 +344,9 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
 
     let workers = config.effective_workers().max(1);
     let service = Arc::new(Service::new(catalog, config.max_frame_bytes));
+    if let Some(store) = &store {
+        service.set_store(Arc::clone(store));
+    }
     service.set_workers(workers);
     service.register_front("json");
     if pgwire_listener.is_some() {
@@ -357,6 +422,15 @@ pub fn spawn_with_catalog(config: ServerConfig, catalog: Catalog) -> io::Result<
         reactor: Some(reactor_handle),
         workers: worker_handles,
     })
+}
+
+/// Maps a storage failure into the `io::Result` spawn contract; corruption
+/// becomes `InvalidData` so the operator sees the message, not a panic.
+fn store_io(e: uu_store::StoreError) -> io::Error {
+    match e {
+        uu_store::StoreError::Io(e) => e,
+        uu_store::StoreError::Corrupt(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+    }
 }
 
 fn bind(addr: &str) -> io::Result<TcpListener> {

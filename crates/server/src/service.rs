@@ -39,19 +39,20 @@ use crate::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, MetricsReply, QueryReply, QueryRequest, Request,
     Response, ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireError, WireEstimate,
     WireExecStats, WireIncrementalStats, WireProjectionStats, WireResult, WireSessionStats,
-    WireSpan, WireStageMetrics, WireValue, PROTOCOL_VERSION,
+    WireSpan, WireStageMetrics, WireStorageStats, WireValue, PROTOCOL_VERSION,
 };
 use uu_core::engine::{EstimationSession, EstimatorKind};
 use uu_core::obs;
 use uu_core::obs::{Stage, Verb};
 use uu_query::catalog::Catalog;
-use uu_query::csv::{load_observations, parse_observations};
+use uu_query::csv::parse_observations;
 use uu_query::exec::{CorrectionMethod, GroupResult, SelectionSnapshots};
 use uu_query::query::AggregateQuery;
 use uu_query::schema::{ColumnType, Schema};
 use uu_query::sql::parse;
 use uu_query::table::IntegratedTable;
 use uu_query::value::Value;
+use uu_store::Store;
 
 /// Default bound on one inbound frame (a JSON request line or a pgwire
 /// message body). Whole CSV documents travel in one frame, so the default is
@@ -130,6 +131,7 @@ pub struct Service {
     errors: AtomicU64,
     conn: ConnCounters,
     slow_query: Mutex<Option<SlowQueryLog>>,
+    store: Mutex<Option<Arc<Store>>>,
 }
 
 /// Slow-query logging: requests whose `elapsed_us` crosses the threshold are
@@ -182,6 +184,7 @@ impl Service {
             errors: AtomicU64::new(0),
             conn: ConnCounters::default(),
             slow_query: Mutex::new(None),
+            store: Mutex::new(None),
         }
     }
 
@@ -279,6 +282,19 @@ impl Service {
     /// buffer all work.
     pub fn set_slow_query_log(&self, threshold: Duration, sink: Box<dyn Write + Send>) {
         *self.slow_query.lock().expect("slow-query lock") = Some(SlowQueryLog { threshold, sink });
+    }
+
+    /// Arms durability: every committed `load_csv`/`append_stream` batch is
+    /// WAL-logged through `store` **before** the in-memory catalog mutation,
+    /// `checkpoint` / clean `shutdown` write snapshots to its data dir, and
+    /// `stats` / `server_info` report its counters.
+    pub fn set_store(&self, store: Arc<Store>) {
+        *self.store.lock().expect("store lock") = Some(store);
+    }
+
+    /// The armed durability store, when `--data-dir` configured one.
+    pub fn store(&self) -> Option<Arc<Store>> {
+        self.store.lock().expect("store lock").clone()
     }
 
     /// Whether slow-query logging is armed (and with what threshold).
@@ -483,7 +499,37 @@ impl Service {
     fn dispatch_inner(&self, ctx: &mut SessionCtx, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
-            Request::Shutdown => Response::Bye,
+            Request::Shutdown => {
+                // A clean shutdown leaves nothing to replay: flush the WAL
+                // and write a final checkpoint so the next start recovers
+                // purely from snapshots. Failures are logged, not fatal —
+                // the WAL alone already preserves every committed batch.
+                if let Some(store) = self.store() {
+                    let catalog = self.catalog.read().expect("catalog lock");
+                    let result = store
+                        .flush()
+                        .and_then(|()| store.checkpoint(&catalog).map(|_| ()));
+                    if let Err(e) = result {
+                        eprintln!("uu-server: final checkpoint failed: {e}");
+                    }
+                }
+                Response::Bye
+            }
+            Request::Checkpoint => match self.store() {
+                Some(store) => {
+                    let catalog = self.catalog.read().expect("catalog lock");
+                    match store.checkpoint(&catalog) {
+                        Ok((tables, bytes)) => Response::Checkpointed { tables, bytes },
+                        Err(e) => {
+                            Response::Error(WireError::new(ErrorCode::Storage, e.to_string()))
+                        }
+                    }
+                }
+                None => Response::Error(WireError::new(
+                    ErrorCode::Storage,
+                    "durability is not armed (start the server with --data-dir)",
+                )),
+            },
             Request::Stats => Response::Stats(Box::new(self.stats())),
             Request::Metrics => Response::Metrics(self.metrics_reply()),
             Request::ServerInfo => Response::Info(self.server_info()),
@@ -897,6 +943,7 @@ impl Service {
     /// delta path keeps warm state alive: projections grow in place and
     /// cached selections re-freeze instead of being evicted.
     fn load_csv(&self, load: &LoadCsvRequest) -> Result<Response, WireError> {
+        let store = self.store();
         let mut catalog = self.catalog.write().expect("catalog lock");
         let exists = catalog.get(&load.table).is_some();
         if exists && !load.append {
@@ -909,16 +956,28 @@ impl Service {
             ));
         }
         if exists {
-            let schema = catalog
-                .get(&load.table)
-                .expect("checked above")
-                .schema()
-                .clone();
+            let table = catalog.get(&load.table).expect("checked above");
+            let schema = table.schema().clone();
+            let version_before = table.version();
             let batch = parse_observations(&schema, &load.csv, &load.source_column)
                 .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+            let rows = batch.len() as u64;
+            // WAL before the in-memory mutation: a crash between the two
+            // replays the batch; a crash before the write loses an
+            // unacknowledged request, never a committed one.
+            if let Some(store) = &store {
+                store
+                    .log_append(&load.table, version_before, &batch)
+                    .map_err(storage_error)?;
+            }
             let (delta, _refrozen) = catalog
                 .append_observations(&load.table, batch)
                 .map_err(|e| WireError::from_exec(&e))?;
+            if let Some(store) = &store {
+                if let Err(e) = store.maybe_checkpoint(&catalog, rows) {
+                    eprintln!("uu-server: background checkpoint failed: {e}");
+                }
+            }
             return Ok(Response::Loaded {
                 table: load.table.clone(),
                 observations: delta.version_after - delta.version_before,
@@ -930,18 +989,38 @@ impl Service {
             .iter()
             .map(|(name, ty)| Ok((name.clone(), parse_column_type(ty)?)))
             .collect::<Result<Vec<_>, WireError>>()?;
-        let mut staged =
-            IntegratedTable::new(&load.table, Schema::new(columns), &load.entity_column)
-                .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?;
-        let observations = load_observations(&mut staged, &load.csv, &load.source_column)
+        let mut staged = IntegratedTable::new(
+            &load.table,
+            Schema::new(columns.clone()),
+            &load.entity_column,
+        )
+        .map_err(|e| WireError::new(ErrorCode::Table, e.to_string()))?;
+        let batch = parse_observations(staged.schema(), &load.csv, &load.source_column)
             .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+        for (source, values) in &batch {
+            // Same staging `load_observations` performs, kept explicit so
+            // the fully validated batch is in hand for the WAL record
+            // (`CsvError::Table` displays as the inner error, so the error
+            // text is unchanged).
+            staged
+                .insert_observation(*source, values.clone())
+                .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+        }
+        let observations = batch.len() as u64;
         let entities = staged.len() as u64;
+        // Log only after every row validated: the WAL holds committed
+        // batches, never half-loads.
+        if let Some(store) = &store {
+            store
+                .log_fresh(&load.table, &columns, &load.entity_column, &batch)
+                .map_err(storage_error)?;
+        }
         catalog
             .register(staged)
             .map_err(|e| WireError::new(ErrorCode::DuplicateTable, e.to_string()))?;
         Ok(Response::Loaded {
             table: load.table.clone(),
-            observations: observations as u64,
+            observations,
             entities,
         })
     }
@@ -956,17 +1035,30 @@ impl Service {
         source_column: &str,
         csv: &str,
     ) -> Result<Response, WireError> {
+        let store = self.store();
         let mut catalog = self.catalog.write().expect("catalog lock");
-        let schema = catalog
+        let existing = catalog
             .get(table)
-            .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, table))?
-            .schema()
-            .clone();
+            .ok_or_else(|| WireError::new(ErrorCode::UnknownTable, table))?;
+        let schema = existing.schema().clone();
+        let version_before = existing.version();
         let batch = parse_observations(&schema, csv, source_column)
             .map_err(|e| WireError::new(ErrorCode::Csv, e.to_string()))?;
+        let rows = batch.len() as u64;
+        // WAL first, mutate second — see `load_csv`.
+        if let Some(store) = &store {
+            store
+                .log_append(table, version_before, &batch)
+                .map_err(storage_error)?;
+        }
         let (delta, refrozen) = catalog
             .append_observations(table, batch)
             .map_err(|e| WireError::from_exec(&e))?;
+        if let Some(store) = &store {
+            if let Err(e) = store.maybe_checkpoint(&catalog, rows) {
+                eprintln!("uu-server: background checkpoint failed: {e}");
+            }
+        }
         Ok(Response::Appended {
             table: table.to_string(),
             observations: delta.version_after - delta.version_before,
@@ -978,6 +1070,7 @@ impl Service {
 
     /// The `server_info` payload.
     pub fn server_info(&self) -> ServerInfoReply {
+        let store = self.store();
         ServerInfoReply {
             version: env!("CARGO_PKG_VERSION").to_string(),
             protocol: PROTOCOL_VERSION,
@@ -985,6 +1078,15 @@ impl Service {
             active_sessions: self.sessions.lock().expect("sessions lock").len() as u64,
             fronts: self.fronts.lock().expect("fronts lock").clone(),
             workers: self.workers.load(Ordering::Relaxed),
+            data_dir: store.as_ref().map(|s| s.dir().display().to_string()),
+            durability: store
+                .as_ref()
+                .map(|s| s.policy().as_str().to_string())
+                .unwrap_or_else(|| "off".to_string()),
+            last_checkpoint_age_ms: store
+                .as_ref()
+                .and_then(|s| s.last_checkpoint_age())
+                .map(|age| age.as_secs_f64() * 1e3),
         }
     }
 
@@ -1069,6 +1171,21 @@ impl Service {
                 permutation_merges: incremental.permutation_merges,
                 snapshots_refrozen: incremental.snapshots_refrozen,
                 fallback_rebuilds: incremental.fallback_rebuilds,
+            },
+            storage: match self.store() {
+                Some(store) => {
+                    let s = store.stats();
+                    WireStorageStats {
+                        wal_records: s.wal_records,
+                        wal_bytes: s.wal_bytes,
+                        fsyncs: s.fsyncs,
+                        checkpoints: s.checkpoints,
+                        recovered_tables: s.recovered_tables,
+                        replayed_records: s.replayed_records,
+                        truncated_tail_bytes: s.truncated_tail_bytes,
+                    }
+                }
+                None => WireStorageStats::default(),
             },
         }
     }
@@ -1161,6 +1278,10 @@ fn same_key(a: &Value, b: &Value) -> bool {
         (Value::Float(x), Value::Float(y)) => x.total_cmp(y) == std::cmp::Ordering::Equal,
         _ => a == b,
     }
+}
+
+fn storage_error(e: uu_store::StoreError) -> WireError {
+    WireError::new(ErrorCode::Storage, e.to_string())
 }
 
 fn unknown_prepared(session: &str, name: &str) -> WireError {

@@ -1,0 +1,184 @@
+//! Little-endian binary primitives shared by the WAL record and snapshot
+//! codecs. Everything is length-prefixed and fixed-width — no varints — so
+//! the formats stay trivially auditable. Floats travel as raw IEEE-754 bits
+//! (`to_bits`/`from_bits`), which round-trips NaN payloads and signed zeros
+//! exactly; the recovery parity tests depend on that.
+
+use crate::StoreError;
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw bit pattern (exact, NaN-preserving).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a UTF-8 string as `u32` byte length + bytes.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a collection count (`u32` — batches and tables stay far below
+/// 4 Gi entries).
+pub fn put_count(out: &mut Vec<u8>, n: usize) {
+    put_u32(out, n as u32);
+}
+
+/// A bounds-checked cursor over an encoded payload. Every `take_*` returns
+/// [`StoreError::Corrupt`] instead of panicking on a short or malformed
+/// buffer — recovery must survive arbitrary bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!(
+                "payload truncated: needed {n} bytes at offset {}, had {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn take_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, StoreError> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("string payload is not UTF-8".to_string()))
+    }
+
+    /// Reads a collection count, bounded by the bytes that could possibly
+    /// back it (`min_elem_bytes` per element) so a corrupt count cannot
+    /// trigger a huge allocation.
+    pub fn take_count(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.take_u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(StoreError::Corrupt(format!(
+                "count {n} exceeds remaining payload ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, f64::NAN);
+        put_f64(&mut buf, -0.0);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert_eq!(r.take_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn short_reads_and_bad_counts_are_corrupt_not_panics() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.take_u32(), Err(StoreError::Corrupt(_))));
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.take_count(1), Err(StoreError::Corrupt(_))));
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+        assert!(matches!(
+            Reader::new(&buf).take_str(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

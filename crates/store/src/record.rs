@@ -1,0 +1,384 @@
+//! WAL record payloads and the shared value/schema/predicate codecs.
+//!
+//! One [`WalRecord`] is written per committed `load_csv` / `append_stream`
+//! batch: a fresh load carries the schema (the table's first touch), an
+//! append carries the version watermark the batch was applied at, so replay
+//! can tell already-snapshotted batches from the tail that must re-apply.
+
+use crate::codec::{put_count, put_f64, put_i64, put_str, put_u32, put_u64, put_u8, Reader};
+use crate::StoreError;
+use uu_query::predicate::{CmpOp, Predicate};
+use uu_query::schema::ColumnType;
+use uu_query::value::Value;
+
+/// One observation batch: `(source_id, row values)` pairs, exactly as the
+/// CSV parser hands them to the catalog.
+pub type Batch = Vec<(u32, Vec<Value>)>;
+
+/// One durable unit of ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A fresh `load_csv`: creates and populates a new table.
+    FreshLoad {
+        /// Table name as the client sent it.
+        table: String,
+        /// Schema columns in order.
+        columns: Vec<(String, ColumnType)>,
+        /// The entity-key column.
+        entity_column: String,
+        /// The parsed observation batch.
+        batch: Batch,
+    },
+    /// An `append_stream` (or `load_csv` with `"append": true`) batch onto
+    /// an existing table.
+    Append {
+        /// Table name as the client sent it.
+        table: String,
+        /// The table's version when the batch was applied. Replay skips the
+        /// record when the recovered table is already past it (the batch is
+        /// inside the snapshot).
+        version_before: u64,
+        /// The parsed observation batch.
+        batch: Batch,
+    },
+}
+
+const TAG_FRESH: u8 = 1;
+const TAG_APPEND: u8 = 2;
+
+/// Encodes a fresh-load record payload from borrowed parts (the logging
+/// path avoids cloning the batch just to build a [`WalRecord`]).
+pub fn encode_fresh(
+    table: &str,
+    columns: &[(String, ColumnType)],
+    entity_column: &str,
+    batch: &Batch,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, TAG_FRESH);
+    put_str(&mut out, table);
+    put_count(&mut out, columns.len());
+    for (name, ty) in columns {
+        put_str(&mut out, name);
+        put_u8(&mut out, column_type_tag(*ty));
+    }
+    put_str(&mut out, entity_column);
+    put_batch(&mut out, batch);
+    out
+}
+
+/// Encodes an append record payload from borrowed parts.
+pub fn encode_append(table: &str, version_before: u64, batch: &Batch) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, TAG_APPEND);
+    put_str(&mut out, table);
+    put_u64(&mut out, version_before);
+    put_batch(&mut out, batch);
+    out
+}
+
+impl WalRecord {
+    /// Encodes the record into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WalRecord::FreshLoad {
+                table,
+                columns,
+                entity_column,
+                batch,
+            } => encode_fresh(table, columns, entity_column, batch),
+            WalRecord::Append {
+                table,
+                version_before,
+                batch,
+            } => encode_append(table, *version_before, batch),
+        }
+    }
+
+    /// Decodes a frame payload (the CRC was already verified at the framing
+    /// layer, so a failure here means real corruption, not a torn write).
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, StoreError> {
+        let mut r = Reader::new(payload);
+        let record = match r.take_u8()? {
+            TAG_FRESH => {
+                let table = r.take_str()?;
+                let ncols = r.take_count(5)?;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let name = r.take_str()?;
+                    let ty = take_column_type(&mut r)?;
+                    columns.push((name, ty));
+                }
+                let entity_column = r.take_str()?;
+                let batch = take_batch(&mut r)?;
+                WalRecord::FreshLoad {
+                    table,
+                    columns,
+                    entity_column,
+                    batch,
+                }
+            }
+            TAG_APPEND => {
+                let table = r.take_str()?;
+                let version_before = r.take_u64()?;
+                let batch = take_batch(&mut r)?;
+                WalRecord::Append {
+                    table,
+                    version_before,
+                    batch,
+                }
+            }
+            tag => return Err(StoreError::Corrupt(format!("unknown WAL record tag {tag}"))),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+
+    /// Rows the record carries.
+    pub fn rows(&self) -> u64 {
+        match self {
+            WalRecord::FreshLoad { batch, .. } | WalRecord::Append { batch, .. } => {
+                batch.len() as u64
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared scalar codecs (also used by the snapshot format)
+// ---------------------------------------------------------------------------
+
+fn column_type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Str => 2,
+    }
+}
+
+/// Reads a [`ColumnType`] tag.
+pub fn take_column_type(r: &mut Reader<'_>) -> Result<ColumnType, StoreError> {
+    match r.take_u8()? {
+        0 => Ok(ColumnType::Int),
+        1 => Ok(ColumnType::Float),
+        2 => Ok(ColumnType::Str),
+        tag => Err(StoreError::Corrupt(format!(
+            "unknown column type tag {tag}"
+        ))),
+    }
+}
+
+/// Writes a [`ColumnType`] tag.
+pub fn put_column_type(out: &mut Vec<u8>, ty: ColumnType) {
+    put_u8(out, column_type_tag(ty));
+}
+
+/// Writes a [`Value`] (tag + payload).
+pub fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => put_u8(out, 0),
+        Value::Int(v) => {
+            put_u8(out, 1);
+            put_i64(out, *v);
+        }
+        Value::Float(v) => {
+            put_u8(out, 2);
+            put_f64(out, *v);
+        }
+        Value::Str(s) => {
+            put_u8(out, 3);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Reads a [`Value`].
+pub fn take_value(r: &mut Reader<'_>) -> Result<Value, StoreError> {
+    match r.take_u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int(r.take_i64()?)),
+        2 => Ok(Value::Float(r.take_f64()?)),
+        3 => Ok(Value::Str(r.take_str()?)),
+        tag => Err(StoreError::Corrupt(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn put_batch(out: &mut Vec<u8>, batch: &Batch) {
+    put_count(out, batch.len());
+    for (source_id, values) in batch {
+        put_u32(out, *source_id);
+        put_count(out, values.len());
+        for value in values {
+            put_value(out, value);
+        }
+    }
+}
+
+fn take_batch(r: &mut Reader<'_>) -> Result<Batch, StoreError> {
+    let nrows = r.take_count(8)?;
+    let mut batch = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let source_id = r.take_u32()?;
+        let nvals = r.take_count(1)?;
+        let mut values = Vec::with_capacity(nvals);
+        for _ in 0..nvals {
+            values.push(take_value(r)?);
+        }
+        batch.push((source_id, values));
+    }
+    Ok(batch)
+}
+
+/// Writes a [`Predicate`] (recursive, tagged).
+pub fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
+    match p {
+        Predicate::True => put_u8(out, 0),
+        Predicate::Cmp { column, op, value } => {
+            put_u8(out, 1);
+            put_str(out, column);
+            put_u8(
+                out,
+                match op {
+                    CmpOp::Eq => 0,
+                    CmpOp::Ne => 1,
+                    CmpOp::Lt => 2,
+                    CmpOp::Le => 3,
+                    CmpOp::Gt => 4,
+                    CmpOp::Ge => 5,
+                },
+            );
+            put_value(out, value);
+        }
+        Predicate::And(a, b) => {
+            put_u8(out, 2);
+            put_predicate(out, a);
+            put_predicate(out, b);
+        }
+        Predicate::Or(a, b) => {
+            put_u8(out, 3);
+            put_predicate(out, a);
+            put_predicate(out, b);
+        }
+        Predicate::Not(inner) => {
+            put_u8(out, 4);
+            put_predicate(out, inner);
+        }
+    }
+}
+
+/// Reads a [`Predicate`].
+pub fn take_predicate(r: &mut Reader<'_>) -> Result<Predicate, StoreError> {
+    match r.take_u8()? {
+        0 => Ok(Predicate::True),
+        1 => {
+            let column = r.take_str()?;
+            let op = match r.take_u8()? {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                tag => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unknown comparison operator tag {tag}"
+                    )))
+                }
+            };
+            let value = take_value(r)?;
+            Ok(Predicate::Cmp { column, op, value })
+        }
+        2 => Ok(Predicate::And(
+            Box::new(take_predicate(r)?),
+            Box::new(take_predicate(r)?),
+        )),
+        3 => Ok(Predicate::Or(
+            Box::new(take_predicate(r)?),
+            Box::new(take_predicate(r)?),
+        )),
+        4 => Ok(Predicate::Not(Box::new(take_predicate(r)?))),
+        tag => Err(StoreError::Corrupt(format!("unknown predicate tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Batch {
+        vec![
+            (
+                0,
+                vec![
+                    Value::Str("acme".to_string()),
+                    Value::Float(1.5),
+                    Value::Null,
+                ],
+            ),
+            (
+                7,
+                vec![
+                    Value::Int(i64::MIN),
+                    Value::Float(f64::NAN),
+                    Value::Str(String::new()),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = [
+            WalRecord::FreshLoad {
+                table: "Companies".to_string(),
+                columns: vec![
+                    ("company".to_string(), ColumnType::Str),
+                    ("employees".to_string(), ColumnType::Float),
+                    ("rank".to_string(), ColumnType::Int),
+                ],
+                entity_column: "company".to_string(),
+                batch: sample_batch(),
+            },
+            WalRecord::Append {
+                table: "companies".to_string(),
+                version_before: u64::MAX / 2,
+                batch: sample_batch(),
+            },
+        ];
+        for record in records {
+            let decoded = WalRecord::decode(&record.encode()).unwrap();
+            // NaN makes derived PartialEq lie; compare re-encodings instead.
+            assert_eq!(decoded.encode(), record.encode());
+            assert_eq!(decoded.rows(), 2);
+        }
+    }
+
+    #[test]
+    fn predicates_round_trip() {
+        let p = Predicate::cmp("state", CmpOp::Eq, Value::Str("CA".to_string()))
+            .and(Predicate::cmp("employees", CmpOp::Ge, Value::Float(10.0)).not())
+            .or(Predicate::True);
+        let mut buf = Vec::new();
+        put_predicate(&mut buf, &p);
+        let mut r = Reader::new(&buf);
+        assert_eq!(take_predicate(&mut r).unwrap(), p);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn malformed_payloads_are_corrupt_not_panics() {
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[9]).is_err());
+        let mut good = WalRecord::Append {
+            table: "t".to_string(),
+            version_before: 3,
+            batch: sample_batch(),
+        }
+        .encode();
+        good.push(0); // trailing byte
+        assert!(matches!(
+            WalRecord::decode(&good),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! The append-only observation WAL file.
+//!
+//! Framing is `[u32 payload length][u32 CRC-32 of payload][payload]`,
+//! little-endian. Appends go through plain `write_all` with no userspace
+//! buffering: once the syscall returns, the bytes are in the page cache and
+//! survive a SIGKILL of the process — only a machine crash needs the fsync
+//! the [`FsyncPolicy`] governs. A torn final frame (length or CRC mismatch,
+//! or fewer bytes than the length promises) marks the end of the valid
+//! prefix; [`scan`] reports it and recovery physically truncates it away.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::FsyncPolicy;
+
+/// Frame header: `u32` length + `u32` CRC.
+pub const FRAME_HEADER_BYTES: u64 = 8;
+
+/// What a WAL scan found: the CRC-valid frame payloads in order, the byte
+/// length of that valid prefix, and how many torn tail bytes follow it.
+pub struct WalScan {
+    /// Payloads of every valid frame, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// File offset where the valid prefix ends.
+    pub valid_len: u64,
+    /// Bytes after the valid prefix (a torn final record, or garbage).
+    pub torn_bytes: u64,
+}
+
+/// Reads every valid frame from the WAL at `path`. A missing file scans as
+/// empty. The scan stops at the first length/CRC mismatch — everything
+/// after it is a torn write to truncate, never an error.
+pub fn scan(path: &Path) -> std::io::Result<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = bytes.len() - pos;
+        if rest < FRAME_HEADER_BYTES as usize {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + FRAME_HEADER_BYTES as usize;
+        if len > bytes.len() - body_start {
+            break;
+        }
+        let payload = &bytes[body_start..body_start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        payloads.push(payload.to_vec());
+        pos = body_start + len;
+    }
+    Ok(WalScan {
+        payloads,
+        valid_len: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// The open, append-position WAL file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    len: u64,
+    dirty: bool,
+    syncs: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path`, truncating it to
+    /// `valid_len` first when a scan found a torn tail.
+    pub fn open(path: &Path, policy: FsyncPolicy, valid_len: u64) -> std::io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let actual = file.metadata()?.len();
+        if actual > valid_len {
+            file.set_len(valid_len)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            len: valid_len.min(actual),
+            dirty: false,
+            syncs: 0,
+        })
+    }
+
+    /// Appends one framed record; under [`FsyncPolicy::Always`] the write is
+    /// synced before returning. Returns the framed byte count.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER_BYTES as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.dirty = true;
+        if self.policy == FsyncPolicy::Always {
+            self.sync()?;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Syncs pending writes to stable storage, honouring the policy
+    /// ([`FsyncPolicy::Off`] never syncs).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.dirty && self.policy != FsyncPolicy::Off {
+            self.file.sync_data()?;
+            self.syncs += 1;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Empties the log — called right after a checkpoint made every logged
+    /// batch redundant.
+    pub fn truncate(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        self.dirty = false;
+        if self.policy != FsyncPolicy::Off {
+            self.file.sync_all()?;
+            self.syncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Syncs performed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-reads the whole file (tests and diagnostics).
+    pub fn read_bytes(&mut self) -> std::io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uu-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn frames_round_trip_through_scan() {
+        let path = scratch("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, FsyncPolicy::Off, 0).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"").unwrap();
+        wal.append(b"third record, longer").unwrap();
+        let scan = scan(&path).unwrap();
+        assert_eq!(
+            scan.payloads,
+            vec![
+                b"first".to_vec(),
+                Vec::new(),
+                b"third record, longer".to_vec()
+            ]
+        );
+        assert_eq!(scan.valid_len, wal.len());
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_at_every_offset_and_truncated_on_open() {
+        let path = scratch("torn.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, FsyncPolicy::Off, 0).unwrap();
+        wal.append(b"committed").unwrap();
+        let prefix = wal.len();
+        wal.append(b"the final record").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in prefix as usize..full.len() {
+            let torn_path = scratch("torn-cut.wal");
+            std::fs::write(&torn_path, &full[..cut]).unwrap();
+            let s = scan(&torn_path).unwrap();
+            assert_eq!(s.payloads, vec![b"committed".to_vec()], "cut at {cut}");
+            assert_eq!(s.valid_len, prefix);
+            assert_eq!(s.torn_bytes, cut as u64 - prefix);
+            // Re-opening truncates the torn bytes away.
+            let reopened = Wal::open(&torn_path, FsyncPolicy::Off, s.valid_len).unwrap();
+            assert_eq!(reopened.len(), prefix);
+            assert_eq!(std::fs::metadata(&torn_path).unwrap().len(), prefix);
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_ends_the_valid_prefix() {
+        let path = scratch("crc.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, FsyncPolicy::Off, 0).unwrap();
+        wal.append(b"good").unwrap();
+        let keep = wal.len();
+        wal.append(b"flipped").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.payloads, vec![b"good".to_vec()]);
+        assert_eq!(s.valid_len, keep);
+        assert!(s.torn_bytes > 0);
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let path = scratch("trunc.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, FsyncPolicy::Batch, 0).unwrap();
+        wal.append(b"x").unwrap();
+        wal.sync().unwrap();
+        assert!(wal.syncs() >= 1);
+        wal.truncate().unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // Appends continue normally after a truncate.
+        wal.append(b"y").unwrap();
+        assert_eq!(scan(&path).unwrap().payloads, vec![b"y".to_vec()]);
+    }
+}

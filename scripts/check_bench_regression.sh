@@ -9,9 +9,11 @@
 # baseline (idle sockets must cost the active client nothing), if
 # append-then-query costs more than 0.25x of the fresh cold columnar build
 # (the delta path must stay far cheaper than dropping and rebuilding the
-# projection), or if the cache-hit mean — histograms recording, tracing off
+# projection), if the cache-hit mean — histograms recording, tracing off
 # — strays beyond 1.10x of the committed baseline (the always-on
-# observability hooks must stay near-free on the hot path).
+# observability hooks must stay near-free on the hot path), or if the
+# WAL-armed append stream costs more than 1.5x the WAL-off stream
+# (durability must be a thin log, not a second ingest).
 #
 # Usage: check_bench_regression.sh <fresh.json> [baseline.json] [max-factor]
 #
@@ -113,6 +115,10 @@ check_cross cache_hit_idle1k cache_hit
 # degraded into drop-and-rebuild. Both means come from the same fresh run,
 # so machine speed cancels out of the ratio.
 check_ratio append_then_hit cold_columnar 0.25
+# Durability tax: the WAL-armed sustained append (batch fsync policy) must
+# stay within 1.5x of the WAL-off append stream — the log path is one
+# buffered encode + CRC + write, not a second ingest.
+check_ratio wal_append append_stream_sustained 1.5
 
 if [ "$failures" -gt 0 ]; then
     echo "check_bench_regression: $failures check(s) failed" >&2

@@ -5,8 +5,10 @@
 # bit-for-bit repeat answers, structured error handling and a named-session
 # prepared-query exercise, and appends a prepared-vs-adhoc latency record to
 # BENCH_server.json in $BENCH_JSON_DIR), probe the pgwire front with the
-# raw-socket driver (uu-client pgwire-probe — no psql dependency), then shut
-# the server down.
+# raw-socket driver (uu-client pgwire-probe — no psql dependency), then
+# exercise the durability path: checkpoint, kill -9 the server, restart it
+# on the same --data-dir and require the same answer served as a profile
+# cache hit before shutting down cleanly.
 #
 # usage: scripts/server_smoke.sh [BIN_DIR]   (default: target/release)
 set -eu
@@ -14,13 +16,16 @@ set -eu
 BIN_DIR="${1:-target/release}"
 PORT_FILE="$(mktemp)"
 PGWIRE_PORT_FILE="$(mktemp)"
-trap 'rm -f "$PORT_FILE" "$PGWIRE_PORT_FILE"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+DATA_DIR="$(mktemp -d)"
+trap 'rm -f "$PORT_FILE" "$PGWIRE_PORT_FILE"; rm -rf "$DATA_DIR"; kill "$SERVER_PID" 2>/dev/null || true; kill "$SERVER2_PID" 2>/dev/null || true' EXIT
+SERVER2_PID=""
 
 # A generous idle timeout exercises the reaper wiring without ever firing
-# for the active demo clients.
+# for the active demo clients. The data dir arms the WAL + checkpoint path
+# for the restart step below.
 "$BIN_DIR/uu-server" --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
     --pgwire-port 0 --pgwire-port-file "$PGWIRE_PORT_FILE" \
-    --idle-timeout-ms 60000 &
+    --idle-timeout-ms 60000 --data-dir "$DATA_DIR" &
 SERVER_PID=$!
 
 # Wait (up to ~10s) for the server to report its ephemeral addresses.
@@ -96,6 +101,54 @@ case "$PGGROUPED" in
 esac
 echo "server_smoke: grouped pgwire probe OK"
 
-"$BIN_DIR/uu-client" shutdown --addr "$ADDR"
-wait "$SERVER_PID"
+# Durability: checkpoint the loaded state, kill the server without warning,
+# restart it on the same data dir and require the same query answered from
+# a re-warmed profile cache.
+"$BIN_DIR/uu-client" checkpoint --addr "$ADDR"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+PORT_FILE2="$(mktemp)"
+trap 'rm -f "$PORT_FILE" "$PGWIRE_PORT_FILE" "$PORT_FILE2"; rm -rf "$DATA_DIR"; kill "$SERVER_PID" 2>/dev/null || true; kill "$SERVER2_PID" 2>/dev/null || true' EXIT
+"$BIN_DIR/uu-server" --addr 127.0.0.1:0 --port-file "$PORT_FILE2" \
+    --data-dir "$DATA_DIR" &
+SERVER2_PID=$!
+i=0
+while [ ! -s "$PORT_FILE2" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server_smoke: restarted server did not report an address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR2="$(cat "$PORT_FILE2")"
+echo "server_smoke: restarted server is at $ADDR2"
+
+# The restarted server must answer the demo's query from the recovered
+# catalog (post-append observed SUM is 13800) and serve it as a profile
+# cache hit on the very first request — the snapshot carries the frozen
+# profiles back into the cache.
+RESTART_OUT="$("$BIN_DIR/uu-client" query --addr "$ADDR2" \
+    --sql "SELECT SUM(employees) FROM companies")"
+echo "$RESTART_OUT"
+case "$RESTART_OUT" in
+*"cache_hit=true"*) ;;
+*)
+    echo "server_smoke: first post-restart query was not a cache hit" >&2
+    exit 1
+    ;;
+esac
+case "$RESTART_OUT" in
+*"observed=13800"*) ;;
+*)
+    echo "server_smoke: restarted server lost the appended rows (expected observed=13800)" >&2
+    exit 1
+    ;;
+esac
+echo "server_smoke: durability restart OK"
+
+"$BIN_DIR/uu-client" shutdown --addr "$ADDR2"
+wait "$SERVER2_PID"
+SERVER2_PID=""
 echo "server_smoke: OK"

@@ -13,7 +13,8 @@ use uu_server::protocol::{
     ErrorCode, GroupReply, LoadCsvRequest, MetricsReply, QueryReply, QueryRequest, Request,
     Response, ServerInfoReply, StatsReply, WireCacheStats, WireConnStats, WireDiagnostics,
     WireError, WireEstimate, WireExecStats, WireExtreme, WireIncrementalStats, WireProjectionStats,
-    WireResult, WireSessionStats, WireSpan, WireStageMetrics, WireValue, PROTOCOL_VERSION,
+    WireResult, WireSessionStats, WireSpan, WireStageMetrics, WireStorageStats, WireValue,
+    PROTOCOL_VERSION,
 };
 
 /// An interesting `f64` from two generated numbers: finite values of many
@@ -49,7 +50,7 @@ fn value_from(selector: u64, text: &str, number: f64) -> Value {
 }
 
 fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
-    match selector % 11 {
+    match selector % 12 {
         0 => Request::Query(QueryRequest {
             sql: text.to_string(),
             estimators: vec![text2.to_string()],
@@ -97,6 +98,7 @@ fn request_from(selector: u64, text: &str, text2: &str, flag: bool) -> Request {
             source_column: text2.to_string(),
             csv: format!("{text2},k,v\n0,{text},1\n"),
         },
+        10 => Request::Checkpoint,
         _ => [
             Request::Stats,
             Request::Metrics,
@@ -170,7 +172,7 @@ fn trace_from(selector: u64, text: &str, sel: &[u64]) -> Option<Vec<WireSpan>> {
 }
 
 fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: bool) -> Response {
-    match selector % 12 {
+    match selector % 13 {
         0 => Response::Query(QueryReply {
             sql: text.to_string(),
             cache_hit: flag,
@@ -222,6 +224,13 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                 Vec::new()
             },
             workers: sel[2],
+            data_dir: if flag {
+                Some(format!("/var/lib/uu/{text}"))
+            } else {
+                None
+            },
+            durability: if flag { "batch" } else { "off" }.to_string(),
+            last_checkpoint_age_ms: opt_float(sel[3], numbers[0].abs()),
         }),
         8 => Response::Stats(Box::new(StatsReply {
             protocol: PROTOCOL_VERSION,
@@ -290,6 +299,15 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
                 snapshots_refrozen: sel[1],
                 fallback_rebuilds: sel[2],
             },
+            storage: WireStorageStats {
+                wal_records: sel[3],
+                wal_bytes: sel[4],
+                fsyncs: sel[5],
+                checkpoints: sel[6],
+                recovered_tables: sel[7],
+                replayed_records: sel[0],
+                truncated_tail_bytes: sel[1],
+            },
         })),
         9 => Response::Appended {
             table: text.to_string(),
@@ -297,6 +315,10 @@ fn response_from(selector: u64, sel: &[u64], text: &str, numbers: &[f64], flag: 
             entities: sel[1],
             refrozen: sel[2],
             incremental: flag,
+        },
+        11 => Response::Checkpointed {
+            tables: sel[0],
+            bytes: sel[1],
         },
         10 => Response::Metrics(MetricsReply {
             entries: if flag {
